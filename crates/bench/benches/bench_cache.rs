@@ -1,0 +1,57 @@
+//! Throughput of the adaptive cache hierarchy simulator at several
+//! boundary positions (accesses per second), plus a whole Figure-7-style
+//! sweep for one application at smoke scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cap_cache::config::Boundary;
+use cap_cache::hierarchy::AdaptiveCacheHierarchy;
+use cap_cache::perf::PerfParams;
+use cap_cache::sim;
+use cap_timing::cacti::CacheTimingModel;
+use cap_timing::Technology;
+use cap_trace::mem::AddressStream;
+use cap_workloads::App;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_access");
+    const N: u64 = 50_000;
+    group.throughput(Throughput::Elements(N));
+    for k in [1usize, 2, 8] {
+        group.bench_with_input(BenchmarkId::new("boundary", k), &k, |b, &k| {
+            let profile = App::Gcc.memory_profile();
+            let pristine = profile.build(7);
+            b.iter(|| {
+                let mut cache = AdaptiveCacheHierarchy::isca98(Boundary::new(k).unwrap());
+                let mut stream = pristine.clone();
+                for _ in 0..N {
+                    let r = stream.next_ref();
+                    black_box(cache.access(r));
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cache_sweep");
+    group.sample_size(10);
+    group.bench_function("stereo_fig7_smoke", |b| {
+        let timing = CacheTimingModel::isca98(Technology::isca98_evaluation());
+        let profile = App::Stereo.memory_profile();
+        let pristine = profile.build(9);
+        b.iter(|| {
+            sim::sweep(
+                || pristine.clone(),
+                30_000,
+                Boundary::paper_sweep(),
+                &timing,
+                PerfParams::isca98(profile.insts_per_ref),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation (DESIGN.md §7): confidence gating on versus off for the
+//! Section 6 predictor. On vortex's irregular phases, the eager policy
+//! thrashes the clock; confidence suppresses needless reconfiguration —
+//! the paper's own caution in §6.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cap_core::clock::{DynamicClock, DEFAULT_SWITCH_PENALTY_CYCLES};
+use cap_core::manager::{run_managed_queue, ConfidencePolicy, IntervalManager};
+use cap_core::structure::{AdaptiveStructure, QueueStructure};
+use cap_timing::queue::QueueTimingModel;
+use cap_workloads::App;
+use std::hint::black_box;
+
+fn run_policy(policy: ConfidencePolicy) -> (f64, u64) {
+    let timing = QueueTimingModel::default();
+    let mut structure = QueueStructure::isca98(timing, 0).unwrap();
+    let table = structure.period_table().unwrap();
+    let mut clock = DynamicClock::new(table, DEFAULT_SWITCH_PENALTY_CYCLES).unwrap();
+    let mut manager = IntervalManager::new(8, 40, policy).unwrap();
+    let mut stream = App::Vortex.ilp_profile().build(3);
+    let run =
+        run_managed_queue(&mut structure, &mut stream, &mut manager, &mut clock, 300, 2_000).unwrap();
+    (run.average_tpi().value(), run.switches)
+}
+
+fn bench(c: &mut Criterion) {
+    let confident = run_policy(ConfidencePolicy::default_policy());
+    let eager = run_policy(ConfidencePolicy::none());
+    eprintln!(
+        "[confidence] confident: TPI {:.3} ns / {} switches; eager: TPI {:.3} ns / {} switches",
+        confident.0, confident.1, eager.0, eager.1
+    );
+    let mut group = c.benchmark_group("confidence");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("confident", ConfidencePolicy::default_policy()),
+        ("eager", ConfidencePolicy::none()),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, p| {
+            b.iter(|| black_box(run_policy(*p)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation (DESIGN.md §7): sensitivity of the Section 6 interval
+//! manager to the interval length — reconfiguration overhead versus
+//! responsiveness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cap_core::clock::{DynamicClock, DEFAULT_SWITCH_PENALTY_CYCLES};
+use cap_core::manager::{run_managed_queue, ConfidencePolicy, IntervalManager};
+use cap_core::structure::{AdaptiveStructure, QueueStructure};
+use cap_timing::queue::QueueTimingModel;
+use cap_workloads::App;
+use std::hint::black_box;
+
+fn managed_tpi(interval_len: u64) -> (f64, u64) {
+    let timing = QueueTimingModel::default();
+    let mut structure = QueueStructure::isca98(timing, 0).unwrap();
+    let table = structure.period_table().unwrap();
+    let mut clock = DynamicClock::new(table, DEFAULT_SWITCH_PENALTY_CYCLES).unwrap();
+    let mut manager = IntervalManager::new(8, 50, ConfidencePolicy::default_policy()).unwrap();
+    let mut stream = App::Vortex.ilp_profile().build(3);
+    let budget: u64 = 400_000;
+    let run = run_managed_queue(
+        &mut structure,
+        &mut stream,
+        &mut manager,
+        &mut clock,
+        budget / interval_len,
+        interval_len,
+    )
+    .unwrap();
+    (run.average_tpi().value(), run.switches)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval_length");
+    group.sample_size(10);
+    for len in [500u64, 2_000, 8_000] {
+        let (tpi, switches) = managed_tpi(len);
+        eprintln!("[interval] len={len}: managed TPI {tpi:.3} ns, {switches} switches");
+        group.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| black_box(managed_tpi(len)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

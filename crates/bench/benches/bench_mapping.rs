@@ -1,0 +1,68 @@
+//! Ablation (DESIGN.md §7): the paper's exclusive, content-preserving
+//! mapping versus a conventional inclusive hierarchy that must flush its
+//! L1 (and resize its L2) on every boundary move. Reports the extra L1
+//! misses the inclusive design pays across a phase-change workload, and
+//! benchmarks both simulators.
+
+use cap_cache::config::Boundary;
+use cap_cache::hierarchy::AdaptiveCacheHierarchy;
+use cap_cache::inclusive::InclusiveCacheHierarchy;
+use cap_trace::mem::AddressStream;
+use cap_workloads::App;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const REFS_PER_PHASE: u64 = 10_000;
+const PHASES: usize = 10;
+
+fn boundary_schedule() -> impl Iterator<Item = Boundary> {
+    (0..PHASES).map(|i| Boundary::new(if i % 2 == 0 { 2 } else { 6 }).unwrap())
+}
+
+fn run_exclusive(pristine: &cap_trace::mem::RegionMix) -> u64 {
+    let mut cache = AdaptiveCacheHierarchy::isca98(Boundary::new(2).unwrap());
+    let mut stream = pristine.clone();
+    for b in boundary_schedule() {
+        cache.set_boundary(b);
+        for _ in 0..REFS_PER_PHASE {
+            let r = stream.next_ref();
+            cache.access(r);
+        }
+    }
+    cache.stats().l2_hits + cache.stats().misses
+}
+
+fn run_inclusive(pristine: &cap_trace::mem::RegionMix) -> u64 {
+    let mut cache = InclusiveCacheHierarchy::isca98(Boundary::new(2).unwrap());
+    let mut stream = pristine.clone();
+    for b in boundary_schedule() {
+        cache.set_boundary(b);
+        for _ in 0..REFS_PER_PHASE {
+            let r = stream.next_ref();
+            cache.access(r);
+        }
+    }
+    cache.stats().l2_hits + cache.stats().misses
+}
+
+fn bench(c: &mut Criterion) {
+    let pristine = App::Swim.memory_profile().build(11);
+    let exclusive = run_exclusive(&pristine);
+    let inclusive = run_inclusive(&pristine);
+    eprintln!(
+        "[mapping] L1 misses over {} refs with {} boundary moves: exclusive={} inclusive={} (+{:.0}%)",
+        REFS_PER_PHASE * PHASES as u64,
+        PHASES - 1,
+        exclusive,
+        inclusive,
+        100.0 * (inclusive as f64 / exclusive as f64 - 1.0)
+    );
+    let mut group = c.benchmark_group("mapping");
+    group.sample_size(10);
+    group.bench_function("exclusive", |b| b.iter(|| black_box(run_exclusive(&pristine))));
+    group.bench_function("inclusive", |b| b.iter(|| black_box(run_inclusive(&pristine))));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Throughput of the out-of-order core (committed instructions per
+//! second) at several window sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cap_ooo::config::CoreConfig;
+use cap_ooo::core::OooCore;
+use cap_workloads::App;
+use cap_trace::inst::InstStream;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ooo_commit");
+    const N: u64 = 30_000;
+    group.throughput(Throughput::Elements(N));
+    for w in [16usize, 64, 128] {
+        group.bench_with_input(BenchmarkId::new("window", w), &w, |b, &w| {
+            b.iter(|| {
+                let mut core = OooCore::new(CoreConfig::isca98(w).unwrap());
+                let mut stream = App::Gcc.ilp_profile().build(5);
+                black_box(core.run(&mut stream, N))
+            })
+        });
+    }
+    group.finish();
+
+    // Keep the stream generator itself honest: it must be far cheaper
+    // than the core that consumes it.
+    let mut group = c.benchmark_group("inst_gen");
+    group.throughput(Throughput::Elements(N));
+    group.bench_function("segment_ilp", |b| {
+        b.iter(|| {
+            let mut s = App::Gcc.ilp_profile().build(5);
+            for _ in 0..N {
+                black_box(s.next_inst());
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Ablation: repeater-buffered versus unbuffered global wires (DESIGN.md
+//! §7). Benchmarks the timing-model evaluation itself and reports the
+//! delay ratio at representative structure sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cap_timing::wire::{cache_bus_length, BufferedWire, Wire};
+use cap_timing::Technology;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let tech = Technology::isca98_evaluation();
+    let mut group = c.benchmark_group("wire_delay");
+    for n in [4usize, 8, 16] {
+        let wire = Wire::new(cache_bus_length(n, 8192).unwrap());
+        group.bench_with_input(BenchmarkId::new("unbuffered", n), &wire, |b, w| {
+            b.iter(|| black_box(w.unbuffered_delay()))
+        });
+        group.bench_with_input(BenchmarkId::new("buffered", n), &wire, |b, w| {
+            b.iter(|| black_box(BufferedWire::optimal(*w, tech).delay()))
+        });
+        let ratio = wire.unbuffered_delay() / BufferedWire::optimal(wire, tech).delay();
+        eprintln!("[wire] {n} increments: unbuffered/buffered delay ratio = {ratio:.2}");
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

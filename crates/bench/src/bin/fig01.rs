@@ -1,0 +1,60 @@
+//! Regenerates Figure 1: cache address wire delay as a function of the
+//! number of subarrays and technology, for 2 KB (a) and 4 KB (b)
+//! subarrays — unbuffered versus Bakoglu-optimal repeaters at 0.25, 0.18
+//! and 0.12 µm.
+
+use cap_bench::{banner, emit_json};
+use cap_timing::wire::{cache_bus_length, BufferedWire, Wire};
+use cap_timing::Technology;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    subarrays: usize,
+    unbuffered_ns: f64,
+    buffered_025_ns: f64,
+    buffered_018_ns: f64,
+    buffered_012_ns: f64,
+}
+
+fn panel(subarray_bytes: usize) -> Vec<Row> {
+    let techs = Technology::paper_sweep();
+    (4..=16)
+        .map(|n| {
+            let wire = Wire::new(cache_bus_length(n, subarray_bytes).expect("valid geometry"));
+            let buf = |t: Technology| BufferedWire::optimal(wire, t).delay().value();
+            Row {
+                subarrays: n,
+                unbuffered_ns: wire.unbuffered_delay().value(),
+                buffered_025_ns: buf(techs[0]),
+                buffered_018_ns: buf(techs[1]),
+                buffered_012_ns: buf(techs[2]),
+            }
+        })
+        .collect()
+}
+
+fn print_panel(label: &str, rows: &[Row]) {
+    println!("({label})");
+    println!(
+        "{:>10} {:>12} {:>14} {:>14} {:>14}",
+        "subarrays", "unbuffered", "buffers 0.25u", "buffers 0.18u", "buffers 0.12u"
+    );
+    for r in rows {
+        println!(
+            "{:>10} {:>12.3} {:>14.3} {:>14.3} {:>14.3}",
+            r.subarrays, r.unbuffered_ns, r.buffered_025_ns, r.buffered_018_ns, r.buffered_012_ns
+        );
+    }
+    println!();
+}
+
+fn main() {
+    banner("Figure 1", "cache wire delay vs number of subarrays (ns)");
+    let a = panel(2048);
+    let b = panel(4096);
+    print_panel("a: 2KB subarrays", &a);
+    print_panel("b: 4KB subarrays", &b);
+    emit_json("fig01a", &a);
+    emit_json("fig01b", &b);
+}

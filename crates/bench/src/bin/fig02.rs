@@ -1,0 +1,51 @@
+//! Regenerates Figure 2: integer instruction-queue wire delay as a
+//! function of the number of entries and technology (R10000-style entry
+//! ≈ 60 bytes of single-ported RAM equivalent).
+
+use cap_bench::{banner, emit_json};
+use cap_timing::wire::{queue_bus_length, r10000_entry_equivalent_bytes, BufferedWire, Wire};
+use cap_timing::Technology;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    entries: usize,
+    unbuffered_ns: f64,
+    buffered_025_ns: f64,
+    buffered_018_ns: f64,
+    buffered_012_ns: f64,
+}
+
+fn main() {
+    banner("Figure 2", "integer queue wire delay vs entries (ns)");
+    println!(
+        "R10000 entry area: {:.1} bytes of single-ported RAM equivalent\n",
+        r10000_entry_equivalent_bytes()
+    );
+    let techs = Technology::paper_sweep();
+    let rows: Vec<Row> = (1..=13)
+        .map(|i| {
+            let entries = 15 + (i - 1) * 4; // 15..63, matching the figure's axis
+            let wire = Wire::new(queue_bus_length(entries).expect("valid geometry"));
+            let buf = |t: Technology| BufferedWire::optimal(wire, t).delay().value();
+            Row {
+                entries,
+                unbuffered_ns: wire.unbuffered_delay().value(),
+                buffered_025_ns: buf(techs[0]),
+                buffered_018_ns: buf(techs[1]),
+                buffered_012_ns: buf(techs[2]),
+            }
+        })
+        .collect();
+    println!(
+        "{:>8} {:>12} {:>14} {:>14} {:>14}",
+        "entries", "unbuffered", "buffers 0.25u", "buffers 0.18u", "buffers 0.12u"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>12.3} {:>14.3} {:>14.3} {:>14.3}",
+            r.entries, r.unbuffered_ns, r.buffered_025_ns, r.buffered_018_ns, r.buffered_012_ns
+        );
+    }
+    emit_json("fig02", &rows);
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 10: variation of average TPI with the number of
+//! instruction-queue entries for (a) integer and (b) floating-point
+//! benchmarks.
+
+use cap_bench::{banner, emit_json, scale};
+use cap_core::experiments::QueueExperiment;
+use cap_core::report::queue_curves_table;
+
+fn main() {
+    banner("Figure 10", "average TPI vs instruction queue size (ns)");
+    let exp = QueueExperiment::new(scale());
+    let curves = exp.figure10().expect("paper sweep is valid");
+    let (int, fp): (Vec<_>, Vec<_>) = curves.iter().partition(|c| c.integer_panel);
+    println!("{}", queue_curves_table("(a) integer benchmarks", &int));
+    println!("{}", queue_curves_table("(b) floating point / CMU / NAS benchmarks", &fp));
+    for c in &curves {
+        let best = c.best();
+        println!("  {:>9}: best window {:>3} entries, TPI {:.3} ns (IPC {:.2})", c.app, best.entries, best.tpi_ns, best.ipc);
+    }
+    emit_json("fig10", &curves);
+    for c in &curves {
+        cap_bench::emit_csv(&format!("fig10_{}", c.app), &cap_core::report::queue_curve_csv(c));
+    }
+}

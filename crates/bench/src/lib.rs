@@ -1,0 +1,94 @@
+//! Shared harness for the figure-regeneration binaries and benches.
+//!
+//! Every `figNN` binary prints the data series of one figure of the
+//! paper. Scale is selected with the `CAP_SCALE` environment variable
+//! (`smoke` / `default` / `full`); setting `CAP_JSON_DIR` additionally
+//! writes each result as a JSON file for machine consumption (this is how
+//! `EXPERIMENTS.md` is produced).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cap_core::experiments::ExperimentScale;
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// The experiment scale selected by `CAP_SCALE` (default: `default`).
+pub fn scale() -> ExperimentScale {
+    ExperimentScale::from_env()
+}
+
+/// Writes `value` as pretty JSON to `$CAP_JSON_DIR/<name>.json` when
+/// `CAP_JSON_DIR` is set; silently does nothing otherwise.
+///
+/// # Panics
+///
+/// Panics if the directory is set but unwritable — the harness treats a
+/// half-written result set as worse than a loud failure.
+pub fn emit_json<T: Serialize>(name: &str, value: &T) {
+    let Ok(dir) = std::env::var("CAP_JSON_DIR") else {
+        return;
+    };
+    let mut path = PathBuf::from(dir);
+    std::fs::create_dir_all(&path).expect("CAP_JSON_DIR must be creatable");
+    path.push(format!("{name}.json"));
+    let data = serde_json::to_string_pretty(value).expect("results serialize");
+    std::fs::write(&path, data).expect("CAP_JSON_DIR must be writable");
+}
+
+/// Writes CSV text to `$CAP_CSV_DIR/<name>.csv` when `CAP_CSV_DIR` is
+/// set; silently does nothing otherwise.
+///
+/// # Panics
+///
+/// Panics if the directory is set but unwritable.
+pub fn emit_csv(name: &str, csv: &str) {
+    let Ok(dir) = std::env::var("CAP_CSV_DIR") else {
+        return;
+    };
+    let mut path = PathBuf::from(dir);
+    std::fs::create_dir_all(&path).expect("CAP_CSV_DIR must be creatable");
+    path.push(format!("{name}.csv"));
+    std::fs::write(&path, csv).expect("CAP_CSV_DIR must be writable");
+}
+
+/// Prints a standard header naming the paper artifact being regenerated.
+pub fn banner(figure: &str, what: &str) {
+    println!("== {figure} — {what}");
+    println!("   (Albonesi, \"Dynamic IPC/Clock Rate Optimization\", ISCA 1998)");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_json_writes_when_dir_set() {
+        let dir = std::env::temp_dir().join(format!("cap-bench-test-{}", std::process::id()));
+        // Serialize access to the env var within this test binary.
+        std::env::set_var("CAP_JSON_DIR", &dir);
+        emit_json("probe", &vec![1, 2, 3]);
+        std::env::remove_var("CAP_JSON_DIR");
+        let contents = std::fs::read_to_string(dir.join("probe.json")).unwrap();
+        assert!(contents.contains('2'));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn emit_csv_writes_when_dir_set() {
+        let dir = std::env::temp_dir().join(format!("cap-bench-csv-{}", std::process::id()));
+        std::env::set_var("CAP_CSV_DIR", &dir);
+        emit_csv("probe", "a,b\n1,2\n");
+        std::env::remove_var("CAP_CSV_DIR");
+        let contents = std::fs::read_to_string(dir.join("probe.csv")).unwrap();
+        assert!(contents.contains("1,2"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn emit_json_noop_without_dir() {
+        std::env::remove_var("CAP_JSON_DIR");
+        emit_json("never-written", &1);
+    }
+}

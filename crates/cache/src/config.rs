@@ -1,0 +1,150 @@
+//! Configuration space of the adaptive cache hierarchy.
+
+use crate::error::CacheError;
+use cap_timing::cacti::CacheGeometry;
+use std::fmt;
+
+/// The number of increments in the paper's evaluated structure.
+pub const ISCA98_INCREMENTS: usize = 16;
+
+/// The largest L1 the paper sweeps: 64 KB = 8 increments ("thus far we
+/// have limited our investigation of this design to L1 caches up to 64 KB
+/// in size").
+pub const PAPER_MAX_BOUNDARY: usize = 8;
+
+/// The paper's best *conventional* configuration: a 16 KB 4-way L1 —
+/// i.e. a fixed boundary of two 8 KB / 2-way increments.
+pub const BEST_CONVENTIONAL_BOUNDARY: usize = 2;
+
+/// The L1/L2 boundary position: the number of increments assigned to the
+/// L1 D-cache.
+///
+/// A valid boundary for the paper's 16-increment structure is `1..=15`;
+/// the paper's evaluation sweeps `1..=8` (8 KB – 64 KB L1).
+///
+/// # Example
+///
+/// ```
+/// use cap_cache::config::Boundary;
+///
+/// let b = Boundary::new(2)?;
+/// assert_eq!(b.l1_kb(), 16);
+/// assert_eq!(b.l1_assoc(), 4);
+/// assert_eq!(b.l2_kb(), 112);
+/// # Ok::<(), cap_cache::CacheError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Boundary(usize);
+
+impl Boundary {
+    /// Creates a boundary for the paper's 16-increment structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidBoundary`] unless `increments_in_l1`
+    /// is in `1..=15`.
+    pub fn new(increments_in_l1: usize) -> Result<Self, CacheError> {
+        Self::for_geometry(increments_in_l1, &CacheGeometry::isca98())
+    }
+
+    /// Creates a boundary for an arbitrary geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidBoundary`] unless the boundary leaves
+    /// at least one increment on each side.
+    pub fn for_geometry(increments_in_l1: usize, geometry: &CacheGeometry) -> Result<Self, CacheError> {
+        if increments_in_l1 == 0 || increments_in_l1 >= geometry.increments {
+            return Err(CacheError::InvalidBoundary {
+                requested: increments_in_l1,
+                increments: geometry.increments,
+            });
+        }
+        Ok(Boundary(increments_in_l1))
+    }
+
+    /// The number of increments in the L1.
+    #[inline]
+    pub fn increments(self) -> usize {
+        self.0
+    }
+
+    /// L1 capacity in kilobytes (8 KB per increment).
+    pub fn l1_kb(self) -> usize {
+        self.0 * 8
+    }
+
+    /// L1 associativity (2 ways per increment).
+    pub fn l1_assoc(self) -> usize {
+        self.0 * 2
+    }
+
+    /// L2 capacity in kilobytes for the paper's 128 KB structure.
+    pub fn l2_kb(self) -> usize {
+        (ISCA98_INCREMENTS - self.0) * 8
+    }
+
+    /// The boundary sweep of the paper's Figure 7: L1 sizes 8–64 KB.
+    pub fn paper_sweep() -> impl Iterator<Item = Boundary> {
+        (1..=PAPER_MAX_BOUNDARY).map(Boundary)
+    }
+
+    /// The paper's best conventional configuration (16 KB 4-way L1).
+    pub fn best_conventional() -> Boundary {
+        Boundary(BEST_CONVENTIONAL_BOUNDARY)
+    }
+}
+
+impl fmt::Display for Boundary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L1={}KB/{}-way", self.l1_kb(), self.l1_assoc())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_range() {
+        assert!(Boundary::new(0).is_err());
+        assert!(Boundary::new(16).is_err());
+        assert!(Boundary::new(1).is_ok());
+        assert!(Boundary::new(15).is_ok());
+    }
+
+    #[test]
+    fn derived_parameters() {
+        let b = Boundary::new(6).unwrap();
+        assert_eq!(b.l1_kb(), 48);
+        assert_eq!(b.l1_assoc(), 12);
+        assert_eq!(b.l2_kb(), 80);
+        assert_eq!(b.increments(), 6);
+    }
+
+    #[test]
+    fn paper_sweep_is_8_to_64_kb() {
+        let sizes: Vec<usize> = Boundary::paper_sweep().map(|b| b.l1_kb()).collect();
+        assert_eq!(sizes, vec![8, 16, 24, 32, 40, 48, 56, 64]);
+    }
+
+    #[test]
+    fn best_conventional_is_16kb_4way() {
+        let b = Boundary::best_conventional();
+        assert_eq!(b.l1_kb(), 16);
+        assert_eq!(b.l1_assoc(), 4);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Boundary::new(2).unwrap().to_string(), "L1=16KB/4-way");
+    }
+
+    #[test]
+    fn custom_geometry_bounds() {
+        let mut g = CacheGeometry::isca98();
+        g.increments = 4;
+        assert!(Boundary::for_geometry(3, &g).is_ok());
+        assert!(Boundary::for_geometry(4, &g).is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! The blocking-cache TPI performance model (paper §5.1).
+//!
+//! The paper's cache methodology assumes a 4-way issue processor whose
+//! pipeline is 67 % efficient absent L1 D-cache misses (base IPC 2.67),
+//! blocking caches, and no access conflicts. Performance is reported as
+//! **average time per instruction** — `TPI = cycle time / IPC` — and the
+//! miss-induced component **TPImiss** is reported separately (Figure 8).
+//!
+//! Accounting: with `N` instructions (references × instructions-per-
+//! reference), the pipeline takes `N / base_ipc` base cycles; every L1
+//! miss that hits L2 stalls for the L2 hit latency beyond the pipelined L1
+//! access, and every global miss additionally stalls for the 30 ns
+//! board-level latency. All stall cycles are charged to TPImiss.
+
+use crate::config::Boundary;
+use crate::error::CacheError;
+use crate::stats::CacheStats;
+use cap_timing::cacti::{CacheTimingModel, L1_LATENCY_CYCLES};
+use cap_timing::units::Ns;
+
+/// The paper's base pipeline: 4-way issue at 67 % efficiency.
+pub const BASE_IPC: f64 = 2.67;
+
+/// Pipeline parameters of the TPI model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfParams {
+    /// IPC in the absence of L1 D-cache misses (paper: 2.67).
+    pub base_ipc: f64,
+    /// Dynamic instructions per D-cache reference (a workload property;
+    /// e.g. 3.0 means one third of instructions are loads/stores).
+    pub insts_per_ref: f64,
+}
+
+impl PerfParams {
+    /// The paper's pipeline with a given memory-reference density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insts_per_ref < 1` (every reference is an instruction).
+    pub fn isca98(insts_per_ref: f64) -> Self {
+        assert!(insts_per_ref >= 1.0, "a reference is itself an instruction");
+        PerfParams { base_ipc: BASE_IPC, insts_per_ref }
+    }
+}
+
+/// TPI decomposition for one simulated configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpiBreakdown {
+    /// The processor cycle time at this boundary.
+    pub cycle: Ns,
+    /// Base (miss-free) time per instruction: `cycle / base_ipc`.
+    pub base_tpi: Ns,
+    /// Miss-induced time per instruction (the paper's TPImiss).
+    pub miss_tpi: Ns,
+    /// Dynamic instructions represented by the run.
+    pub instructions: f64,
+}
+
+impl TpiBreakdown {
+    /// Total average time per instruction.
+    pub fn total_tpi(&self) -> Ns {
+        self.base_tpi + self.miss_tpi
+    }
+
+    /// The effective IPC implied by the breakdown.
+    pub fn ipc(&self) -> f64 {
+        self.cycle / self.total_tpi()
+    }
+}
+
+/// Evaluates the TPI of a finished simulation at a given boundary.
+///
+/// # Errors
+///
+/// Returns [`CacheError::Timing`] if the boundary is outside the timing
+/// model's range.
+///
+/// # Example
+///
+/// ```
+/// use cap_cache::config::Boundary;
+/// use cap_cache::perf::{evaluate, PerfParams};
+/// use cap_cache::stats::CacheStats;
+/// use cap_timing::{CacheTimingModel, Technology};
+///
+/// let timing = CacheTimingModel::isca98(Technology::isca98_evaluation());
+/// let stats = CacheStats { refs: 1000, l1_hits: 990, l2_hits: 8, misses: 2, writebacks: 0 };
+/// let tpi = evaluate(&stats, Boundary::new(2)?, &timing, PerfParams::isca98(3.0))?;
+/// assert!(tpi.total_tpi() > tpi.base_tpi);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn evaluate(
+    stats: &CacheStats,
+    boundary: Boundary,
+    timing: &CacheTimingModel,
+    params: PerfParams,
+) -> Result<TpiBreakdown, CacheError> {
+    let k = boundary.increments();
+    let cycle = timing.cycle_time(k)?;
+    let l2_extra = timing.l2_hit_cycles(k)?.saturating_sub(u64::from(L1_LATENCY_CYCLES));
+    let mem_extra = l2_extra + timing.miss_cycles(k)?;
+
+    let instructions = stats.refs as f64 * params.insts_per_ref;
+    let stall_cycles = stats.l2_hits as f64 * l2_extra as f64 + stats.misses as f64 * mem_extra as f64;
+
+    let base_tpi = cycle / params.base_ipc;
+    let miss_tpi = if instructions > 0.0 { cycle * (stall_cycles / instructions) } else { Ns(0.0) };
+    Ok(TpiBreakdown { cycle, base_tpi, miss_tpi, instructions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_timing::Technology;
+
+    fn timing() -> CacheTimingModel {
+        CacheTimingModel::isca98(Technology::isca98_evaluation())
+    }
+
+    fn stats(refs: u64, l2_hits: u64, misses: u64) -> CacheStats {
+        CacheStats { refs, l1_hits: refs - l2_hits - misses, l2_hits, misses, writebacks: 0 }
+    }
+
+    #[test]
+    fn miss_free_run_has_zero_tpimiss() {
+        let t = evaluate(&stats(1000, 0, 0), Boundary::new(2).unwrap(), &timing(), PerfParams::isca98(3.0)).unwrap();
+        assert_eq!(t.miss_tpi, Ns(0.0));
+        assert!((t.ipc() - BASE_IPC).abs() < 1e-9);
+        assert!((t.base_tpi.value() - t.cycle.value() / BASE_IPC).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_misses_cost_more() {
+        let b = Boundary::new(2).unwrap();
+        let p = PerfParams::isca98(3.0);
+        let low = evaluate(&stats(1000, 10, 1), b, &timing(), p).unwrap();
+        let high = evaluate(&stats(1000, 100, 10), b, &timing(), p).unwrap();
+        assert!(high.miss_tpi > low.miss_tpi);
+        assert!(high.total_tpi() > low.total_tpi());
+        assert_eq!(high.base_tpi, low.base_tpi);
+    }
+
+    #[test]
+    fn global_misses_cost_more_than_l2_hits() {
+        let b = Boundary::new(2).unwrap();
+        let p = PerfParams::isca98(3.0);
+        let l2 = evaluate(&stats(1000, 50, 0), b, &timing(), p).unwrap();
+        let mem = evaluate(&stats(1000, 0, 50), b, &timing(), p).unwrap();
+        assert!(mem.miss_tpi > l2.miss_tpi * 2.0);
+    }
+
+    #[test]
+    fn bigger_l1_trades_cycle_for_misses() {
+        // Same stats: a larger boundary only slows the clock.
+        let p = PerfParams::isca98(3.0);
+        let s = stats(1000, 0, 0);
+        let small = evaluate(&s, Boundary::new(1).unwrap(), &timing(), p).unwrap();
+        let large = evaluate(&s, Boundary::new(8).unwrap(), &timing(), p).unwrap();
+        assert!(large.base_tpi > small.base_tpi);
+    }
+
+    #[test]
+    fn matches_paper_tpi_scale() {
+        // The best-conventional boundary with a mild miss profile should
+        // land on the paper's Figure 9 axis (0.2-0.7 ns for most apps).
+        let t = evaluate(
+            &stats(100_000, 3_000, 300),
+            Boundary::best_conventional(),
+            &timing(),
+            PerfParams::isca98(3.0),
+        )
+        .unwrap();
+        let total = t.total_tpi();
+        assert!(total > Ns(0.2) && total < Ns(0.7), "got {total}");
+    }
+
+    #[test]
+    fn stereo_like_profile_reaches_figure8_peak() {
+        // A 25 % L1 miss ratio mostly caught by L2 at the conventional
+        // boundary produces the ~0.9 ns TPImiss the paper clips in Fig 8.
+        let t = evaluate(
+            &stats(100_000, 24_000, 1_000),
+            Boundary::best_conventional(),
+            &timing(),
+            PerfParams::isca98(2.9),
+        )
+        .unwrap();
+        assert!(t.miss_tpi > Ns(0.6) && t.miss_tpi < Ns(1.1), "got {}", t.miss_tpi);
+    }
+
+    #[test]
+    fn instructions_scale_with_density() {
+        let b = Boundary::new(2).unwrap();
+        let s = stats(1000, 10, 0);
+        let dense = evaluate(&s, b, &timing(), PerfParams::isca98(2.0)).unwrap();
+        let sparse = evaluate(&s, b, &timing(), PerfParams::isca98(10.0)).unwrap();
+        assert!((dense.instructions - 2000.0).abs() < 1e-9);
+        assert!((sparse.instructions - 10000.0).abs() < 1e-9);
+        // Same misses spread over more instructions: lower TPImiss.
+        assert!(sparse.miss_tpi < dense.miss_tpi);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference is itself")]
+    fn rejects_sub_unit_density() {
+        let _ = PerfParams::isca98(0.5);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let t = evaluate(&CacheStats::new(), Boundary::new(2).unwrap(), &timing(), PerfParams::isca98(3.0)).unwrap();
+        assert_eq!(t.miss_tpi, Ns(0.0));
+        assert_eq!(t.instructions, 0.0);
+    }
+}

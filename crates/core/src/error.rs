@@ -1,0 +1,98 @@
+//! Error type for the CAP framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the framework and experiment drivers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CapError {
+    /// A configuration index outside the clock's table was selected.
+    UnknownConfiguration {
+        /// The requested configuration index.
+        index: usize,
+        /// The number of configurations in the table.
+        available: usize,
+    },
+    /// A manager or experiment was constructed with invalid parameters.
+    InvalidParameter {
+        /// Human-readable description.
+        what: &'static str,
+    },
+    /// An underlying timing model rejected a request.
+    Timing(cap_timing::TimingError),
+    /// The cache substrate rejected a request.
+    Cache(cap_cache::CacheError),
+    /// The out-of-order substrate rejected a request.
+    Ooo(cap_ooo::OooError),
+}
+
+impl fmt::Display for CapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapError::UnknownConfiguration { index, available } => {
+                write!(f, "configuration {index} is out of range (table has {available})")
+            }
+            CapError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+            CapError::Timing(e) => write!(f, "timing model error: {e}"),
+            CapError::Cache(e) => write!(f, "cache substrate error: {e}"),
+            CapError::Ooo(e) => write!(f, "out-of-order substrate error: {e}"),
+        }
+    }
+}
+
+impl Error for CapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CapError::Timing(e) => Some(e),
+            CapError::Cache(e) => Some(e),
+            CapError::Ooo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<cap_timing::TimingError> for CapError {
+    fn from(e: cap_timing::TimingError) -> Self {
+        CapError::Timing(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<cap_cache::CacheError> for CapError {
+    fn from(e: cap_cache::CacheError) -> Self {
+        CapError::Cache(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<cap_ooo::OooError> for CapError {
+    fn from(e: cap_ooo::OooError) -> Self {
+        CapError::Ooo(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CapError::UnknownConfiguration { index: 9, available: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.source().is_none());
+        let t: CapError = cap_timing::TimingError::InvalidQueueSize { entries: 1 }.into();
+        assert!(t.source().is_some());
+        let c: CapError = cap_cache::CacheError::InvalidBoundary { requested: 0, increments: 16 }.into();
+        assert!(c.source().is_some());
+        let o: CapError = cap_ooo::OooError::InvalidWindow { entries: 3 }.into();
+        assert!(o.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CapError>();
+    }
+}

@@ -1,0 +1,790 @@
+//! One driver per paper artifact.
+//!
+//! | driver | paper artifact |
+//! |---|---|
+//! | [`CacheExperiment::figure7`] | Fig 7(a,b): TPI vs L1 size per app |
+//! | [`CacheExperiment::figure8`] | Fig 8: TPImiss, conventional vs adaptive |
+//! | [`CacheExperiment::figure9`] | Fig 9: TPI, conventional vs adaptive |
+//! | [`QueueExperiment::figure10`] | Fig 10(a,b): TPI vs window size per app |
+//! | [`QueueExperiment::figure11`] | Fig 11: TPI, conventional vs adaptive |
+//! | [`IntervalExperiment::figure12`] | Fig 12(a,b): turb3d interval snapshots |
+//! | [`IntervalExperiment::figure13`] | Fig 13(a,b): vortex interval snapshots |
+//! | [`CacheExperiment::headline`], [`QueueExperiment::headline`] | §5 headline reductions |
+//! | [`IntervalExperiment::adaptive_comparison`] | §6 extension: interval manager vs process level vs oracle |
+//!
+//! All result types are `serde::Serialize` so the bench binaries can emit
+//! machine-readable records alongside their tables.
+
+use crate::clock::{DynamicClock, DEFAULT_SWITCH_PENALTY_CYCLES};
+use crate::error::CapError;
+use crate::manager::{run_managed_queue, ConfidencePolicy, IntervalManager, ManagedRun};
+use crate::metrics::{BarChart, BarPair};
+use crate::structure::{AdaptiveStructure, QueueStructure};
+use cap_cache::config::Boundary;
+use cap_cache::perf::PerfParams;
+use cap_cache::sim as cache_sim;
+use cap_ooo::config::{CoreConfig, WindowSize};
+use cap_ooo::core::OooCore;
+use cap_ooo::interval::{record_intervals, PAPER_INTERVAL_INSTS};
+use cap_ooo::perf as queue_perf;
+use cap_timing::cacti::CacheTimingModel;
+use cap_timing::queue::QueueTimingModel;
+use cap_timing::Technology;
+use cap_workloads::App;
+use serde::Serialize;
+
+/// How much work each experiment simulates.
+///
+/// The paper runs 100 M references / instructions per application; the
+/// scaled tiers keep every experiment's *structure* (workloads are
+/// stationary by construction, so the curves converge quickly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExperimentScale {
+    /// CI-sized: ~60 k events per configuration.
+    Smoke,
+    /// Bench default: ~400 k events per configuration.
+    Default,
+    /// Long runs for the recorded EXPERIMENTS.md numbers.
+    Full,
+}
+
+impl ExperimentScale {
+    /// D-cache references per application per configuration.
+    pub fn cache_refs(self) -> u64 {
+        match self {
+            ExperimentScale::Smoke => 60_000,
+            ExperimentScale::Default => 400_000,
+            ExperimentScale::Full => 2_000_000,
+        }
+    }
+
+    /// Instructions per application per configuration.
+    pub fn queue_insts(self) -> u64 {
+        match self {
+            ExperimentScale::Smoke => 60_000,
+            ExperimentScale::Default => 300_000,
+            ExperimentScale::Full => 1_500_000,
+        }
+    }
+
+    /// Reads `CAP_SCALE` (`smoke` / `default` / `full`), defaulting to
+    /// `Default`.
+    pub fn from_env() -> Self {
+        match std::env::var("CAP_SCALE").as_deref() {
+            Ok("smoke") => ExperimentScale::Smoke,
+            Ok("full") => ExperimentScale::Full,
+            _ => ExperimentScale::Default,
+        }
+    }
+}
+
+/// The deterministic root seed used by all experiments unless overridden.
+pub const DEFAULT_SEED: u64 = 0x15CA_1998;
+
+// ---------------------------------------------------------------------------
+// Cache study (Figures 7, 8, 9)
+// ---------------------------------------------------------------------------
+
+/// One point of a Figure 7 curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CachePoint {
+    /// L1 capacity in KB.
+    pub l1_kb: usize,
+    /// L1 associativity.
+    pub l1_assoc: usize,
+    /// Cycle time at this boundary (ns).
+    pub cycle_ns: f64,
+    /// Average TPI (ns).
+    pub tpi_ns: f64,
+    /// Average TPImiss (ns).
+    pub tpi_miss_ns: f64,
+    /// L1 miss ratio.
+    pub l1_miss_ratio: f64,
+    /// Global (both-level) miss ratio.
+    pub global_miss_ratio: f64,
+}
+
+/// One application's Figure 7 series.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CacheCurve {
+    /// Application name.
+    pub app: String,
+    /// Whether the paper plots it in the integer panel (a).
+    pub integer_panel: bool,
+    /// TPI versus L1 size, ascending.
+    pub points: Vec<CachePoint>,
+}
+
+impl CacheCurve {
+    /// The best (lowest-TPI) point; ties break toward the faster clock.
+    pub fn best(&self) -> &CachePoint {
+        self.points
+            .iter()
+            .min_by(|a, b| a.tpi_ns.partial_cmp(&b.tpi_ns).expect("TPI is finite"))
+            .expect("curves are nonempty")
+    }
+
+    /// The point at the paper's best conventional boundary (16 KB 4-way).
+    pub fn conventional(&self) -> &CachePoint {
+        self.points
+            .iter()
+            .find(|p| p.l1_kb == Boundary::best_conventional().l1_kb())
+            .expect("the conventional boundary is part of the sweep")
+    }
+}
+
+/// Headline numbers of the cache study (paper §5.2.3).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CacheHeadline {
+    /// Average TPImiss reduction (paper: 26 %).
+    pub tpimiss_reduction: f64,
+    /// Average TPI reduction (paper: 9 %).
+    pub tpi_reduction: f64,
+    /// stereo's TPI reduction (paper: 46 %).
+    pub stereo_tpi_reduction: f64,
+    /// stereo's TPImiss reduction (paper: 65 %).
+    pub stereo_tpimiss_reduction: f64,
+    /// appcg's TPI reduction (paper: 22 %).
+    pub appcg_tpi_reduction: f64,
+    /// compress's TPImiss reduction (paper: 43 %).
+    pub compress_tpimiss_reduction: f64,
+}
+
+/// Driver for the cache study.
+#[derive(Debug, Clone)]
+pub struct CacheExperiment {
+    timing: CacheTimingModel,
+    scale: ExperimentScale,
+    seed: u64,
+}
+
+impl CacheExperiment {
+    /// Creates the driver at the paper's 0.18 µm evaluation point.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; `Result` is kept for future geometry
+    /// parameters.
+    pub fn new(scale: ExperimentScale) -> Result<Self, CapError> {
+        Ok(CacheExperiment {
+            timing: CacheTimingModel::isca98(Technology::isca98_evaluation()),
+            scale,
+            seed: DEFAULT_SEED,
+        })
+    }
+
+    /// Overrides the root seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The timing model in use.
+    pub fn timing(&self) -> &CacheTimingModel {
+        &self.timing
+    }
+
+    /// Sweeps every boundary for one application (one Figure 7 curve).
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn sweep(&self, app: App) -> Result<CacheCurve, CapError> {
+        let profile = app.memory_profile();
+        let pristine = profile.build(self.seed ^ app.seed_salt());
+        let points = cache_sim::sweep(
+            || pristine.clone(),
+            self.scale.cache_refs(),
+            Boundary::paper_sweep(),
+            &self.timing,
+            PerfParams::isca98(profile.insts_per_ref),
+        )?;
+        Ok(CacheCurve {
+            app: app.name().to_string(),
+            integer_panel: app.in_integer_panel(),
+            points: points
+                .iter()
+                .map(|p| CachePoint {
+                    l1_kb: p.boundary.l1_kb(),
+                    l1_assoc: p.boundary.l1_assoc(),
+                    cycle_ns: p.tpi.cycle.value(),
+                    tpi_ns: p.tpi.total_tpi().value(),
+                    tpi_miss_ns: p.tpi.miss_tpi.value(),
+                    l1_miss_ratio: p.stats.l1_miss_ratio(),
+                    global_miss_ratio: p.stats.global_miss_ratio(),
+                })
+                .collect(),
+        })
+    }
+
+    /// All 21 Figure 7 curves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure7(&self) -> Result<Vec<CacheCurve>, CapError> {
+        App::cache_suite().map(|a| self.sweep(a)).collect()
+    }
+
+    fn bar_chart(&self, metric: impl Fn(&CachePoint) -> f64) -> Result<BarChart, CapError> {
+        let mut bars = Vec::new();
+        for curve in self.figure7()? {
+            let best = curve.best();
+            let conv = curve.conventional();
+            bars.push(BarPair {
+                app: curve.app.clone(),
+                conventional: metric(conv),
+                adaptive: metric(best),
+                chosen: format!("L1={}KB/{}-way", best.l1_kb, best.l1_assoc),
+            });
+        }
+        Ok(BarChart { bars })
+    }
+
+    /// Figure 8: TPImiss, best conventional versus process-level adaptive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure8(&self) -> Result<BarChart, CapError> {
+        // The adaptive column fixes the *TPI-optimal* configuration per
+        // app (the paper optimizes overall TPI, which is why adaptive
+        // TPImiss is occasionally higher than conventional).
+        self.bar_chart(|p| p.tpi_miss_ns)
+    }
+
+    /// Figure 9: TPI, best conventional versus process-level adaptive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure9(&self) -> Result<BarChart, CapError> {
+        self.bar_chart(|p| p.tpi_ns)
+    }
+
+    /// The §5.2.3 headline numbers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn headline(&self) -> Result<CacheHeadline, CapError> {
+        let f8 = self.figure8()?;
+        let f9 = self.figure9()?;
+        let get = |c: &BarChart, app: &str| c.bar(app).map(|b| b.reduction()).unwrap_or(0.0);
+        Ok(CacheHeadline {
+            tpimiss_reduction: f8.average_reduction(),
+            tpi_reduction: f9.average_reduction(),
+            stereo_tpi_reduction: get(&f9, "stereo"),
+            stereo_tpimiss_reduction: get(&f8, "stereo"),
+            appcg_tpi_reduction: get(&f9, "appcg"),
+            compress_tpimiss_reduction: get(&f8, "compress"),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue study (Figures 10, 11)
+// ---------------------------------------------------------------------------
+
+/// One point of a Figure 10 curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct QueuePoint {
+    /// Window entries.
+    pub entries: usize,
+    /// Cycle time at this window size (ns).
+    pub cycle_ns: f64,
+    /// Measured IPC.
+    pub ipc: f64,
+    /// Average TPI (ns).
+    pub tpi_ns: f64,
+}
+
+/// One application's Figure 10 series.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QueueCurve {
+    /// Application name.
+    pub app: String,
+    /// Whether the paper plots it in the integer panel (a).
+    pub integer_panel: bool,
+    /// TPI versus window size, ascending.
+    pub points: Vec<QueuePoint>,
+}
+
+impl QueueCurve {
+    /// The best (lowest-TPI) point.
+    pub fn best(&self) -> &QueuePoint {
+        self.points
+            .iter()
+            .min_by(|a, b| a.tpi_ns.partial_cmp(&b.tpi_ns).expect("TPI is finite"))
+            .expect("curves are nonempty")
+    }
+
+    /// The point at the paper's best conventional window (64 entries).
+    pub fn conventional(&self) -> &QueuePoint {
+        self.points
+            .iter()
+            .find(|p| p.entries == WindowSize::best_conventional().entries())
+            .expect("the conventional window is part of the sweep")
+    }
+}
+
+/// Headline numbers of the queue study (paper §5.3).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QueueHeadline {
+    /// Average TPI reduction (paper: 7 %).
+    pub tpi_reduction: f64,
+    /// appcg's TPI reduction (paper: 28 %).
+    pub appcg_tpi_reduction: f64,
+    /// fpppp's TPI reduction (paper: 21 %).
+    pub fpppp_tpi_reduction: f64,
+    /// radar's TPI reduction (paper: 10 %).
+    pub radar_tpi_reduction: f64,
+    /// compress's TPI reduction (paper: 8 %).
+    pub compress_tpi_reduction: f64,
+}
+
+/// Driver for the instruction-queue study.
+#[derive(Debug, Clone)]
+pub struct QueueExperiment {
+    timing: QueueTimingModel,
+    scale: ExperimentScale,
+    seed: u64,
+}
+
+impl QueueExperiment {
+    /// Creates the driver at the paper's 0.18 µm evaluation point.
+    pub fn new(scale: ExperimentScale) -> Self {
+        QueueExperiment {
+            timing: QueueTimingModel::new(Technology::isca98_evaluation()),
+            scale,
+            seed: DEFAULT_SEED,
+        }
+    }
+
+    /// Overrides the root seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The timing model in use.
+    pub fn timing(&self) -> &QueueTimingModel {
+        &self.timing
+    }
+
+    /// Sweeps every window size for one application (one Figure 10
+    /// curve).
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn sweep(&self, app: App) -> Result<QueueCurve, CapError> {
+        let profile = app.ilp_profile();
+        let points = queue_perf::sweep(
+            || profile.build(self.seed ^ app.seed_salt()),
+            self.scale.queue_insts(),
+            WindowSize::paper_sweep(),
+            &self.timing,
+        )?;
+        Ok(QueueCurve {
+            app: app.name().to_string(),
+            integer_panel: app.in_integer_panel(),
+            points: points
+                .iter()
+                .map(|p| QueuePoint {
+                    entries: p.window.entries(),
+                    cycle_ns: p.cycle.value(),
+                    ipc: p.stats.ipc(),
+                    tpi_ns: p.tpi.value(),
+                })
+                .collect(),
+        })
+    }
+
+    /// All 22 Figure 10 curves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure10(&self) -> Result<Vec<QueueCurve>, CapError> {
+        App::queue_suite().map(|a| self.sweep(a)).collect()
+    }
+
+    /// Figure 11: TPI, best conventional (64-entry) versus process-level
+    /// adaptive.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure11(&self) -> Result<BarChart, CapError> {
+        let mut bars = Vec::new();
+        for curve in self.figure10()? {
+            let best = curve.best();
+            let conv = curve.conventional();
+            bars.push(BarPair {
+                app: curve.app.clone(),
+                conventional: conv.tpi_ns,
+                adaptive: best.tpi_ns,
+                chosen: format!("{}-entry", best.entries),
+            });
+        }
+        Ok(BarChart { bars })
+    }
+
+    /// The §5.3 headline numbers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn headline(&self) -> Result<QueueHeadline, CapError> {
+        let f11 = self.figure11()?;
+        let get = |app: &str| f11.bar(app).map(|b| b.reduction()).unwrap_or(0.0);
+        Ok(QueueHeadline {
+            tpi_reduction: f11.average_reduction(),
+            appcg_tpi_reduction: get("appcg"),
+            fpppp_tpi_reduction: get("fpppp"),
+            radar_tpi_reduction: get("radar"),
+            compress_tpi_reduction: get("compress"),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Section 6: interval snapshots (Figures 12, 13) and the adaptive manager
+// ---------------------------------------------------------------------------
+
+/// One interval of a two-configuration snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SnapshotPoint {
+    /// Interval index (2000-instruction intervals from run start).
+    pub interval: u64,
+    /// TPI of the smaller configuration (ns).
+    pub tpi_small: f64,
+    /// TPI of the larger configuration (ns).
+    pub tpi_large: f64,
+}
+
+/// A Figure 12/13-style pair of execution snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct IntervalFigure {
+    /// Application name.
+    pub app: String,
+    /// Label of the smaller configuration (e.g. `"64 entries"`).
+    pub small_label: String,
+    /// Label of the larger configuration.
+    pub large_label: String,
+    /// Snapshot (a).
+    pub snapshot_a: Vec<SnapshotPoint>,
+    /// Snapshot (b).
+    pub snapshot_b: Vec<SnapshotPoint>,
+}
+
+impl IntervalFigure {
+    /// The per-interval winner sequence of a snapshot (0 = the smaller
+    /// configuration, 1 = the larger) — the input to the Section 6
+    /// pattern predictor.
+    pub fn winners(points: &[SnapshotPoint]) -> Vec<usize> {
+        points.iter().map(|p| usize::from(p.tpi_small >= p.tpi_large)).collect()
+    }
+
+    /// Evaluates the Section 6 pattern predictor on both snapshots: on
+    /// the regular snapshot it should achieve high coverage and accuracy,
+    /// on the irregular one the confidence threshold should make it
+    /// abstain (paper: "a confidence level should be assigned to
+    /// predictions to avoid unnecessary reconfiguration overhead").
+    pub fn pattern_predictability(&self, min_confidence: f64) -> (crate::pattern::PatternEvaluation, crate::pattern::PatternEvaluation) {
+        let a = crate::pattern::PatternPredictor::evaluate(&Self::winners(&self.snapshot_a), 64, min_confidence);
+        let b = crate::pattern::PatternPredictor::evaluate(&Self::winners(&self.snapshot_b), 64, min_confidence);
+        (a, b)
+    }
+
+    fn wins(points: &[SnapshotPoint]) -> (usize, usize) {
+        let small = points.iter().filter(|p| p.tpi_small < p.tpi_large).count();
+        (small, points.len() - small)
+    }
+
+    /// `(small_wins, large_wins)` over snapshot (a).
+    pub fn snapshot_a_wins(&self) -> (usize, usize) {
+        Self::wins(&self.snapshot_a)
+    }
+
+    /// `(small_wins, large_wins)` over snapshot (b).
+    pub fn snapshot_b_wins(&self) -> (usize, usize) {
+        Self::wins(&self.snapshot_b)
+    }
+}
+
+/// §6 extension result: the interval-adaptive manager versus the
+/// process-level choice and the per-interval oracle.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AdaptiveComparison {
+    /// Application name.
+    pub app: String,
+    /// Average TPI of the best fixed configuration (process level), ns.
+    pub process_level_tpi: f64,
+    /// Average TPI under the interval manager, ns.
+    pub managed_tpi: f64,
+    /// Average TPI of the per-interval oracle envelope (switching free
+    /// and prescient), ns.
+    pub oracle_tpi: f64,
+    /// Reconfigurations the manager performed.
+    pub switches: u64,
+    /// Intervals simulated.
+    pub intervals: u64,
+}
+
+/// Driver for the Section 6 experiments.
+#[derive(Debug, Clone)]
+pub struct IntervalExperiment {
+    timing: QueueTimingModel,
+    seed: u64,
+}
+
+impl IntervalExperiment {
+    /// Creates the driver at the paper's 0.18 µm evaluation point.
+    pub fn new() -> Self {
+        IntervalExperiment { timing: QueueTimingModel::new(Technology::isca98_evaluation()), seed: DEFAULT_SEED }
+    }
+
+    /// Overrides the root seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Per-interval TPI of one application under a fixed window size.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn interval_series(&self, app: App, window: usize, intervals: u64) -> Result<Vec<f64>, CapError> {
+        let cycle = self.timing.cycle_time(window)?;
+        let mut core = OooCore::new(CoreConfig::isca98(window)?);
+        let mut stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
+        let samples = record_intervals(&mut core, &mut stream, intervals, PAPER_INTERVAL_INSTS);
+        Ok(samples.iter().map(|s| s.tpi(cycle).value()).collect())
+    }
+
+    fn snapshot(
+        &self,
+        app: App,
+        small: usize,
+        large: usize,
+        range_a: std::ops::Range<u64>,
+        range_b: std::ops::Range<u64>,
+    ) -> Result<IntervalFigure, CapError> {
+        let total = range_a.end.max(range_b.end);
+        let s = self.interval_series(app, small, total)?;
+        let l = self.interval_series(app, large, total)?;
+        let slice = |r: std::ops::Range<u64>| {
+            (r.start..r.end)
+                .map(|i| SnapshotPoint {
+                    interval: i,
+                    tpi_small: s[i as usize],
+                    tpi_large: l[i as usize],
+                })
+                .collect()
+        };
+        Ok(IntervalFigure {
+            app: app.name().to_string(),
+            small_label: format!("{small} entries"),
+            large_label: format!("{large} entries"),
+            snapshot_a: slice(range_a),
+            snapshot_b: slice(range_b),
+        })
+    }
+
+    /// Intra-application ILP variation at a fixed 128-entry window:
+    /// `(min, max, max/min)` of the per-interval IPC.
+    ///
+    /// The paper's introduction motivates CAPs with Wall's observation
+    /// that "the amount of ILP within an individual application varied
+    /// during execution by up to a factor of three"; this measures the
+    /// same quantity on the synthetic workloads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn ilp_variation(&self, app: App, intervals: u64) -> Result<(f64, f64, f64), CapError> {
+        let mut core = OooCore::new(CoreConfig::isca98(128)?);
+        let mut stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
+        let samples = record_intervals(&mut core, &mut stream, intervals, PAPER_INTERVAL_INSTS);
+        let ipcs: Vec<f64> = samples.iter().map(|s| s.insts as f64 / s.cycles as f64).collect();
+        let min = ipcs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = ipcs.iter().cloned().fold(0.0f64, f64::max);
+        Ok((min, max, max / min))
+    }
+
+    /// Figure 12: turb3d under 64- and 128-entry windows. Snapshot (a)
+    /// falls in a 64-preferring phase, snapshot (b) in a 128-preferring
+    /// phase.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure12(&self) -> Result<IntervalFigure, CapError> {
+        // Phases are 760k + 440k instructions = 380 + 220 intervals.
+        self.snapshot(App::Turb3d, 64, 128, 60..260, 420..540)
+    }
+
+    /// Figure 13: vortex under 16- and 64-entry windows. Snapshot (a)
+    /// covers the regular ~15-interval alternation; snapshot (b) covers
+    /// the irregular micro-phase stretch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure13(&self) -> Result<IntervalFigure, CapError> {
+        // Regular region: the first 3 alternations (90 intervals).
+        // Irregular region: the micro-phase tail at 180k..220k
+        // instructions = intervals 90..110.
+        self.snapshot(App::Vortex, 16, 64, 0..90, 90..110)
+    }
+
+    /// Runs the §6 interval-adaptive manager on an application and
+    /// compares it with the process-level choice and the per-interval
+    /// oracle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn adaptive_comparison(
+        &self,
+        app: App,
+        intervals: u64,
+        policy: ConfidencePolicy,
+        explore_period: u64,
+    ) -> Result<AdaptiveComparison, CapError> {
+        // Fixed runs at every configuration (for process level + oracle).
+        let sizes: Vec<usize> = WindowSize::paper_sweep().map(|w| w.entries()).collect();
+        let mut series = Vec::new();
+        for &w in &sizes {
+            series.push(self.interval_series(app, w, intervals)?);
+        }
+        let totals: Vec<f64> = series.iter().map(|s| s.iter().sum::<f64>()).collect();
+        let process_level = totals.iter().cloned().fold(f64::INFINITY, f64::min) / intervals as f64;
+        let oracle = (0..intervals as usize)
+            .map(|i| series.iter().map(|s| s[i]).fold(f64::INFINITY, f64::min))
+            .sum::<f64>()
+            / intervals as f64;
+
+        // Managed run.
+        let mut structure = QueueStructure::isca98(self.timing, 0)?;
+        let table = structure.period_table()?;
+        let mut clock = DynamicClock::new(table, DEFAULT_SWITCH_PENALTY_CYCLES)?;
+        let mut manager = IntervalManager::new(structure.num_configs(), explore_period, policy)?;
+        let mut stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
+        let run: ManagedRun = run_managed_queue(
+            &mut structure,
+            &mut stream,
+            &mut manager,
+            &mut clock,
+            intervals,
+            PAPER_INTERVAL_INSTS,
+        )?;
+
+        Ok(AdaptiveComparison {
+            app: app.name().to_string(),
+            process_level_tpi: process_level,
+            managed_tpi: run.average_tpi().value(),
+            oracle_tpi: oracle,
+            switches: run.switches,
+            intervals,
+        })
+    }
+}
+
+impl Default for IntervalExperiment {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_tiers_are_ordered() {
+        assert!(ExperimentScale::Smoke.cache_refs() < ExperimentScale::Default.cache_refs());
+        assert!(ExperimentScale::Default.queue_insts() < ExperimentScale::Full.queue_insts());
+    }
+
+    #[test]
+    fn cache_sweep_structure() {
+        let exp = CacheExperiment::new(ExperimentScale::Smoke).unwrap();
+        let curve = exp.sweep(App::Stereo).unwrap();
+        assert_eq!(curve.points.len(), 8);
+        assert_eq!(curve.points[0].l1_kb, 8);
+        assert_eq!(curve.points[7].l1_kb, 64);
+        assert!(!curve.integer_panel);
+        assert!(curve.best().tpi_ns <= curve.conventional().tpi_ns);
+    }
+
+    #[test]
+    fn queue_sweep_structure() {
+        let exp = QueueExperiment::new(ExperimentScale::Smoke);
+        let curve = exp.sweep(App::Appcg).unwrap();
+        assert_eq!(curve.points.len(), 8);
+        assert_eq!(curve.best().entries, 16);
+        assert!(curve.best().tpi_ns < curve.conventional().tpi_ns);
+    }
+
+    #[test]
+    fn experiments_are_seed_deterministic() {
+        let a = QueueExperiment::new(ExperimentScale::Smoke).sweep(App::Gcc).unwrap();
+        let b = QueueExperiment::new(ExperimentScale::Smoke).sweep(App::Gcc).unwrap();
+        assert_eq!(a, b);
+        let c = QueueExperiment::new(ExperimentScale::Smoke).with_seed(1).sweep(App::Gcc).unwrap();
+        assert_ne!(a, c, "a different seed gives a different trace");
+    }
+
+    #[test]
+    fn figure12_snapshots_disagree() {
+        let exp = IntervalExperiment::new();
+        let fig = exp.figure12().unwrap();
+        let (a_small, a_large) = fig.snapshot_a_wins();
+        let (b_small, b_large) = fig.snapshot_b_wins();
+        // Snapshot (a): the 64-entry configuration dominates; snapshot
+        // (b): the 128-entry configuration dominates.
+        assert!(a_small > a_large * 3, "snapshot a: {a_small} vs {a_large}");
+        assert!(b_large > b_small * 3, "snapshot b: {b_small} vs {b_large}");
+    }
+
+    #[test]
+    fn figure13_alternates_then_muddles() {
+        let exp = IntervalExperiment::new();
+        let fig = exp.figure13().unwrap();
+        let (a_small, a_large) = fig.snapshot_a_wins();
+        // The regular region alternates: both configurations win
+        // substantial stretches.
+        assert!(a_small >= 15 && a_large >= 15, "snapshot a: {a_small} vs {a_large}");
+        // And preference flips happen in long runs, not noise: count
+        // switches of the winner.
+        let winners: Vec<bool> = fig.snapshot_a.iter().map(|p| p.tpi_small < p.tpi_large).collect();
+        let flips = winners.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!((2..=20).contains(&flips), "flips {flips}");
+    }
+
+    #[test]
+    fn ilp_varies_within_phased_apps() {
+        // Wall (cited in the paper's introduction): ILP varies within an
+        // application by up to 3x. Our phased apps show it; stationary
+        // low-ILP apps do not.
+        let exp = IntervalExperiment::new();
+        let (_, _, turb) = exp.ilp_variation(App::Turb3d, 500).unwrap();
+        assert!(turb > 1.1, "turb3d ILP variation {turb}");
+        let (_, _, vortex) = exp.ilp_variation(App::Vortex, 100).unwrap();
+        assert!(vortex > 2.0, "vortex ILP variation {vortex}");
+        let (_, _, appcg) = exp.ilp_variation(App::Appcg, 100).unwrap();
+        assert!(appcg < 1.5, "appcg is stationary, got {appcg}");
+    }
+
+    #[test]
+    fn serializable_results() {
+        let exp = QueueExperiment::new(ExperimentScale::Smoke);
+        let curve = exp.sweep(App::Radar).unwrap();
+        let json = serde_json::to_string(&curve).unwrap();
+        assert!(json.contains("radar"));
+    }
+}

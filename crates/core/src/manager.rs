@@ -1,0 +1,665 @@
+//! Configuration management (paper §4 and §6).
+//!
+//! The paper evaluates a **process-level** scheme — one configuration per
+//! application, chosen by an oracle sweep (implemented in
+//! [`crate::experiments`]) — and sketches the finer-grained scheme its
+//! Section 6 motivates: *"adaptive control hardware may read the
+//! performance monitoring hardware at regular intervals at runtime,
+//! analyze the performance information, predict the configuration which
+//! will perform best over the next interval ..., and switch
+//! configurations as appropriate"*, with a **confidence level assigned to
+//! each prediction ... to avoid needless reconfiguration overhead"*.
+//!
+//! [`IntervalManager`] implements that sketch:
+//!
+//! 1. an initial **exploration** round samples every configuration for
+//!    one interval to seed TPI estimates;
+//! 2. each interval, the current configuration's estimate is updated with
+//!    an exponentially weighted moving average (the "performance
+//!    monitoring hardware");
+//! 3. periodically, the best *other* configuration is re-sampled for one
+//!    interval so stale estimates can track phase changes;
+//! 4. the **predictor** proposes the configuration with the lowest
+//!    estimate; a switch is issued only after the prediction has beaten
+//!    the current configuration by at least
+//!    [`ConfidencePolicy::hysteresis`] for
+//!    [`ConfidencePolicy::threshold`] consecutive intervals.
+//!
+//! [`run_managed_queue`] drives a [`QueueStructure`] under any manager,
+//! charging reconfigurations with the dynamic clock's switch penalty and
+//! the slower period during transition intervals.
+
+use crate::clock::DynamicClock;
+use crate::error::CapError;
+use crate::structure::{AdaptiveStructure, QueueStructure};
+use cap_ooo::interval::IntervalSample;
+use cap_timing::units::Ns;
+use cap_trace::inst::InstStream;
+
+/// The manager's verdict for the next interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ManagerDecision {
+    /// Keep the current configuration.
+    Stay,
+    /// Reconfigure to the given configuration index.
+    SwitchTo(usize),
+}
+
+/// Confidence gating for the next-configuration predictor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidencePolicy {
+    /// Consecutive intervals a prediction must win before a switch.
+    pub threshold: u32,
+    /// Minimum fractional TPI gain (e.g. 0.03 = 3 %) a prediction must
+    /// promise; smaller gains never build confidence.
+    pub hysteresis: f64,
+}
+
+impl ConfidencePolicy {
+    /// A reasonable default: two consecutive wins of at least 3 %.
+    pub fn default_policy() -> Self {
+        ConfidencePolicy { threshold: 2, hysteresis: 0.03 }
+    }
+
+    /// No gating at all: switch to the predicted best immediately. Used
+    /// by the ablation benches to demonstrate reconfiguration thrash on
+    /// irregular phases (the paper's Figure 13b caution).
+    pub fn none() -> Self {
+        ConfidencePolicy { threshold: 0, hysteresis: 0.0 }
+    }
+}
+
+impl Default for ConfidencePolicy {
+    fn default() -> Self {
+        Self::default_policy()
+    }
+}
+
+/// The Section 6 interval-based configuration manager.
+#[derive(Debug, Clone)]
+pub struct IntervalManager {
+    estimates: Vec<Option<f64>>,
+    alpha: f64,
+    explore_period: u64,
+    intervals_seen: u64,
+    confidence: u32,
+    predicted: Option<usize>,
+    policy: ConfidencePolicy,
+    /// When sampling, where the manager should return afterwards.
+    sampling_home: Option<usize>,
+    /// Optional proactive phase predictor over per-interval winners.
+    pattern: Option<crate::pattern::PatternPredictor>,
+    /// Confidence a pattern prediction needs before pre-switching.
+    pattern_min_confidence: f64,
+}
+
+impl IntervalManager {
+    /// Creates a manager over `num_configs` configurations.
+    ///
+    /// `explore_period` is the number of intervals between re-samples of
+    /// the best non-current configuration (0 disables re-exploration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::InvalidParameter`] if `num_configs` is zero or
+    /// the policy's hysteresis is negative or not finite.
+    pub fn new(num_configs: usize, explore_period: u64, policy: ConfidencePolicy) -> Result<Self, CapError> {
+        if num_configs == 0 {
+            return Err(CapError::InvalidParameter { what: "manager needs at least one configuration" });
+        }
+        if !policy.hysteresis.is_finite() || policy.hysteresis < 0.0 {
+            return Err(CapError::InvalidParameter { what: "hysteresis must be non-negative and finite" });
+        }
+        Ok(IntervalManager {
+            estimates: vec![None; num_configs],
+            alpha: 0.5,
+            explore_period,
+            intervals_seen: 0,
+            confidence: 0,
+            predicted: None,
+            policy,
+            sampling_home: None,
+            pattern: None,
+            pattern_min_confidence: 0.85,
+        })
+    }
+
+    /// Enables proactive phase prediction (paper §6: "regular patterns
+    /// can potentially be detected and exploited by a dynamic hardware
+    /// predictor"). Each interval's estimated-best configuration feeds a
+    /// [`crate::pattern::PatternPredictor`]; when it detects a periodic
+    /// pattern with at least `min_confidence`, the manager switches to
+    /// the predicted next winner *before* the reactive path would.
+    pub fn with_pattern_detection(mut self, history: usize, min_confidence: f64) -> Self {
+        self.pattern = Some(crate::pattern::PatternPredictor::new(history));
+        self.pattern_min_confidence = min_confidence.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Current TPI estimates (ns), `None` where never sampled.
+    pub fn estimates(&self) -> &[Option<f64>] {
+        &self.estimates
+    }
+
+    /// The configuration the predictor currently favours, if any.
+    pub fn predicted_best(&self) -> Option<usize> {
+        self.predicted
+    }
+
+    fn best_estimate(&self) -> Option<usize> {
+        self.estimates
+            .iter()
+            .enumerate()
+            .filter_map(|(i, e)| e.map(|v| (i, v)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("estimates are finite"))
+            .map(|(i, _)| i)
+    }
+
+    /// Feeds the interval just finished (which ran at `config` with the
+    /// given TPI) and returns the decision for the next interval.
+    pub fn observe(&mut self, config: usize, tpi_ns: f64) -> ManagerDecision {
+        debug_assert!(config < self.estimates.len());
+        debug_assert!(tpi_ns.is_finite() && tpi_ns > 0.0);
+        self.intervals_seen += 1;
+        self.estimates[config] = Some(match self.estimates[config] {
+            Some(prev) => prev + self.alpha * (tpi_ns - prev),
+            None => tpi_ns,
+        });
+
+        // Phase 1: exploration — visit every configuration once.
+        if let Some(unseen) = self.estimates.iter().position(Option::is_none) {
+            return ManagerDecision::SwitchTo(unseen);
+        }
+
+        // Returning from a one-interval re-sample: go home (unless the
+        // sample itself now looks best; the predictor below handles it).
+        let home = self.sampling_home.take();
+
+        let best = self.best_estimate().expect("all configurations sampled");
+        let anchor = home.unwrap_or(config);
+
+        // Proactive phase prediction: feed the estimated winner of the
+        // finished interval, and pre-switch when a confident periodic
+        // pattern names a different configuration for the next one.
+        if let Some(p) = self.pattern.as_mut() {
+            p.record(best);
+            if let Some(pred) = p.predict() {
+                if pred.confidence >= self.pattern_min_confidence && pred.config != anchor && home.is_none() {
+                    self.confidence = 0;
+                    self.predicted = None;
+                    return ManagerDecision::SwitchTo(pred.config);
+                }
+            }
+        }
+
+        // Phase 3: periodic re-exploration of the best non-current
+        // estimate, so it can't go stale.
+        if self.explore_period > 0 && self.intervals_seen.is_multiple_of(self.explore_period) && home.is_none() {
+            let runner_up = self
+                .estimates
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != config)
+                .filter_map(|(i, e)| e.map(|v| (i, v)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("estimates are finite"))
+                .map(|(i, _)| i);
+            if let Some(r) = runner_up {
+                self.sampling_home = Some(config);
+                return ManagerDecision::SwitchTo(r);
+            }
+        }
+
+        // Phase 4: prediction with confidence.
+        let cur_est = self.estimates[anchor].expect("anchor was sampled");
+        let best_est = self.estimates[best].expect("best was sampled");
+        let wins = best != anchor && best_est < cur_est * (1.0 - self.policy.hysteresis);
+        if wins {
+            if self.predicted == Some(best) {
+                self.confidence = self.confidence.saturating_add(1);
+            } else {
+                self.predicted = Some(best);
+                self.confidence = 1;
+            }
+        } else {
+            self.predicted = None;
+            self.confidence = 0;
+        }
+
+        if wins && self.confidence > self.policy.threshold {
+            self.confidence = 0;
+            self.predicted = None;
+            ManagerDecision::SwitchTo(best)
+        } else if let Some(h) = home {
+            if h == config {
+                ManagerDecision::Stay
+            } else {
+                ManagerDecision::SwitchTo(h)
+            }
+        } else {
+            ManagerDecision::Stay
+        }
+    }
+}
+
+/// One interval of a managed run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ManagedInterval {
+    /// Configuration index the interval ran at.
+    pub config: usize,
+    /// The recorded cycles/instructions.
+    pub sample: IntervalSample,
+    /// The clock period charged for the interval.
+    pub period: Ns,
+}
+
+impl ManagedInterval {
+    /// The interval's TPI.
+    pub fn tpi(&self) -> Ns {
+        self.sample.tpi(self.period)
+    }
+}
+
+/// Outcome of a managed run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManagedRun {
+    /// Per-interval records.
+    pub intervals: Vec<ManagedInterval>,
+    /// Number of reconfigurations performed.
+    pub switches: u64,
+    /// Wall-clock time lost to clock switching.
+    pub switch_penalty: Ns,
+}
+
+impl ManagedRun {
+    /// Total wall-clock time including switch penalties.
+    pub fn total_time(&self) -> Ns {
+        self.intervals.iter().map(|i| i.period * i.sample.cycles as f64).sum::<Ns>() + self.switch_penalty
+    }
+
+    /// Total instructions committed.
+    pub fn instructions(&self) -> u64 {
+        self.intervals.iter().map(|i| i.sample.insts).sum()
+    }
+
+    /// Average TPI over the run (switch penalties included).
+    pub fn average_tpi(&self) -> Ns {
+        let insts = self.instructions();
+        if insts == 0 {
+            Ns(0.0)
+        } else {
+            self.total_time() / insts as f64
+        }
+    }
+}
+
+/// Runs an instruction stream on a managed queue structure for
+/// `intervals` intervals of `interval_len` committed instructions,
+/// letting `manager` pick configurations between intervals.
+///
+/// Transition intervals are charged at the slower of the two periods
+/// (the new clock cannot start faster before the old domain drains), and
+/// every switch costs the clock's penalty.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the structure or clock.
+pub fn run_managed_queue<S: InstStream>(
+    structure: &mut QueueStructure,
+    stream: &mut S,
+    manager: &mut IntervalManager,
+    clock: &mut DynamicClock,
+    intervals: u64,
+    interval_len: u64,
+) -> Result<ManagedRun, CapError> {
+    if interval_len == 0 {
+        return Err(CapError::InvalidParameter { what: "interval length must be positive" });
+    }
+    let mut out = ManagedRun { intervals: Vec::with_capacity(intervals as usize), switches: 0, switch_penalty: Ns(0.0) };
+    let mut transition_period: Option<Ns> = None;
+    for _ in 0..intervals {
+        let config = structure.current();
+        let period = transition_period.take().unwrap_or(clock.period());
+        let samples = {
+            let core = structure.core_mut();
+            cap_ooo::interval::record_intervals(core, stream, 1, interval_len)
+        };
+        let sample = samples[0];
+        let record = ManagedInterval { config, sample, period };
+        let tpi = record.tpi();
+        out.intervals.push(record);
+
+        match manager.observe(config, tpi.value()) {
+            ManagerDecision::Stay => {}
+            ManagerDecision::SwitchTo(next) if next == config => {}
+            ManagerDecision::SwitchTo(next) => {
+                let old_period = clock.period();
+                structure.reconfigure(next)?;
+                let penalty = clock.select(next)?;
+                out.switch_penalty += penalty;
+                out.switches += 1;
+                transition_period = Some(old_period.max(clock.period()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Runs a reference stream on a managed cache structure for `intervals`
+/// intervals of `refs_per_interval` D-cache references, letting `manager`
+/// pick boundaries between intervals.
+///
+/// The cache-side analogue of [`run_managed_queue`], with one structural
+/// difference straight from the paper: moving the L1/L2 boundary needs no
+/// drain (contents are preserved), so only the dynamic clock's switch
+/// penalty is charged. Interval cycle counts follow the §5.1 blocking
+/// model: `insts / base_ipc` base cycles plus per-miss stalls at the
+/// current boundary's latencies.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the structure or clock.
+pub fn run_managed_cache<S: cap_trace::mem::AddressStream>(
+    structure: &mut crate::structure::CacheStructure,
+    stream: &mut S,
+    manager: &mut IntervalManager,
+    clock: &mut DynamicClock,
+    intervals: u64,
+    refs_per_interval: u64,
+    insts_per_ref: f64,
+) -> Result<ManagedRun, CapError> {
+    use cap_cache::perf::{evaluate, PerfParams};
+
+    if refs_per_interval == 0 {
+        return Err(CapError::InvalidParameter { what: "interval length must be positive" });
+    }
+    let params = PerfParams::isca98(insts_per_ref);
+    let mut out = ManagedRun { intervals: Vec::with_capacity(intervals as usize), switches: 0, switch_penalty: Ns(0.0) };
+    let mut transition_period: Option<Ns> = None;
+    for index in 0..intervals {
+        let config = structure.current();
+        let boundary = structure.boundary_at(config)?;
+        let period = transition_period.take().unwrap_or(clock.period());
+        let timing = *structure.timing();
+        let stats = {
+            let cache = structure.cache_mut();
+            cap_cache::sim::run(&mut *stream, refs_per_interval, cache)
+        };
+        let tpi = evaluate(&stats, boundary, &timing, params)?;
+        // Express the interval as (cycles, insts) at the charged period.
+        let insts = (stats.refs as f64 * insts_per_ref).round() as u64;
+        let cycles = (tpi.total_tpi().value() * insts as f64 / tpi.cycle.value()).round() as u64;
+        let sample = cap_ooo::interval::IntervalSample { index, cycles, insts };
+        let record = ManagedInterval { config, sample, period };
+        let observed = record.tpi();
+        out.intervals.push(record);
+
+        match manager.observe(config, observed.value()) {
+            ManagerDecision::Stay => {}
+            ManagerDecision::SwitchTo(next) if next == config => {}
+            ManagerDecision::SwitchTo(next) => {
+                let old_period = clock.period();
+                structure.reconfigure(next)?;
+                let penalty = clock.select(next)?;
+                out.switch_penalty += penalty;
+                out.switches += 1;
+                transition_period = Some(old_period.max(clock.period()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manager(n: usize, policy: ConfidencePolicy) -> IntervalManager {
+        IntervalManager::new(n, 0, policy).unwrap()
+    }
+
+    #[test]
+    fn explores_every_configuration_first() {
+        let mut m = manager(3, ConfidencePolicy::default_policy());
+        assert_eq!(m.observe(0, 1.0), ManagerDecision::SwitchTo(1));
+        assert_eq!(m.observe(1, 2.0), ManagerDecision::SwitchTo(2));
+        // After the last unseen configuration reports, prediction begins.
+        let d = m.observe(2, 3.0);
+        // Config 0 is best (1.0 < 3.0 by far) but confidence must build.
+        assert_eq!(d, ManagerDecision::Stay);
+    }
+
+    #[test]
+    fn confidence_gates_switching() {
+        let mut m = manager(2, ConfidencePolicy { threshold: 2, hysteresis: 0.03 });
+        let _ = m.observe(0, 5.0);
+        let _ = m.observe(1, 1.0); // exploration done; now at config 1... pretend we stayed at 0
+        // Feed intervals at config 0 that keep losing to config 1.
+        assert_eq!(m.observe(0, 5.0), ManagerDecision::Stay, "confidence 2 of 3");
+        assert_eq!(m.observe(0, 5.0), ManagerDecision::Stay);
+        assert_eq!(m.observe(0, 5.0), ManagerDecision::SwitchTo(1));
+    }
+
+    #[test]
+    fn no_confidence_switches_immediately() {
+        let mut m = manager(2, ConfidencePolicy::none());
+        let _ = m.observe(0, 5.0);
+        let _ = m.observe(1, 1.0);
+        assert_eq!(m.observe(0, 5.0), ManagerDecision::SwitchTo(1));
+    }
+
+    #[test]
+    fn hysteresis_ignores_marginal_gains() {
+        let mut m = manager(2, ConfidencePolicy { threshold: 0, hysteresis: 0.10 });
+        let _ = m.observe(0, 1.0);
+        let _ = m.observe(1, 0.95); // only 5 % better: below hysteresis
+        assert_eq!(m.observe(1, 0.95), ManagerDecision::Stay);
+        assert_eq!(m.predicted_best(), None);
+    }
+
+    #[test]
+    fn estimates_track_with_ewma() {
+        let mut m = manager(1, ConfidencePolicy::none());
+        let _ = m.observe(0, 1.0);
+        let _ = m.observe(0, 3.0);
+        let e = m.estimates()[0].unwrap();
+        assert!((e - 2.0).abs() < 1e-12, "alpha 0.5: got {e}");
+    }
+
+    #[test]
+    fn re_exploration_samples_and_returns() {
+        let mut m = IntervalManager::new(2, 3, ConfidencePolicy { threshold: 10, hysteresis: 0.0 }).unwrap();
+        let _ = m.observe(0, 1.0);
+        let _ = m.observe(1, 5.0); // exploration done (at config 1 now)
+        // Make config 0 current and clearly best so no switch fires (high
+        // threshold); on the 3rd/6th/... interval it samples config 1.
+        let mut sampled = false;
+        let mut cfg = 0;
+        for _ in 0..8 {
+            match m.observe(cfg, if cfg == 0 { 1.0 } else { 5.0 }) {
+                ManagerDecision::SwitchTo(c) => {
+                    if cfg == 0 && c == 1 {
+                        sampled = true;
+                    }
+                    cfg = c;
+                }
+                ManagerDecision::Stay => {}
+            }
+        }
+        assert!(sampled, "re-exploration should sample the runner-up");
+        assert_eq!(cfg, 0, "and return home afterwards");
+    }
+
+    #[test]
+    fn rejects_invalid_construction() {
+        assert!(IntervalManager::new(0, 0, ConfidencePolicy::default_policy()).is_err());
+        assert!(IntervalManager::new(2, 0, ConfidencePolicy { threshold: 1, hysteresis: -1.0 }).is_err());
+        assert!(IntervalManager::new(2, 0, ConfidencePolicy { threshold: 1, hysteresis: f64::NAN }).is_err());
+    }
+
+    #[test]
+    fn managed_run_accounting() {
+        let run = ManagedRun {
+            intervals: vec![
+                ManagedInterval {
+                    config: 0,
+                    sample: IntervalSample { index: 0, cycles: 1000, insts: 2000 },
+                    period: Ns(0.5),
+                },
+                ManagedInterval {
+                    config: 1,
+                    sample: IntervalSample { index: 1, cycles: 500, insts: 2000 },
+                    period: Ns(1.0),
+                },
+            ],
+            switches: 1,
+            switch_penalty: Ns(30.0),
+        };
+        assert_eq!(run.instructions(), 4000);
+        assert!((run.total_time().value() - 1030.0).abs() < 1e-9);
+        assert!((run.average_tpi().value() - 1030.0 / 4000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn managed_queue_run_end_to_end() {
+        use crate::structure::QueueStructure;
+        use cap_timing::queue::QueueTimingModel;
+        use cap_trace::inst::{IlpParams, SegmentIlp};
+
+        let timing = QueueTimingModel::default();
+        let mut structure = QueueStructure::isca98(timing, 0).unwrap();
+        let table = structure.period_table().unwrap();
+        let mut clock = DynamicClock::new(table, 30).unwrap();
+        let mut manager = IntervalManager::new(8, 0, ConfidencePolicy::default_policy()).unwrap();
+        let mut stream = SegmentIlp::new(IlpParams::balanced(), 9).unwrap();
+        let run = run_managed_queue(&mut structure, &mut stream, &mut manager, &mut clock, 40, 2000).unwrap();
+        assert_eq!(run.intervals.len(), 40);
+        // Exploration alone forces several switches.
+        assert!(run.switches >= 7, "got {}", run.switches);
+        assert!(run.total_time() > Ns(0.0));
+        // The balanced stream favours the 64-entry configuration; after
+        // exploring, the manager should settle on a mid-to-large window.
+        let final_cfg = run.intervals.last().unwrap().config;
+        assert!(final_cfg >= 2, "settled on config {final_cfg}");
+    }
+
+    #[test]
+    fn pattern_mode_preswitches_on_periodic_series() {
+        // Two configs whose best alternates every 6 intervals, strictly.
+        // The reactive manager needs the EWMA to cross + confidence; the
+        // pattern manager, once trained, switches exactly at the flips.
+        let tpi = |cfg: usize, t: u64| {
+            let phase = (t / 6) % 2 == 0;
+            match (cfg, phase) {
+                (0, true) | (1, false) => 1.0,
+                _ => 2.0,
+            }
+        };
+        let run = |mut m: IntervalManager| {
+            let mut at = 0usize;
+            let mut lost = 0u64;
+            for t in 0..240 {
+                let v = tpi(at, t);
+                if v > 1.5 {
+                    lost += 1;
+                }
+                if let ManagerDecision::SwitchTo(c) = m.observe(at, v) {
+                    at = c;
+                }
+            }
+            lost
+        };
+        // Both re-sample every 4 intervals so the off-configuration's
+        // estimate can track the phases at all.
+        let reactive = run(IntervalManager::new(2, 4, ConfidencePolicy { threshold: 1, hysteresis: 0.02 }).unwrap());
+        let proactive = run(
+            IntervalManager::new(2, 4, ConfidencePolicy { threshold: 1, hysteresis: 0.02 })
+                .unwrap()
+                .with_pattern_detection(64, 0.8),
+        );
+        assert!(
+            proactive < reactive,
+            "pattern mode must lose fewer intervals: {proactive} vs {reactive}"
+        );
+    }
+
+    #[test]
+    fn pattern_mode_stays_quiet_on_stationary_series() {
+        let mut m = IntervalManager::new(3, 0, ConfidencePolicy::default_policy())
+            .unwrap()
+            .with_pattern_detection(32, 0.85);
+        let mut at = 0usize;
+        let mut switches_after_explore = 0;
+        for i in 0..80 {
+            let v = if at == 0 { 1.0 } else { 3.0 };
+            match m.observe(at, v) {
+                ManagerDecision::SwitchTo(c) => {
+                    if i > 6 && c != at {
+                        switches_after_explore += 1;
+                    }
+                    at = c;
+                }
+                ManagerDecision::Stay => {}
+            }
+        }
+        // It must settle on config 0 and then hold it.
+        assert_eq!(at, 0);
+        assert!(switches_after_explore <= 2, "got {switches_after_explore}");
+    }
+
+    #[test]
+    fn managed_cache_run_follows_memory_phases() {
+        use crate::structure::CacheStructure;
+        use cap_timing::cacti::CacheTimingModel;
+        use cap_timing::Technology;
+        use cap_trace::mem::{Region, RegionMix};
+        use cap_trace::phase::PhasedMem;
+
+        // Phase A: a 4 KB hot set (small L1 is ideal). Phase B: a 36 KB
+        // sweep that thrashes small boundaries (a 48 KB L1 is ideal).
+        let small = RegionMix::builder(1)
+            .region(Region::sequential_loop(0, 4 * 1024, 32), 1.0)
+            .build()
+            .unwrap();
+        let big = RegionMix::builder(2)
+            .region(Region::sequential_loop(1 << 30, 36 * 1024, 32), 1.0)
+            .build()
+            .unwrap();
+        let mut stream = PhasedMem::new(vec![(small, 120_000), (big, 120_000)]).unwrap();
+
+        let timing = CacheTimingModel::isca98(Technology::isca98_evaluation());
+        let mut structure = CacheStructure::isca98(timing, 0).unwrap();
+        let table = structure.period_table().unwrap();
+        let mut clock = DynamicClock::new(table, 30).unwrap();
+        let mut manager =
+            IntervalManager::new(structure.num_configs(), 25, ConfidencePolicy::default_policy()).unwrap();
+        let run = run_managed_cache(&mut structure, &mut stream, &mut manager, &mut clock, 120, 4_000, 3.0)
+            .unwrap();
+        assert_eq!(run.intervals.len(), 120);
+        assert!(run.switches >= 8, "exploration + phase tracking, got {}", run.switches);
+        // During the second phase the manager must spend most intervals at
+        // a boundary large enough to hold the 36 KB sweep (>= 40 KB = cfg 4).
+        let second_phase = &run.intervals[40..60];
+        let large = second_phase.iter().filter(|r| r.config >= 4).count();
+        assert!(large >= 12, "only {large}/20 intervals at a large boundary");
+        // And during the first phase (after exploration) small boundaries.
+        let first_phase = &run.intervals[20..30];
+        let small_cfgs = first_phase.iter().filter(|r| r.config <= 2).count();
+        assert!(small_cfgs >= 6, "only {small_cfgs}/10 intervals at a small boundary");
+    }
+
+    #[test]
+    fn managed_cache_rejects_zero_interval() {
+        use crate::structure::CacheStructure;
+        use cap_timing::cacti::CacheTimingModel;
+        use cap_timing::Technology;
+        use cap_trace::mem::{Region, RegionMix};
+
+        let timing = CacheTimingModel::isca98(Technology::isca98_evaluation());
+        let mut structure = CacheStructure::isca98(timing, 0).unwrap();
+        let table = structure.period_table().unwrap();
+        let mut clock = DynamicClock::new(table, 30).unwrap();
+        let mut manager = IntervalManager::new(8, 0, ConfidencePolicy::default_policy()).unwrap();
+        let mut stream = RegionMix::builder(1).region(Region::random(0, 4096), 1.0).build().unwrap();
+        assert!(run_managed_cache(&mut structure, &mut stream, &mut manager, &mut clock, 1, 0, 3.0).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! TPI aggregation and reduction arithmetic.
+//!
+//! The paper reports, per structure, a bar per application plus an
+//! `average` bar (Figures 8, 9, 11), and quotes headline numbers as
+//! reductions of those averages ("reduces TPImiss by an average of 26 %
+//! and delivers a respectable 9 % average reduction in TPI").
+
+use serde::Serialize;
+
+/// Fractional reduction from `conventional` to `adaptive`:
+/// `1 - adaptive/conventional`. Zero when the conventional value is zero.
+pub fn reduction(conventional: f64, adaptive: f64) -> f64 {
+    if conventional == 0.0 {
+        0.0
+    } else {
+        1.0 - adaptive / conventional
+    }
+}
+
+/// One application's conventional-versus-adaptive pair (one bar pair of
+/// Figures 8/9/11).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BarPair {
+    /// Application name.
+    pub app: String,
+    /// Metric value under the best conventional configuration (ns).
+    pub conventional: f64,
+    /// Metric value under the process-level adaptive choice (ns).
+    pub adaptive: f64,
+    /// Label of the configuration the adaptive scheme picked.
+    pub chosen: String,
+}
+
+impl BarPair {
+    /// This application's fractional reduction.
+    pub fn reduction(&self) -> f64 {
+        reduction(self.conventional, self.adaptive)
+    }
+}
+
+/// A full figure's worth of bar pairs plus the average bars.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct BarChart {
+    /// Per-application pairs, in the paper's figure order.
+    pub bars: Vec<BarPair>,
+}
+
+impl BarChart {
+    /// Mean conventional value across applications (the paper's
+    /// conventional `average` bar).
+    pub fn mean_conventional(&self) -> f64 {
+        mean(self.bars.iter().map(|b| b.conventional))
+    }
+
+    /// Mean adaptive value across applications (the adaptive `average`
+    /// bar).
+    pub fn mean_adaptive(&self) -> f64 {
+        mean(self.bars.iter().map(|b| b.adaptive))
+    }
+
+    /// The headline number: reduction of the average bars.
+    pub fn average_reduction(&self) -> f64 {
+        reduction(self.mean_conventional(), self.mean_adaptive())
+    }
+
+    /// Mean of the per-application reductions (an alternative aggregate,
+    /// exposed for completeness).
+    pub fn mean_of_reductions(&self) -> f64 {
+        mean(self.bars.iter().map(|b| b.reduction()))
+    }
+
+    /// Looks up an application's pair by name.
+    pub fn bar(&self, app: &str) -> Option<&BarPair> {
+        self.bars.iter().find(|b| b.app == app)
+    }
+
+    /// The largest per-application reduction (the paper highlights these:
+    /// stereo −46 %, appcg −28 %, ...).
+    pub fn best_improvement(&self) -> Option<&BarPair> {
+        self.bars.iter().max_by(|a, b| {
+            a.reduction().partial_cmp(&b.reduction()).expect("reductions are finite")
+        })
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> BarChart {
+        BarChart {
+            bars: vec![
+                BarPair { app: "a".into(), conventional: 1.0, adaptive: 0.5, chosen: "x".into() },
+                BarPair { app: "b".into(), conventional: 2.0, adaptive: 2.0, chosen: "y".into() },
+            ],
+        }
+    }
+
+    #[test]
+    fn reduction_basics() {
+        assert!((reduction(1.0, 0.54) - 0.46).abs() < 1e-12);
+        assert_eq!(reduction(0.0, 1.0), 0.0);
+        assert!(reduction(1.0, 1.1) < 0.0, "regressions are negative reductions");
+    }
+
+    #[test]
+    fn averages() {
+        let c = chart();
+        assert!((c.mean_conventional() - 1.5).abs() < 1e-12);
+        assert!((c.mean_adaptive() - 1.25).abs() < 1e-12);
+        assert!((c.average_reduction() - (1.0 - 1.25 / 1.5)).abs() < 1e-12);
+        assert!((c.mean_of_reductions() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_and_best() {
+        let c = chart();
+        assert_eq!(c.bar("b").unwrap().adaptive, 2.0);
+        assert!(c.bar("zzz").is_none());
+        assert_eq!(c.best_improvement().unwrap().app, "a");
+    }
+
+    #[test]
+    fn empty_chart_is_safe() {
+        let c = BarChart { bars: vec![] };
+        assert_eq!(c.mean_conventional(), 0.0);
+        assert_eq!(c.average_reduction(), 0.0);
+        assert!(c.best_improvement().is_none());
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let c = chart();
+        let s = serde_json::to_string(&c).unwrap();
+        assert!(s.contains("\"app\":\"a\""));
+    }
+}

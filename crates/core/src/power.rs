@@ -1,0 +1,209 @@
+//! Power management on a CAP (paper §4.1).
+//!
+//! *"In addition to performance benefits, CAPs offer the potential for
+//! improved power management. The controllable clock frequency and
+//! hardware disables of a CAP design provide several performance/power
+//! dissipation design points that can be managed at runtime. The
+//! lowest-power mode can be enabled by setting all complexity-adaptive
+//! structures to their minimum size, and selecting the slowest clock."*
+//!
+//! The model is first-order dynamic power: `P ∝ C_active · f` at fixed
+//! supply voltage, where the active capacitance is a fixed share (clock
+//! tree, control) plus a share proportional to the enabled fraction of
+//! the structure. Combined with measured TPI this yields
+//! energy-per-instruction, and the product-environment story of the
+//! paper — one die spanning server to laptop operating points — becomes
+//! a frontier you can compute.
+
+use crate::error::CapError;
+use crate::experiments::QueueCurve;
+use cap_timing::units::Ns;
+use serde::Serialize;
+
+/// First-order dynamic-power model for one adaptive structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerModel {
+    /// Fraction of switched capacitance that does not scale with the
+    /// enabled size (global clock distribution, control, fixed logic).
+    fixed_fraction: f64,
+}
+
+impl PowerModel {
+    /// Creates a model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::InvalidParameter`] unless
+    /// `fixed_fraction ∈ [0, 1]`.
+    pub fn new(fixed_fraction: f64) -> Result<Self, CapError> {
+        if !(0.0..=1.0).contains(&fixed_fraction) {
+            return Err(CapError::InvalidParameter { what: "fixed power fraction must be in [0,1]" });
+        }
+        Ok(PowerModel { fixed_fraction })
+    }
+
+    /// A typical split: 30 % of switched capacitance is size-independent.
+    pub fn typical() -> Self {
+        PowerModel { fixed_fraction: 0.3 }
+    }
+
+    /// Relative power at an operating point: enabled fraction
+    /// `active` of the structure clocked with the given period.
+    ///
+    /// Units are arbitrary but consistent (full structure at a 1 ns
+    /// clock = 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `active` is outside `[0, 1]` or the
+    /// period is not positive.
+    pub fn power(&self, active: f64, period: Ns) -> f64 {
+        debug_assert!((0.0..=1.0).contains(&active), "active fraction in [0,1]");
+        debug_assert!(period.value() > 0.0, "period must be positive");
+        let cap = self.fixed_fraction + (1.0 - self.fixed_fraction) * active;
+        cap * period.as_ghz()
+    }
+
+    /// Relative energy per instruction: `power × TPI`.
+    pub fn energy_per_instruction(&self, active: f64, period: Ns, tpi: Ns) -> f64 {
+        self.power(active, period) * tpi.value()
+    }
+}
+
+/// One point of a performance/power frontier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct FrontierPoint {
+    /// Window entries (the enabled structure size).
+    pub entries: usize,
+    /// Clock period at this configuration (ns).
+    pub period_ns: f64,
+    /// Average TPI (ns) — lower is faster.
+    pub tpi_ns: f64,
+    /// Relative power — lower is cooler.
+    pub power: f64,
+    /// Relative energy per instruction.
+    pub epi: f64,
+}
+
+/// Computes the performance/power frontier of the adaptive instruction
+/// queue from a measured Figure-10 curve.
+///
+/// Every configuration is one selectable operating point: the paper's
+/// "high-end server" end is the TPI minimum; the "low-power laptop" end
+/// is the smallest structure at its (slowest-clock) period.
+pub fn queue_frontier(curve: &QueueCurve, model: PowerModel) -> Vec<FrontierPoint> {
+    let max_entries = curve.points.iter().map(|p| p.entries).max().unwrap_or(1) as f64;
+    // The paper's lowest-power mode also *selects the slowest clock*;
+    // expose each size at its own full-rate clock, plus that mode.
+    let slowest = curve.points.iter().map(|p| p.cycle_ns).fold(0.0f64, f64::max);
+    let mut out: Vec<FrontierPoint> = curve
+        .points
+        .iter()
+        .map(|p| {
+            let active = p.entries as f64 / max_entries;
+            let period = Ns(p.cycle_ns);
+            FrontierPoint {
+                entries: p.entries,
+                period_ns: p.cycle_ns,
+                tpi_ns: p.tpi_ns,
+                power: model.power(active, period),
+                epi: model.energy_per_instruction(active, period, Ns(p.tpi_ns)),
+            }
+        })
+        .collect();
+    if let Some(first) = curve.points.first() {
+        // Lowest-power mode: smallest structure, slowest clock. TPI
+        // scales with the period ratio (IPC is unchanged by slowing the
+        // clock).
+        let active = first.entries as f64 / max_entries;
+        let period = Ns(slowest);
+        let tpi = Ns(first.tpi_ns * slowest / first.cycle_ns);
+        out.push(FrontierPoint {
+            entries: first.entries,
+            period_ns: slowest,
+            tpi_ns: tpi.value(),
+            power: model.power(active, period),
+            epi: model.energy_per_instruction(active, period, tpi),
+        });
+    }
+    out
+}
+
+/// The lowest-power point of a frontier.
+pub fn lowest_power(frontier: &[FrontierPoint]) -> Option<&FrontierPoint> {
+    frontier.iter().min_by(|a, b| a.power.partial_cmp(&b.power).expect("power is finite"))
+}
+
+/// The best-performance (lowest-TPI) point of a frontier.
+pub fn best_performance(frontier: &[FrontierPoint]) -> Option<&FrontierPoint> {
+    frontier.iter().min_by(|a, b| a.tpi_ns.partial_cmp(&b.tpi_ns).expect("TPI is finite"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{ExperimentScale, QueueExperiment};
+    use cap_workloads::App;
+
+    #[test]
+    fn model_validation() {
+        assert!(PowerModel::new(-0.1).is_err());
+        assert!(PowerModel::new(1.5).is_err());
+        assert!(PowerModel::new(0.3).is_ok());
+    }
+
+    #[test]
+    fn power_scales_with_size_and_frequency() {
+        let m = PowerModel::typical();
+        let full_fast = m.power(1.0, Ns(0.5));
+        let full_slow = m.power(1.0, Ns(1.0));
+        let small_fast = m.power(0.125, Ns(0.5));
+        assert!((full_fast / full_slow - 2.0).abs() < 1e-12, "power is linear in frequency");
+        assert!(small_fast < full_fast, "disabling increments saves power");
+        assert!(small_fast > full_fast * 0.3, "but the fixed share remains");
+    }
+
+    #[test]
+    fn frontier_spans_server_to_laptop() {
+        let exp = QueueExperiment::new(ExperimentScale::Smoke);
+        let curve = exp.sweep(App::Gcc).unwrap();
+        let frontier = queue_frontier(&curve, PowerModel::typical());
+        assert_eq!(frontier.len(), 9, "8 full-rate points + the lowest-power mode");
+
+        let lp = lowest_power(&frontier).unwrap();
+        let hp = best_performance(&frontier).unwrap();
+        // The paper's lowest-power mode: smallest structure AND slowest
+        // clock.
+        assert_eq!(lp.entries, 16);
+        let slowest = frontier.iter().map(|p| p.period_ns).fold(0.0f64, f64::max);
+        assert!((lp.period_ns - slowest).abs() < 1e-12);
+        // The operating points genuinely trade off.
+        assert!(hp.power > 2.0 * lp.power, "hp {} vs lp {}", hp.power, lp.power);
+        assert!(hp.tpi_ns < 0.7 * lp.tpi_ns, "hp {} vs lp {}", hp.tpi_ns, lp.tpi_ns);
+    }
+
+    #[test]
+    fn epi_optimum_is_interior_for_modal_apps() {
+        // Energy per instruction balances leakage-free dynamic power
+        // against run time: for a 64-entry-optimal app the EPI optimum
+        // is neither the biggest nor the slowest point.
+        let exp = QueueExperiment::new(ExperimentScale::Smoke);
+        let curve = exp.sweep(App::M88ksim).unwrap();
+        let frontier = queue_frontier(&curve, PowerModel::typical());
+        let best_epi = frontier
+            .iter()
+            .min_by(|a, b| a.epi.partial_cmp(&b.epi).expect("EPI is finite"))
+            .unwrap();
+        assert!(best_epi.entries < 128, "got {}", best_epi.entries);
+    }
+
+    #[test]
+    fn slowing_the_clock_preserves_energy_but_costs_time() {
+        // At fixed voltage, halving f halves power but doubles time:
+        // EPI is unchanged — the classic result the model must respect.
+        let m = PowerModel::typical();
+        let e1 = m.energy_per_instruction(0.5, Ns(0.5), Ns(0.2));
+        let e2 = m.energy_per_instruction(0.5, Ns(1.0), Ns(0.4));
+        assert!((e1 - e2).abs() < 1e-12);
+    }
+}

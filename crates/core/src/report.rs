@@ -1,0 +1,268 @@
+//! Plain-text rendering of experiment results.
+//!
+//! The `figNN` binaries in `cap-bench` print the same rows/series the
+//! paper's figures plot; this module holds the shared formatting so every
+//! binary produces consistent, aligned tables.
+
+use crate::experiments::{CacheCurve, IntervalFigure, QueueCurve, SnapshotPoint};
+use crate::metrics::BarChart;
+use std::fmt::Write as _;
+
+/// Renders a Figure 7-style table: one row per L1 size, one column per
+/// application.
+pub fn cache_curves_table(title: &str, curves: &[&CacheCurve]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut header = format!("{:>8}", "L1 KB");
+    for c in curves {
+        let _ = write!(header, " {:>9}", truncate(&c.app, 9));
+    }
+    let _ = writeln!(out, "{header}");
+    if let Some(first) = curves.first() {
+        for (i, p) in first.points.iter().enumerate() {
+            let mut row = format!("{:>8}", p.l1_kb);
+            for c in curves {
+                let _ = write!(row, " {:>9.3}", c.points[i].tpi_ns);
+            }
+            let _ = writeln!(out, "{row}");
+        }
+    }
+    out
+}
+
+/// Renders a Figure 10-style table: one row per window size.
+pub fn queue_curves_table(title: &str, curves: &[&QueueCurve]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let mut header = format!("{:>8}", "entries");
+    for c in curves {
+        let _ = write!(header, " {:>9}", truncate(&c.app, 9));
+    }
+    let _ = writeln!(out, "{header}");
+    if let Some(first) = curves.first() {
+        for (i, p) in first.points.iter().enumerate() {
+            let mut row = format!("{:>8}", p.entries);
+            for c in curves {
+                let _ = write!(row, " {:>9.3}", c.points[i].tpi_ns);
+            }
+            let _ = writeln!(out, "{row}");
+        }
+    }
+    out
+}
+
+/// Renders a Figure 8/9/11-style bar table: per application, the best
+/// conventional value, the process-level adaptive value, the chosen
+/// configuration and the reduction — plus the average row.
+pub fn bar_chart_table(title: &str, unit: &str, chart: &BarChart) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>14} {:>14} {:>18} {:>8}",
+        "app",
+        format!("conv ({unit})"),
+        format!("adapt ({unit})"),
+        "chosen config",
+        "reduct"
+    );
+    for b in &chart.bars {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>14.3} {:>14.3} {:>18} {:>7.1}%",
+            truncate(&b.app, 10),
+            b.conventional,
+            b.adaptive,
+            truncate(&b.chosen, 18),
+            b.reduction() * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:>10} {:>14.3} {:>14.3} {:>18} {:>7.1}%",
+        "average",
+        chart.mean_conventional(),
+        chart.mean_adaptive(),
+        "-",
+        chart.average_reduction() * 100.0
+    );
+    out
+}
+
+fn snapshot_rows(out: &mut String, label: &str, fig: &IntervalFigure, points: &[SnapshotPoint]) {
+    let _ = writeln!(out, "{label}");
+    let _ = writeln!(out, "{:>10} {:>14} {:>14}", "interval", fig.small_label, fig.large_label);
+    for p in points {
+        let _ = writeln!(out, "{:>10} {:>14.3} {:>14.3}", p.interval, p.tpi_small, p.tpi_large);
+    }
+}
+
+/// Renders a Figure 12/13-style pair of snapshots.
+pub fn interval_figure_table(title: &str, fig: &IntervalFigure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    snapshot_rows(&mut out, "(a)", fig, &fig.snapshot_a);
+    snapshot_rows(&mut out, "(b)", fig, &fig.snapshot_b);
+    out
+}
+
+/// Renders a cache curve as CSV (`l1_kb,assoc,cycle_ns,tpi_ns,tpi_miss_ns,
+/// l1_miss_ratio,global_miss_ratio`), for external plotting.
+pub fn cache_curve_csv(curve: &CacheCurve) -> String {
+    let mut out = String::from("l1_kb,assoc,cycle_ns,tpi_ns,tpi_miss_ns,l1_miss_ratio,global_miss_ratio\n");
+    for p in &curve.points {
+        let _ = writeln!(
+            out,
+            "{},{},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            p.l1_kb, p.l1_assoc, p.cycle_ns, p.tpi_ns, p.tpi_miss_ns, p.l1_miss_ratio, p.global_miss_ratio
+        );
+    }
+    out
+}
+
+/// Renders a queue curve as CSV (`entries,cycle_ns,ipc,tpi_ns`).
+pub fn queue_curve_csv(curve: &QueueCurve) -> String {
+    let mut out = String::from("entries,cycle_ns,ipc,tpi_ns\n");
+    for p in &curve.points {
+        let _ = writeln!(out, "{},{:.6},{:.6},{:.6}", p.entries, p.cycle_ns, p.ipc, p.tpi_ns);
+    }
+    out
+}
+
+/// Renders a bar chart as CSV (`app,conventional,adaptive,chosen,reduction`).
+pub fn bar_chart_csv(chart: &BarChart) -> String {
+    let mut out = String::from("app,conventional,adaptive,chosen,reduction\n");
+    for b in &chart.bars {
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6},{},{:.6}",
+            b.app,
+            b.conventional,
+            b.adaptive,
+            b.chosen.replace(',', ";"),
+            b.reduction()
+        );
+    }
+    out
+}
+
+/// Formats a fraction as a signed percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:+.1}%", x * 100.0)
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{CachePoint, QueuePoint};
+    use crate::metrics::BarPair;
+
+    fn cache_curve(app: &str) -> CacheCurve {
+        CacheCurve {
+            app: app.to_string(),
+            integer_panel: true,
+            points: vec![CachePoint {
+                l1_kb: 8,
+                l1_assoc: 2,
+                cycle_ns: 0.5,
+                tpi_ns: 0.25,
+                tpi_miss_ns: 0.05,
+                l1_miss_ratio: 0.1,
+                global_miss_ratio: 0.01,
+            }],
+        }
+    }
+
+    #[test]
+    fn cache_table_contains_apps_and_values() {
+        let a = cache_curve("gcc");
+        let b = cache_curve("verylongappname");
+        let t = cache_curves_table("Fig 7", &[&a, &b]);
+        assert!(t.contains("gcc"));
+        assert!(t.contains("verylonga"), "names are truncated to fit");
+        assert!(t.contains("0.250"));
+    }
+
+    #[test]
+    fn queue_table_renders() {
+        let c = QueueCurve {
+            app: "li".into(),
+            integer_panel: true,
+            points: vec![QueuePoint { entries: 16, cycle_ns: 0.6, ipc: 2.0, tpi_ns: 0.3 }],
+        };
+        let t = queue_curves_table("Fig 10", &[&c]);
+        assert!(t.contains("entries"));
+        assert!(t.contains("0.300"));
+    }
+
+    #[test]
+    fn bar_table_has_average_row() {
+        let chart = BarChart {
+            bars: vec![BarPair { app: "swim".into(), conventional: 1.0, adaptive: 0.85, chosen: "x".into() }],
+        };
+        let t = bar_chart_table("Fig 9", "ns", &chart);
+        assert!(t.contains("average"));
+        assert!(t.contains("15.0%"));
+    }
+
+    #[test]
+    fn interval_table_has_both_snapshots() {
+        let fig = IntervalFigure {
+            app: "turb3d".into(),
+            small_label: "64 entries".into(),
+            large_label: "128 entries".into(),
+            snapshot_a: vec![SnapshotPoint { interval: 1, tpi_small: 0.2, tpi_large: 0.25 }],
+            snapshot_b: vec![SnapshotPoint { interval: 9, tpi_small: 0.3, tpi_large: 0.22 }],
+        };
+        let t = interval_figure_table("Fig 12", &fig);
+        assert!(t.contains("(a)"));
+        assert!(t.contains("(b)"));
+        assert!(t.contains("64 entries"));
+    }
+
+    #[test]
+    fn csv_emitters_are_parseable() {
+        let curve = cache_curve("gcc");
+        let csv = cache_curve_csv(&curve);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap().split(',').count(), 7);
+        assert_eq!(lines.next().unwrap().split(',').count(), 7);
+
+        let q = QueueCurve {
+            app: "li".into(),
+            integer_panel: true,
+            points: vec![QueuePoint { entries: 16, cycle_ns: 0.6, ipc: 2.0, tpi_ns: 0.3 }],
+        };
+        let csv = queue_curve_csv(&q);
+        assert!(csv.starts_with("entries,"));
+        assert!(csv.contains("16,0.6"));
+
+        let chart = BarChart {
+            bars: vec![BarPair {
+                app: "swim".into(),
+                conventional: 1.0,
+                adaptive: 0.85,
+                chosen: "a,b".into(),
+            }],
+        };
+        let csv = bar_chart_csv(&chart);
+        // Embedded commas in labels are escaped so the column count holds.
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), 5, "{line}");
+        }
+    }
+
+    #[test]
+    fn pct_formats_signed() {
+        assert_eq!(pct(0.091), "+9.1%");
+        assert_eq!(pct(-0.05), "-5.0%");
+    }
+}

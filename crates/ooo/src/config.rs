@@ -1,0 +1,149 @@
+//! Core configuration: widths and the adaptive window size.
+
+use crate::error::OooError;
+use cap_timing::queue::{ENTRY_INCREMENT, MAX_ENTRIES, PAPER_SIZES};
+use std::fmt;
+
+/// A validated instruction-window size: a positive multiple of 16 entries
+/// (the configuration increment of the buffered tag lines), at most 256.
+///
+/// # Example
+///
+/// ```
+/// use cap_ooo::config::WindowSize;
+///
+/// let w = WindowSize::new(64)?;
+/// assert_eq!(w.entries(), 64);
+/// assert!(WindowSize::new(40).is_err());
+/// # Ok::<(), cap_ooo::OooError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WindowSize(usize);
+
+impl WindowSize {
+    /// Creates a window size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OooError::InvalidWindow`] unless `entries` is a positive
+    /// multiple of 16 at most 256.
+    pub fn new(entries: usize) -> Result<Self, OooError> {
+        if entries == 0 || !entries.is_multiple_of(ENTRY_INCREMENT) || entries > MAX_ENTRIES {
+            return Err(OooError::InvalidWindow { entries });
+        }
+        Ok(WindowSize(entries))
+    }
+
+    /// The number of entries.
+    #[inline]
+    pub fn entries(self) -> usize {
+        self.0
+    }
+
+    /// The paper's sweep (16–128 entries by 16).
+    pub fn paper_sweep() -> impl Iterator<Item = WindowSize> {
+        PAPER_SIZES.into_iter().map(WindowSize)
+    }
+
+    /// The paper's best conventional configuration (64 entries).
+    pub fn best_conventional() -> WindowSize {
+        WindowSize(64)
+    }
+}
+
+impl fmt::Display for WindowSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-entry", self.0)
+    }
+}
+
+/// Static configuration of the out-of-order core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions dispatched into the window per cycle.
+    pub fetch_width: usize,
+    /// Instructions selected for issue per cycle.
+    pub issue_width: usize,
+    /// Instructions committed (retired in order) per cycle.
+    pub commit_width: usize,
+    /// Initial window size.
+    pub window: WindowSize,
+}
+
+impl CoreConfig {
+    /// The paper's 8-way machine with the given window size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OooError::InvalidWindow`] for an invalid window size.
+    pub fn isca98(window_entries: usize) -> Result<Self, OooError> {
+        Ok(CoreConfig {
+            fetch_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            window: WindowSize::new(window_entries)?,
+        })
+    }
+
+    /// Validates the widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OooError::InvalidWidth`] if any width is zero.
+    pub fn validate(&self) -> Result<(), OooError> {
+        if self.fetch_width == 0 {
+            return Err(OooError::InvalidWidth { what: "fetch" });
+        }
+        if self.issue_width == 0 {
+            return Err(OooError::InvalidWidth { what: "issue" });
+        }
+        if self.commit_width == 0 {
+            return Err(OooError::InvalidWidth { what: "commit" });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_validation() {
+        assert!(WindowSize::new(0).is_err());
+        assert!(WindowSize::new(8).is_err());
+        assert!(WindowSize::new(40).is_err());
+        assert!(WindowSize::new(272).is_err());
+        assert_eq!(WindowSize::new(128).unwrap().entries(), 128);
+    }
+
+    #[test]
+    fn paper_sweep_matches() {
+        let v: Vec<usize> = WindowSize::paper_sweep().map(|w| w.entries()).collect();
+        assert_eq!(v, vec![16, 32, 48, 64, 80, 96, 112, 128]);
+    }
+
+    #[test]
+    fn best_conventional_is_64() {
+        assert_eq!(WindowSize::best_conventional().entries(), 64);
+    }
+
+    #[test]
+    fn isca98_is_8_wide() {
+        let c = CoreConfig::isca98(64).unwrap();
+        assert_eq!((c.fetch_width, c.issue_width, c.commit_width), (8, 8, 8));
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn width_validation() {
+        let mut c = CoreConfig::isca98(64).unwrap();
+        c.issue_width = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(WindowSize::new(64).unwrap().to_string(), "64-entry");
+    }
+}

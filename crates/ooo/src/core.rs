@@ -1,0 +1,391 @@
+//! The cycle-level out-of-order engine.
+//!
+//! A unified RUU-style window models dispatch, wakeup, select, execute and
+//! in-order commit. Each cycle, in order:
+//!
+//! 1. **commit** — up to `commit_width` completed instructions retire from
+//!    the window head, in program order;
+//! 2. **wakeup + select + issue** — the oldest `issue_width` ready
+//!    instructions begin execution (oldest-first selection, matching the
+//!    priority-encoder tree whose delay the timing model charges). An
+//!    instruction is ready when both producers have completed; a producer
+//!    completing in cycle `t + latency` can feed a consumer issuing that
+//!    same cycle, giving back-to-back issue of dependent single-cycle
+//!    instructions — the property the atomic wakeup+select loop exists to
+//!    provide;
+//! 3. **dispatch** — up to `fetch_width` new instructions enter the window
+//!    if entries are free (perfect frontend: the stream never starves).
+//!
+//! Progress is guaranteed: the window head's producers are always already
+//! committed, so the head is always issuable.
+
+use crate::config::{CoreConfig, WindowSize};
+use crate::error::OooError;
+use cap_trace::inst::{Inst, InstStream};
+use std::collections::VecDeque;
+
+const NOT_ISSUED: u64 = u64::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    inst: Inst,
+    dispatch_cycle: u64,
+    /// Cycle at which the result becomes available; `NOT_ISSUED` before
+    /// issue.
+    done_cycle: u64,
+}
+
+/// Aggregate results of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Instructions committed.
+    pub committed: u64,
+}
+
+impl RunStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The out-of-order core.
+///
+/// See the [crate documentation](crate) for the modelling assumptions.
+#[derive(Debug, Clone)]
+pub struct OooCore {
+    config: CoreConfig,
+    active_window: usize,
+    pending_shrink: Option<usize>,
+    window: VecDeque<Entry>,
+    cycle: u64,
+    committed: u64,
+    next_seq: Option<u64>,
+}
+
+impl OooCore {
+    /// Creates a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CoreConfig::validate`].
+    pub fn new(config: CoreConfig) -> Self {
+        config.validate().expect("invalid core configuration");
+        OooCore {
+            config,
+            active_window: config.window.entries(),
+            pending_shrink: None,
+            window: VecDeque::with_capacity(config.window.entries()),
+            cycle: 0,
+            committed: 0,
+            next_seq: None,
+        }
+    }
+
+    /// The static configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// The number of currently active window entries.
+    pub fn active_window(&self) -> usize {
+        self.active_window
+    }
+
+    /// Whether a shrink is still draining.
+    pub fn resize_pending(&self) -> bool {
+        self.pending_shrink.is_some()
+    }
+
+    /// Cycles elapsed since construction.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Instructions committed since construction.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// Current window occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Requests a window reconfiguration. Growth takes effect immediately;
+    /// a shrink stalls dispatch until the entries beyond the new size have
+    /// drained (paper §5.1), then takes effect.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OooError::InvalidWindow`] if `new` is invalid.
+    pub fn request_resize(&mut self, new: WindowSize) -> Result<(), OooError> {
+        let n = new.entries();
+        if n >= self.active_window {
+            self.active_window = n;
+            self.pending_shrink = None;
+        } else {
+            self.pending_shrink = Some(n);
+        }
+        Ok(())
+    }
+
+    fn producer_done(&self, dep: u64, now: u64) -> bool {
+        match self.window.front() {
+            None => true,
+            Some(front) if dep < front.inst.seq => true,
+            Some(front) => {
+                let idx = (dep - front.inst.seq) as usize;
+                // Producers always precede consumers, so the index is in
+                // range for any dep of a windowed instruction.
+                self.window[idx].done_cycle <= now
+            }
+        }
+    }
+
+    fn ready(&self, e: &Entry, now: u64) -> bool {
+        e.done_cycle == NOT_ISSUED
+            && e.dispatch_cycle < now
+            && e.inst.deps().all(|d| self.producer_done(d, now))
+    }
+
+    /// Advances the machine one cycle, dispatching from `stream` as window
+    /// space allows. Returns the number of instructions committed this
+    /// cycle.
+    pub fn step<S: InstStream>(&mut self, stream: &mut S) -> usize {
+        self.cycle += 1;
+        let now = self.cycle;
+
+        // 1. Commit.
+        let mut retired = 0;
+        while retired < self.config.commit_width {
+            match self.window.front() {
+                Some(e) if e.done_cycle != NOT_ISSUED && e.done_cycle <= now => {
+                    self.window.pop_front();
+                    self.committed += 1;
+                    retired += 1;
+                }
+                _ => break,
+            }
+        }
+
+        // 2. Wakeup + select + issue, oldest first.
+        let mut issued = 0;
+        for i in 0..self.window.len() {
+            if issued == self.config.issue_width {
+                break;
+            }
+            let e = self.window[i];
+            if e.done_cycle == NOT_ISSUED && self.ready(&e, now) {
+                self.window[i].done_cycle = now + u64::from(e.inst.latency);
+                issued += 1;
+            }
+        }
+
+        // 3. Apply a drained shrink, then dispatch.
+        if let Some(n) = self.pending_shrink {
+            if self.window.len() <= n {
+                self.active_window = n;
+                self.pending_shrink = None;
+            }
+        }
+        if self.pending_shrink.is_none() {
+            let mut fetched = 0;
+            while fetched < self.config.fetch_width && self.window.len() < self.active_window {
+                let inst = stream.next_inst();
+                if let Some(expect) = self.next_seq {
+                    assert_eq!(inst.seq, expect, "instruction stream must be contiguous");
+                }
+                self.next_seq = Some(inst.seq + 1);
+                self.window.push_back(Entry { inst, dispatch_cycle: now, done_cycle: NOT_ISSUED });
+                fetched += 1;
+            }
+        }
+
+        retired
+    }
+
+    /// Runs until at least `insts` further instructions have committed,
+    /// returning the cycles and instructions of exactly that span. Because
+    /// commit retires up to `commit_width` instructions per cycle, the
+    /// span may overshoot the target by up to `commit_width - 1`.
+    pub fn run<S: InstStream>(&mut self, stream: &mut S, insts: u64) -> RunStats {
+        let c0 = self.cycle;
+        let i0 = self.committed;
+        let target = i0 + insts;
+        while self.committed < target {
+            self.step(stream);
+        }
+        RunStats { cycles: self.cycle - c0, committed: self.committed - i0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_trace::inst::{IlpParams, SegmentIlp};
+
+    /// A fixed list of instructions, then independent filler.
+    struct ListStream {
+        list: Vec<Inst>,
+        next: u64,
+    }
+
+    impl ListStream {
+        fn new(list: Vec<Inst>) -> Self {
+            ListStream { list, next: 0 }
+        }
+    }
+
+    impl InstStream for ListStream {
+        fn next_inst(&mut self) -> Inst {
+            let seq = self.next;
+            self.next += 1;
+            self.list.get(seq as usize).copied().unwrap_or(Inst::independent(seq))
+        }
+    }
+
+    fn chain(n: u64, latency: u32) -> Vec<Inst> {
+        (0..n)
+            .map(|i| Inst { seq: i, dep1: if i > 0 { Some(i - 1) } else { None }, dep2: None, latency })
+            .collect()
+    }
+
+    #[test]
+    fn independent_stream_saturates_width() {
+        let mut core = OooCore::new(CoreConfig::isca98(64).unwrap());
+        let mut s = ListStream::new(vec![]);
+        let stats = core.run(&mut s, 80_000);
+        let ipc = stats.ipc();
+        assert!(ipc > 7.8 && ipc <= 8.0, "got {ipc}");
+    }
+
+    #[test]
+    fn serial_chain_runs_at_one_over_latency() {
+        let mut core = OooCore::new(CoreConfig::isca98(64).unwrap());
+        let mut s = ListStream::new(chain(200_000, 1));
+        let stats = core.run(&mut s, 50_000);
+        let ipc = stats.ipc();
+        assert!((ipc - 1.0).abs() < 0.01, "unit-latency chain must run at 1 IPC, got {ipc}");
+
+        let mut core = OooCore::new(CoreConfig::isca98(64).unwrap());
+        let mut s = ListStream::new(chain(200_000, 3));
+        let ipc = core.run(&mut s, 30_000).ipc();
+        assert!((ipc - 1.0 / 3.0).abs() < 0.01, "latency-3 chain must run at 1/3 IPC, got {ipc}");
+    }
+
+    #[test]
+    fn ipc_never_exceeds_width() {
+        let mut core = OooCore::new(CoreConfig::isca98(128).unwrap());
+        let mut s = SegmentIlp::new(IlpParams::balanced(), 3).unwrap();
+        let ipc = core.run(&mut s, 50_000).ipc();
+        assert!(ipc <= 8.0 + 1e-12);
+    }
+
+    #[test]
+    fn bigger_window_never_hurts_ipc() {
+        let mut params = IlpParams::balanced();
+        params.cross_dep_prob = 0.05;
+        let mut prev = 0.0;
+        for w in [16usize, 32, 64, 128] {
+            let mut core = OooCore::new(CoreConfig::isca98(w).unwrap());
+            let mut s = SegmentIlp::new(params, 7).unwrap();
+            let ipc = core.run(&mut s, 60_000).ipc();
+            assert!(ipc >= prev - 0.02, "window {w}: {ipc} < {prev}");
+            prev = ipc;
+        }
+        assert!(prev > 4.0, "a mostly parallel stream should reach high IPC, got {prev}");
+    }
+
+    #[test]
+    fn window_limits_overlap() {
+        // Segments of ~32 instructions with independent chains: a 16-entry
+        // window cannot overlap two segments, a 128-entry window can.
+        let params = IlpParams {
+            chain_len: 16,
+            burst_len: 16,
+            chain_latency: 2,
+            burst_latency: 1,
+            cross_dep_prob: 0.0,
+            burst_chain_len: 8,
+            far_dep_prob: 0.0,
+            jitter: 0.0,
+        };
+        let run = |w: usize| {
+            let mut core = OooCore::new(CoreConfig::isca98(w).unwrap());
+            let mut s = SegmentIlp::new(params, 11).unwrap();
+            core.run(&mut s, 60_000).ipc()
+        };
+        let small = run(16);
+        let large = run(128);
+        assert!(large > small * 1.8, "16-entry {small} vs 128-entry {large}");
+    }
+
+    #[test]
+    fn grow_is_immediate_shrink_drains() {
+        let mut core = OooCore::new(CoreConfig::isca98(32).unwrap());
+        core.request_resize(WindowSize::new(128).unwrap()).unwrap();
+        assert_eq!(core.active_window(), 128);
+        assert!(!core.resize_pending());
+
+        // Fill the window with a slow chain, then shrink.
+        let mut s = ListStream::new(chain(1_000_000, 4));
+        for _ in 0..40 {
+            core.step(&mut s);
+        }
+        assert!(core.occupancy() > 16);
+        core.request_resize(WindowSize::new(16).unwrap()).unwrap();
+        assert!(core.resize_pending());
+        assert_eq!(core.active_window(), 128, "old size active until drained");
+        while core.resize_pending() {
+            core.step(&mut s);
+        }
+        assert_eq!(core.active_window(), 16);
+        assert!(core.occupancy() <= 16);
+        // And the machine keeps committing afterwards.
+        let stats = core.run(&mut s, 1000);
+        assert_eq!(stats.committed, 1000);
+    }
+
+    #[test]
+    fn back_to_back_dependent_issue() {
+        // A unit-latency chain of W instructions must take ~W cycles, not
+        // ~2W: wakeup+select turnaround is a single cycle.
+        let mut core = OooCore::new(CoreConfig::isca98(64).unwrap());
+        let mut s = ListStream::new(chain(10_000, 1));
+        let stats = core.run(&mut s, 5_000);
+        assert!(stats.cycles <= 5_010, "took {} cycles", stats.cycles);
+    }
+
+    #[test]
+    fn run_counts_are_deltas() {
+        let mut core = OooCore::new(CoreConfig::isca98(64).unwrap());
+        let mut s = ListStream::new(vec![]);
+        let a = core.run(&mut s, 1000);
+        let b = core.run(&mut s, 500);
+        assert!((1000..1008).contains(&a.committed));
+        assert!((500..508).contains(&b.committed));
+        assert!(core.committed() >= 1500);
+    }
+
+    #[test]
+    fn occupancy_bounded_by_active_window() {
+        let mut core = OooCore::new(CoreConfig::isca98(16).unwrap());
+        let mut s = ListStream::new(chain(100_000, 8));
+        for _ in 0..200 {
+            core.step(&mut s);
+            assert!(core.occupancy() <= 16);
+        }
+    }
+
+    #[test]
+    fn empty_stats_ipc_is_zero() {
+        assert_eq!(RunStats::default().ipc(), 0.0);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type for the out-of-order core.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring the core.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OooError {
+    /// A window size that is not a positive multiple of 16 within the
+    /// modelled range was requested.
+    InvalidWindow {
+        /// The requested number of entries.
+        entries: usize,
+    },
+    /// A pipeline width was zero.
+    InvalidWidth {
+        /// Which width was invalid.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for OooError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OooError::InvalidWindow { entries } => {
+                write!(f, "window size {entries} is not a positive multiple of 16 within 16..=256")
+            }
+            OooError::InvalidWidth { what } => write!(f, "pipeline width must be positive: {what}"),
+        }
+    }
+}
+
+impl Error for OooError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!OooError::InvalidWindow { entries: 5 }.to_string().is_empty());
+        assert!(!OooError::InvalidWidth { what: "fetch" }.to_string().is_empty());
+    }
+}

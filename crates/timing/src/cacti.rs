@@ -1,0 +1,443 @@
+//! A CACTI-style analytic cache access-time model.
+//!
+//! The paper obtains individual cache-increment delays from CACTI (Wilton &
+//! Jouppi) scaled to 0.18 µm, and global address/data bus delays from
+//! Bakoglu's optimal buffering methodology. This module reproduces that
+//! pipeline with a simplified analytic model that keeps CACTI's component
+//! structure — decoder, wordline, bitline + sense amplifier, tag compare,
+//! and output drive — with constants calibrated at 0.18 µm and scaled
+//! linearly with feature size.
+//!
+//! The timing rules of the paper's Section 5.1 are implemented directly:
+//!
+//! * the processor cycle time is set by the L1 cache: the slowest L1
+//!   increment's access (global bus out and back plus the local subcache
+//!   access) is pipelined over a constant [`L1_LATENCY_CYCLES`] = 3 cycles;
+//! * L2 hit latency is `ceil(L2 access time / cycle time)` cycles;
+//! * the average L2 *miss* latency is a flat [`MISS_LATENCY_NS`] = 30 ns
+//!   ("2-3 times the L2 hit latency"), converted to cycles the same way.
+//!
+//! # Example
+//!
+//! ```
+//! use cap_timing::{CacheTimingModel, Technology};
+//!
+//! let model = CacheTimingModel::isca98(Technology::isca98_evaluation());
+//! // A bigger L1 (more increments before the boundary) means a longer
+//! // global bus and therefore a slower clock.
+//! let fast = model.cycle_time(1)?;
+//! let slow = model.cycle_time(8)?;
+//! assert!(fast < slow);
+//! # Ok::<(), cap_timing::TimingError>(())
+//! ```
+
+use crate::error::TimingError;
+use crate::tech::Technology;
+use crate::units::Ns;
+use crate::wire::{self, Wire};
+
+/// The L1 data-cache access pipeline depth, in cycles (paper §5.1: "used a
+/// three cycle L1 cache latency"). The latency is held constant across
+/// boundary positions; the cycle *time* varies instead.
+pub const L1_LATENCY_CYCLES: u32 = 3;
+
+/// The flat average L2-miss (board-level cache) latency, in nanoseconds
+/// (paper §5.1).
+pub const MISS_LATENCY_NS: f64 = 30.0;
+
+/// Extra service time of an exclusive-hierarchy L2 hit beyond the raw
+/// array access, at 0.18 µm, in nanoseconds: the L1/L2 block swap (read
+/// the L2 block, demote the L1 victim) that exclusion requires.
+pub const EXCLUSIVE_SWAP_OVERHEAD_NS_AT_018: f64 = 5.0;
+
+/// The physical organization of a complexity-adaptive cache built from
+/// identical increments strung along a repeater-buffered bus.
+///
+/// The paper's evaluated design is [`CacheGeometry::isca98`]: sixteen
+/// increments of 8 KB, each 2-way set associative and two-way banked, with
+/// 32-byte blocks (128 KB total).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total number of cache increments on the bus.
+    pub increments: usize,
+    /// Capacity of one increment, in bytes.
+    pub increment_bytes: usize,
+    /// Set associativity of one increment.
+    pub increment_assoc: usize,
+    /// Internal banking of one increment.
+    pub banks: usize,
+    /// Cache block (line) size, in bytes.
+    pub block_bytes: usize,
+}
+
+impl CacheGeometry {
+    /// The paper's evaluated geometry: 16 increments of 8 KB / 2-way /
+    /// two-way banked, 32-byte blocks.
+    pub fn isca98() -> Self {
+        CacheGeometry {
+            increments: 16,
+            increment_bytes: 8 * 1024,
+            increment_assoc: 2,
+            banks: 2,
+            block_bytes: 32,
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::InvalidCacheOrganization`] when any parameter
+    /// is zero, non-power-of-two where a power of two is required, or
+    /// inconsistent (for example an increment smaller than one block per
+    /// way).
+    pub fn validate(&self) -> Result<(), TimingError> {
+        fn pow2(x: usize) -> bool {
+            x != 0 && x & (x - 1) == 0
+        }
+        if self.increments == 0 || self.increments > 64 {
+            return Err(TimingError::InvalidCacheOrganization { what: "increment count must be 1-64" });
+        }
+        if !pow2(self.increment_bytes) || !pow2(self.block_bytes) || !pow2(self.banks) {
+            return Err(TimingError::InvalidCacheOrganization {
+                what: "increment, block and bank counts must be powers of two",
+            });
+        }
+        if self.increment_assoc == 0 {
+            return Err(TimingError::InvalidCacheOrganization { what: "associativity must be positive" });
+        }
+        if self.increment_bytes < self.block_bytes * self.increment_assoc {
+            return Err(TimingError::InvalidCacheOrganization {
+                what: "increment must hold at least one block per way",
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of sets in one increment (= number of sets of the whole
+    /// adaptive structure; the boundary moves ways, not sets).
+    pub fn sets(&self) -> usize {
+        self.increment_bytes / (self.block_bytes * self.increment_assoc)
+    }
+
+    /// Total capacity across all increments, in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.increments * self.increment_bytes
+    }
+
+    /// Capacity of an L1 cache occupying `boundary` increments, in bytes.
+    pub fn l1_bytes(&self, boundary: usize) -> usize {
+        boundary * self.increment_bytes
+    }
+
+    /// L1 associativity at a boundary of `boundary` increments (paper
+    /// mapping rule: adding an increment adds its associativity).
+    pub fn l1_assoc(&self, boundary: usize) -> usize {
+        boundary * self.increment_assoc
+    }
+
+    /// L2 associativity at a boundary of `boundary` increments.
+    pub fn l2_assoc(&self, boundary: usize) -> usize {
+        (self.increments - boundary) * self.increment_assoc
+    }
+
+    /// Rows per internal bank of one increment's data array.
+    fn rows_per_bank(&self) -> usize {
+        (self.sets() * self.increment_assoc / self.banks).max(1)
+    }
+}
+
+/// Breakdown of one increment's local (subcache) access delay, at the
+/// model's technology point.
+///
+/// Grouping tags with data inside each increment (paper Figure 6) lets
+/// every increment perform local hit/miss determination, so there is no
+/// global comparator stage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccessComponents {
+    /// Address decoder delay.
+    pub decode: Ns,
+    /// Wordline drive delay.
+    pub wordline: Ns,
+    /// Bitline discharge plus sense amplification.
+    pub bitline_sense: Ns,
+    /// Local tag comparison (per-increment, over its own ways).
+    pub tag_compare: Ns,
+    /// Local data output driver enable.
+    pub output_drive: Ns,
+}
+
+impl AccessComponents {
+    /// The total local access delay.
+    pub fn total(&self) -> Ns {
+        self.decode + self.wordline + self.bitline_sense + self.tag_compare + self.output_drive
+    }
+}
+
+/// The cache timing model: geometry + technology → cycle times and
+/// latencies for every L1/L2 boundary position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheTimingModel {
+    geometry: CacheGeometry,
+    tech: Technology,
+}
+
+impl CacheTimingModel {
+    /// Creates the model for the paper's evaluated geometry at the given
+    /// technology point.
+    pub fn isca98(tech: Technology) -> Self {
+        CacheTimingModel { geometry: CacheGeometry::isca98(), tech }
+    }
+
+    /// Creates the model for an arbitrary geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the geometry fails [`CacheGeometry::validate`].
+    pub fn new(geometry: CacheGeometry, tech: Technology) -> Result<Self, TimingError> {
+        geometry.validate()?;
+        Ok(CacheTimingModel { geometry, tech })
+    }
+
+    /// The geometry being modelled.
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// The technology operating point.
+    pub fn technology(&self) -> Technology {
+        self.tech
+    }
+
+    /// The component breakdown of one increment's local access.
+    pub fn access_components(&self) -> AccessComponents {
+        let g = &self.geometry;
+        let sets = g.sets() as f64;
+        let block_bits = (g.block_bytes * 8) as f64;
+        let rows = g.rows_per_bank() as f64;
+        let assoc = g.increment_assoc as f64;
+        // Constants calibrated at 0.18 um for the 8 KB / 2-way / 2-bank /
+        // 32 B-block increment (see DESIGN.md §2): local access = 1.44 ns.
+        let at018 = |ns: f64| self.tech.scale_from_018(Ns(ns));
+        AccessComponents {
+            decode: at018(0.26 + 0.023 * sets.log2()),
+            wordline: at018(0.06 + 0.0002 * block_bits),
+            bitline_sense: at018(0.30 + 0.0016 * rows),
+            tag_compare: at018(0.16 + 0.03 * assoc),
+            output_drive: at018(0.18),
+        }
+    }
+
+    /// One increment's local access delay.
+    pub fn increment_access(&self) -> Ns {
+        self.access_components().total()
+    }
+
+    /// The one-way global bus delay from the cache port to the far end of
+    /// increment `n` (1-based count of increments spanned), using whichever
+    /// of the buffered/unbuffered designs is faster (paper methodology).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::InvalidGeometry`] if `n` is zero or exceeds
+    /// the geometry's increment count.
+    pub fn bus_delay(&self, n: usize) -> Result<Ns, TimingError> {
+        if n == 0 || n > self.geometry.increments {
+            return Err(TimingError::InvalidGeometry { what: "bus span must be 1..=increments" });
+        }
+        let len = wire::cache_bus_length(n, self.geometry.increment_bytes)?;
+        Ok(wire::best_delay(Wire::new(len), self.tech))
+    }
+
+    fn check_boundary(&self, boundary: usize) -> Result<(), TimingError> {
+        if boundary == 0 || boundary >= self.geometry.increments {
+            return Err(TimingError::InvalidCacheOrganization {
+                what: "L1/L2 boundary must leave at least one increment on each side",
+            });
+        }
+        Ok(())
+    }
+
+    /// The L1 access time at the given boundary: address bus out to the
+    /// slowest L1 increment, local access, data bus back.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `boundary` is not in `1..increments`.
+    pub fn l1_access(&self, boundary: usize) -> Result<Ns, TimingError> {
+        self.check_boundary(boundary)?;
+        let bus = self.bus_delay(boundary)?;
+        Ok(bus * 2.0 + self.increment_access())
+    }
+
+    /// The processor cycle time at the given boundary. The L1 access is
+    /// pipelined over [`L1_LATENCY_CYCLES`] equal stages and sets the clock
+    /// (paper: "the L1 cache cycle time determined the cycle time of the
+    /// processor").
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `boundary` is not in `1..increments`.
+    pub fn cycle_time(&self, boundary: usize) -> Result<Ns, TimingError> {
+        Ok(self.l1_access(boundary)? / f64::from(L1_LATENCY_CYCLES))
+    }
+
+    /// The raw L2 access time at the given boundary: bus to the farthest
+    /// increment and back, local access, plus the exclusive-swap overhead.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `boundary` is not in `1..increments`.
+    pub fn l2_access(&self, boundary: usize) -> Result<Ns, TimingError> {
+        self.check_boundary(boundary)?;
+        let bus = self.bus_delay(self.geometry.increments)?;
+        let swap = self.tech.scale_from_018(Ns(EXCLUSIVE_SWAP_OVERHEAD_NS_AT_018));
+        Ok(bus * 2.0 + self.increment_access() + swap)
+    }
+
+    /// The L2 hit latency in cycles: `ceil(L2 access time / cycle time)`
+    /// (paper §5.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `boundary` is not in `1..increments`.
+    pub fn l2_hit_cycles(&self, boundary: usize) -> Result<u64, TimingError> {
+        let cycle = self.cycle_time(boundary)?;
+        Ok((self.l2_access(boundary)? / cycle).ceil() as u64)
+    }
+
+    /// The L2 miss latency in cycles: the flat 30 ns average board-level
+    /// latency converted at this boundary's cycle time.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `boundary` is not in `1..increments`.
+    pub fn miss_cycles(&self, boundary: usize) -> Result<u64, TimingError> {
+        let cycle = self.cycle_time(boundary)?;
+        Ok((Ns(MISS_LATENCY_NS) / cycle).ceil() as u64)
+    }
+
+    /// All legal boundary positions (`1..increments`).
+    pub fn boundaries(&self) -> std::ops::Range<usize> {
+        1..self.geometry.increments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CacheTimingModel {
+        CacheTimingModel::isca98(Technology::isca98_evaluation())
+    }
+
+    #[test]
+    fn isca98_geometry_is_valid() {
+        let g = CacheGeometry::isca98();
+        g.validate().unwrap();
+        assert_eq!(g.sets(), 128);
+        assert_eq!(g.total_bytes(), 128 * 1024);
+        assert_eq!(g.l1_bytes(2), 16 * 1024);
+        assert_eq!(g.l1_assoc(2), 4);
+        assert_eq!(g.l2_assoc(2), 28);
+    }
+
+    #[test]
+    fn geometry_validation_rejects_degenerate() {
+        let mut g = CacheGeometry::isca98();
+        g.increments = 0;
+        assert!(g.validate().is_err());
+        let mut g = CacheGeometry::isca98();
+        g.block_bytes = 48;
+        assert!(g.validate().is_err());
+        let mut g = CacheGeometry::isca98();
+        g.increment_assoc = 0;
+        assert!(g.validate().is_err());
+        let mut g = CacheGeometry::isca98();
+        g.increment_bytes = 32;
+        g.increment_assoc = 2;
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn local_access_matches_calibration() {
+        // Calibrated to 1.44 ns at 0.18 um for the paper's increment.
+        let a = model().increment_access();
+        assert!(a > crate::units::Ns(1.35) && a < crate::units::Ns(1.55), "got {a}");
+    }
+
+    #[test]
+    fn cycle_time_monotone_in_boundary() {
+        let m = model();
+        let mut prev = Ns(0.0);
+        for k in m.boundaries() {
+            let c = m.cycle_time(k).unwrap();
+            assert!(c >= prev, "cycle time must not decrease with a larger L1");
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn cycle_times_in_paper_range() {
+        // Base TPI = cycle / 2.67 should land on the paper's Figure 7 axes:
+        // roughly 0.19-0.45 ns for the boundaries the paper sweeps (1..=8).
+        let m = model();
+        let c1 = m.cycle_time(1).unwrap();
+        let c8 = m.cycle_time(8).unwrap();
+        assert!(c1 > Ns(0.4) && c1 < Ns(0.65), "got {c1}");
+        assert!(c8 > Ns(0.95) && c8 < Ns(1.35), "got {c8}");
+    }
+
+    #[test]
+    fn l2_hit_is_a_third_to_half_of_miss() {
+        // Paper: the 30 ns miss latency is "2-3 times the L2 hit latency".
+        let m = model();
+        for k in [1, 2, 4, 8] {
+            let hit_ns = m.l2_hit_cycles(k).unwrap() as f64 * m.cycle_time(k).unwrap().value();
+            let ratio = MISS_LATENCY_NS / hit_ns;
+            assert!((1.8..=3.5).contains(&ratio), "boundary {k}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn l2_latency_exceeds_l1_latency() {
+        let m = model();
+        for k in m.boundaries() {
+            assert!(m.l2_hit_cycles(k).unwrap() > u64::from(L1_LATENCY_CYCLES));
+        }
+    }
+
+    #[test]
+    fn miss_cycles_decrease_with_slower_clock() {
+        // The same 30 ns is fewer of the longer cycles.
+        let m = model();
+        assert!(m.miss_cycles(8).unwrap() < m.miss_cycles(1).unwrap());
+    }
+
+    #[test]
+    fn boundary_validation() {
+        let m = model();
+        assert!(m.cycle_time(0).is_err());
+        assert!(m.cycle_time(16).is_err());
+        assert!(m.cycle_time(15).is_ok());
+        assert!(m.bus_delay(0).is_err());
+        assert!(m.bus_delay(17).is_err());
+    }
+
+    #[test]
+    fn smaller_features_are_faster() {
+        let m18 = CacheTimingModel::isca98(Technology::um(0.18));
+        let m12 = CacheTimingModel::isca98(Technology::um(0.12));
+        assert!(m12.cycle_time(4).unwrap() < m18.cycle_time(4).unwrap());
+    }
+
+    #[test]
+    fn components_are_positive_and_sum() {
+        let c = model().access_components();
+        for d in [c.decode, c.wordline, c.bitline_sense, c.tag_compare, c.output_drive] {
+            assert!(d > Ns(0.0));
+        }
+        let total = c.total();
+        assert_eq!(total, model().increment_access());
+    }
+}

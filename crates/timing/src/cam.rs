@@ -1,0 +1,129 @@
+//! Generic CAM-structure timing: the shared form behind TLBs, branch
+//! predictor tag arrays and other associative lookup structures the
+//! paper lists as complexity-adaptive candidates ("branch predictor
+//! tables and TLBs may easily exceed these integer queue sizes, making
+//! them prime candidates for wire buffering strategies as well").
+//!
+//! A CAM lookup drives the search key down a (possibly repeater-buffered)
+//! match-line bus past `n` entries and resolves the match: the bus uses
+//! whichever of the buffered/unbuffered designs is faster at the model's
+//! technology point, plus a size-independent match + encode term.
+
+use crate::error::TimingError;
+use crate::tech::Technology;
+use crate::units::{Mm, Ns};
+use crate::wire::{self, Wire};
+
+/// Timing model for an associative (CAM) lookup structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CamTimingModel {
+    tech: Technology,
+    entry_pitch: Mm,
+    match_overhead_at_018: Ns,
+}
+
+impl CamTimingModel {
+    /// Creates a model.
+    ///
+    /// * `entry_pitch` — physical pitch of one entry along the match bus;
+    /// * `match_overhead_at_018` — the size-independent compare + encode
+    ///   delay, quoted at 0.18 µm and scaled linearly with feature size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::InvalidGeometry`] if the pitch or overhead
+    /// is not positive and finite.
+    pub fn new(tech: Technology, entry_pitch: Mm, match_overhead_at_018: Ns) -> Result<Self, TimingError> {
+        if !entry_pitch.is_valid() || entry_pitch.value() == 0.0 {
+            return Err(TimingError::InvalidGeometry { what: "CAM entry pitch must be positive" });
+        }
+        if !match_overhead_at_018.is_valid() || match_overhead_at_018.value() == 0.0 {
+            return Err(TimingError::InvalidGeometry { what: "CAM match overhead must be positive" });
+        }
+        Ok(CamTimingModel { tech, entry_pitch, match_overhead_at_018 })
+    }
+
+    /// A TLB-flavoured instance: wide virtual-tag entries (roughly the
+    /// pitch of an R10000 queue entry) and a 0.25 ns match + priority
+    /// encode at 0.18 µm.
+    pub fn tlb(tech: Technology) -> Self {
+        CamTimingModel { tech, entry_pitch: Mm(0.085), match_overhead_at_018: Ns(0.25) }
+    }
+
+    /// The technology operating point.
+    pub fn technology(&self) -> Technology {
+        self.tech
+    }
+
+    /// The lookup delay over the first `entries` entries of the
+    /// structure (the *enabled* section; disabled or backup entries
+    /// beyond it do not load the primary bus thanks to repeater
+    /// isolation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::InvalidGeometry`] if `entries` is zero.
+    pub fn lookup_delay(&self, entries: usize) -> Result<Ns, TimingError> {
+        if entries == 0 {
+            return Err(TimingError::InvalidGeometry { what: "CAM must have at least one entry" });
+        }
+        let bus = Wire::new(self.entry_pitch * entries as f64);
+        let wire_delay = wire::best_delay(bus, self.tech);
+        Ok(wire_delay + self.tech.scale_from_018(self.match_overhead_at_018))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CamTimingModel {
+        CamTimingModel::tlb(Technology::isca98_evaluation())
+    }
+
+    #[test]
+    fn lookup_monotone_in_entries() {
+        let m = model();
+        let mut prev = Ns(0.0);
+        for n in [16usize, 32, 64, 128, 256] {
+            let d = m.lookup_delay(n).unwrap();
+            assert!(d > prev, "{n} entries: {d} vs {prev}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn large_cams_use_buffered_bus() {
+        // Beyond the Bakoglu break-even the delay grows linearly, not
+        // quadratically.
+        let m = model();
+        let d64 = m.lookup_delay(64).unwrap();
+        let d128 = m.lookup_delay(128).unwrap();
+        let d256 = m.lookup_delay(256).unwrap();
+        let g1 = d128 - d64;
+        let g2 = d256 - d128;
+        assert!(g2 / (g1 * 2.0) < 1.25, "growth must be near-linear: {g1} then {g2}");
+    }
+
+    #[test]
+    fn scales_with_technology() {
+        let a = CamTimingModel::tlb(Technology::um(0.25));
+        let b = CamTimingModel::tlb(Technology::um(0.12));
+        assert!(b.lookup_delay(64).unwrap() < a.lookup_delay(64).unwrap());
+    }
+
+    #[test]
+    fn validation() {
+        let t = Technology::isca98_evaluation();
+        assert!(CamTimingModel::new(t, Mm(0.0), Ns(0.1)).is_err());
+        assert!(CamTimingModel::new(t, Mm(0.1), Ns(0.0)).is_err());
+        assert!(model().lookup_delay(0).is_err());
+    }
+
+    #[test]
+    fn tlb_delays_in_plausible_range() {
+        let m = model();
+        let d = m.lookup_delay(64).unwrap();
+        assert!(d > Ns(0.3) && d < Ns(1.5), "got {d}");
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared by the timing models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or evaluating a timing model with
+/// invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TimingError {
+    /// A feature size outside the supported range was requested.
+    ///
+    /// The models are calibrated for deep sub-micron CMOS in the range the
+    /// paper considers (0.12 µm – 0.8 µm).
+    FeatureSizeOutOfRange {
+        /// The requested feature size in micrometres.
+        requested_um: f64,
+    },
+    /// A structure-geometry parameter was zero or otherwise degenerate.
+    InvalidGeometry {
+        /// Human-readable description of the offending parameter.
+        what: &'static str,
+    },
+    /// A cache organization parameter is unsupported (for example a
+    /// capacity that is not a multiple of the increment size).
+    InvalidCacheOrganization {
+        /// Human-readable description of the offending parameter.
+        what: &'static str,
+    },
+    /// An instruction-queue size outside the modelled range was requested.
+    InvalidQueueSize {
+        /// The requested number of entries.
+        entries: usize,
+    },
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::FeatureSizeOutOfRange { requested_um } => write!(
+                f,
+                "feature size {requested_um} um is outside the calibrated range (0.05-1.0 um)"
+            ),
+            TimingError::InvalidGeometry { what } => {
+                write!(f, "invalid structure geometry: {what}")
+            }
+            TimingError::InvalidCacheOrganization { what } => {
+                write!(f, "invalid cache organization: {what}")
+            }
+            TimingError::InvalidQueueSize { entries } => {
+                write!(f, "instruction queue size {entries} is not a positive multiple of 16")
+            }
+        }
+    }
+}
+
+impl Error for TimingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errs = [
+            TimingError::FeatureSizeOutOfRange { requested_um: 3.0 },
+            TimingError::InvalidGeometry { what: "zero-length wire" },
+            TimingError::InvalidCacheOrganization { what: "capacity not multiple of 8 KB" },
+            TimingError::InvalidQueueSize { entries: 7 },
+        ];
+        for e in errs {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TimingError>();
+    }
+}

@@ -1,0 +1,67 @@
+//! Circuit-level timing models for Complexity-Adaptive Processors (CAPs).
+//!
+//! This crate reimplements the three timing models used by Albonesi's
+//! *Dynamic IPC/Clock Rate Optimization* (ISCA 1998):
+//!
+//! * [`wire`] — unbuffered distributed-RC wire delay and Bakoglu's optimal
+//!   repeater (wire-buffer) methodology. These reproduce the technology
+//!   exploration of the paper's Figures 1 and 2, and supply the global
+//!   address/data bus delays of the adaptive structures.
+//! * [`cacti`] — a simplified analytic cache access-time model with the
+//!   component structure of CACTI (decode, wordline, bitline/sense, tag
+//!   compare, output drive), scaled by feature size. It supplies the cycle
+//!   time and L2 latency of every L1/L2 boundary position of the adaptive
+//!   cache hierarchy.
+//! * [`queue`] — a Palacharla-style issue-window timing model (wakeup =
+//!   tag drive + tag match + match OR; select = a tree of 4-bit priority
+//!   encoders) with operand tag lines buffered every 16 entries. It supplies
+//!   the cycle time of every instruction-queue size.
+//!
+//! All models are deterministic, pure functions of a [`tech::Technology`]
+//! operating point. Delays are expressed in nanoseconds ([`units::Ns`]) and
+//! lengths in millimetres ([`units::Mm`]).
+//!
+//! # Calibration
+//!
+//! The constants in this crate are calibrated (see `DESIGN.md` at the
+//! workspace root) so that the paper's *qualitative* claims hold exactly:
+//!
+//! * buffering wins for caches of ≥ 8 two-kilobyte subarrays at 0.18 µm but
+//!   not for 4 subarrays (paper §2, Figure 1a);
+//! * buffering wins for ≥ 8 four-kilobyte subarrays (32 KB) at 0.18 µm
+//!   (Figure 1b);
+//! * buffering wins for a 32-entry integer queue at 0.12 µm, but not at
+//!   0.25 µm, with 0.18 µm in between (Figure 2);
+//! * L1-boundary cycle times land in the range that yields the paper's
+//!   TPI axes (≈ 0.2–1.2 ns per instruction at 2.67 base IPC).
+//!
+//! # Example
+//!
+//! ```
+//! use cap_timing::tech::Technology;
+//! use cap_timing::wire::{Wire, BufferedWire};
+//! use cap_timing::units::Mm;
+//!
+//! let tech = Technology::um(0.18);
+//! let wire = Wire::new(Mm(4.4));
+//! let buffered = BufferedWire::optimal(wire, tech);
+//! // For a long wire, repeaters beat the raw distributed-RC delay.
+//! assert!(buffered.delay() < wire.unbuffered_delay());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cacti;
+pub mod cam;
+pub mod error;
+pub mod queue;
+pub mod tech;
+pub mod units;
+pub mod wire;
+
+pub use cacti::CacheTimingModel;
+pub use error::TimingError;
+pub use queue::QueueTimingModel;
+pub use tech::Technology;
+pub use units::{Mm, Ns};

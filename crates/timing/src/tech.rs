@@ -1,0 +1,210 @@
+//! CMOS technology operating points and first-order scaling rules.
+//!
+//! The paper's scaling assumption (its Section 2) is deliberately simple and
+//! we reproduce it exactly:
+//!
+//! * **transistor (buffer/gate) delays scale linearly with feature size**,
+//! * **wire delays remain constant** as feature size shrinks (wire geometry
+//!   and structure footprints are held fixed).
+//!
+//! A [`Technology`] therefore carries only the drawn feature size; every
+//! derived electrical parameter is produced by scaling a calibrated
+//! reference value at [`REFERENCE_FEATURE_UM`] (0.25 µm, the generation of
+//! the UltraSPARC-IIi and PA-8500 cited by the paper).
+
+use crate::error::TimingError;
+use crate::units::Ns;
+use std::fmt;
+
+/// The reference feature size, in micrometres, at which the electrical
+/// constants of this crate are calibrated.
+pub const REFERENCE_FEATURE_UM: f64 = 0.25;
+
+/// Calibrated repeater intrinsic RC product (`R0 * C0`) at the reference
+/// feature size, in nanoseconds.
+///
+/// Chosen (see `DESIGN.md` §2) so that Bakoglu break-even lengths land
+/// where the paper's Figures 1–2 place them: a 32-entry integer queue
+/// benefits from buffering at 0.12 µm but not at 0.25 µm, and caches of
+/// eight or more 2 KB subarrays benefit at 0.18 µm.
+pub const REPEATER_RC_NS_AT_REF: f64 = 0.0282;
+
+/// Calibrated per-repeater intrinsic (parasitic) delay at the reference
+/// feature size, in nanoseconds. Added once per inserted repeater.
+pub const REPEATER_INTRINSIC_NS_AT_REF: f64 = 0.008;
+
+/// The three deep sub-micron generations swept by the paper's Figures 1–2,
+/// in micrometres: 0.25, 0.18 and 0.12.
+pub const PAPER_FEATURE_SWEEP_UM: [f64; 3] = [0.25, 0.18, 0.12];
+
+/// A CMOS process operating point.
+///
+/// `Technology` is a tiny value type: it validates the feature size once at
+/// construction and then hands out scaled device parameters. Wire
+/// parameters are *not* here — they live in [`crate::wire`] because under
+/// the paper's scaling model they do not depend on feature size.
+///
+/// # Example
+///
+/// ```
+/// use cap_timing::tech::Technology;
+///
+/// let t18 = Technology::um(0.18);
+/// let t25 = Technology::um(0.25);
+/// // Device delays scale linearly with feature size.
+/// assert!(t18.repeater_rc() < t25.repeater_rc());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Technology {
+    feature_um: f64,
+}
+
+impl Technology {
+    /// Creates a technology operating point from a drawn feature size in
+    /// micrometres.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::FeatureSizeOutOfRange`] when `feature_um` is
+    /// not within the calibrated range `0.05 ..= 1.0` or is not finite.
+    pub fn new(feature_um: f64) -> Result<Self, TimingError> {
+        if !feature_um.is_finite() || !(0.05..=1.0).contains(&feature_um) {
+            return Err(TimingError::FeatureSizeOutOfRange { requested_um: feature_um });
+        }
+        Ok(Technology { feature_um })
+    }
+
+    /// Creates a technology operating point, panicking on invalid input.
+    ///
+    /// This is the convenient constructor for the fixed process generations
+    /// used throughout the paper (`0.25`, `0.18`, `0.12`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feature_um` is outside `0.05 ..= 1.0`.
+    pub fn um(feature_um: f64) -> Self {
+        Self::new(feature_um).expect("feature size out of calibrated range")
+    }
+
+    /// The 0.18 µm generation — the process at which the paper evaluates
+    /// both adaptive structures (its Section 5 methodology).
+    pub fn isca98_evaluation() -> Self {
+        Technology { feature_um: 0.18 }
+    }
+
+    /// The drawn feature size in micrometres.
+    #[inline]
+    pub fn feature_um(&self) -> f64 {
+        self.feature_um
+    }
+
+    /// The linear device-delay scale factor relative to the 0.25 µm
+    /// reference generation (`< 1` for smaller feature sizes).
+    #[inline]
+    pub fn device_scale(&self) -> f64 {
+        self.feature_um / REFERENCE_FEATURE_UM
+    }
+
+    /// The repeater intrinsic RC product `R0 * C0` at this operating point.
+    ///
+    /// Scales linearly with feature size per the paper's assumption that
+    /// "buffer delays scale linearly with feature size".
+    #[inline]
+    pub fn repeater_rc(&self) -> Ns {
+        Ns(REPEATER_RC_NS_AT_REF * self.device_scale())
+    }
+
+    /// The per-repeater intrinsic (parasitic) delay at this operating point.
+    #[inline]
+    pub fn repeater_intrinsic(&self) -> Ns {
+        Ns(REPEATER_INTRINSIC_NS_AT_REF * self.device_scale())
+    }
+
+    /// Scales a delay calibrated at the 0.18 µm evaluation generation to
+    /// this operating point, linearly in feature size.
+    ///
+    /// Used by the CACTI-style and Palacharla-style models whose component
+    /// constants are quoted at 0.18 µm.
+    #[inline]
+    pub fn scale_from_018(&self, delay_at_018: Ns) -> Ns {
+        delay_at_018 * (self.feature_um / 0.18)
+    }
+
+    /// The paper's three-generation sweep (0.25, 0.18, 0.12 µm).
+    pub fn paper_sweep() -> [Technology; 3] {
+        PAPER_FEATURE_SWEEP_UM.map(|f| Technology { feature_um: f })
+    }
+}
+
+impl Default for Technology {
+    /// Defaults to the paper's 0.18 µm evaluation generation.
+    fn default() -> Self {
+        Self::isca98_evaluation()
+    }
+}
+
+impl fmt::Display for Technology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} um CMOS", self.feature_um)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_out_of_range() {
+        assert!(Technology::new(0.0).is_err());
+        assert!(Technology::new(-0.18).is_err());
+        assert!(Technology::new(2.0).is_err());
+        assert!(Technology::new(f64::NAN).is_err());
+        assert!(Technology::new(0.18).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature size out of calibrated range")]
+    fn um_panics_on_invalid() {
+        let _ = Technology::um(5.0);
+    }
+
+    #[test]
+    fn device_delays_scale_linearly() {
+        let t25 = Technology::um(0.25);
+        let t12 = Technology::um(0.125);
+        assert!((t25.repeater_rc() / t12.repeater_rc() - 2.0).abs() < 1e-12);
+        assert!((t25.repeater_intrinsic() / t12.repeater_intrinsic() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_point_is_identity() {
+        let t = Technology::um(REFERENCE_FEATURE_UM);
+        assert!((t.repeater_rc().value() - REPEATER_RC_NS_AT_REF).abs() < 1e-15);
+        assert!((t.device_scale() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scale_from_018_identity_at_018() {
+        let t = Technology::isca98_evaluation();
+        let d = Ns(1.5);
+        assert!((t.scale_from_018(d) / d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_is_evaluation_generation() {
+        assert_eq!(Technology::default(), Technology::isca98_evaluation());
+    }
+
+    #[test]
+    fn paper_sweep_matches_constant() {
+        let sweep = Technology::paper_sweep();
+        for (t, f) in sweep.iter().zip(PAPER_FEATURE_SWEEP_UM) {
+            assert_eq!(t.feature_um(), f);
+        }
+    }
+
+    #[test]
+    fn display_mentions_units() {
+        assert_eq!(Technology::um(0.18).to_string(), "0.18 um CMOS");
+    }
+}

@@ -1,0 +1,250 @@
+//! Thin unit newtypes used throughout the timing models.
+//!
+//! Delays are nanoseconds ([`Ns`]) and physical lengths are millimetres
+//! ([`Mm`]). The newtypes exist to prevent the classic unit mix-up bugs
+//! (adding a length to a time, passing microns where millimetres are
+//! expected) while staying cheap: both are `Copy` wrappers around `f64`
+//! with only the arithmetic that is dimensionally meaningful.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A duration in nanoseconds.
+///
+/// # Example
+///
+/// ```
+/// use cap_timing::units::Ns;
+///
+/// let cycle = Ns(0.5);
+/// let three_cycles = cycle * 3.0;
+/// assert_eq!(three_cycles, Ns(1.5));
+/// assert_eq!(three_cycles / cycle, 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Ns(pub f64);
+
+/// A physical length in millimetres.
+///
+/// # Example
+///
+/// ```
+/// use cap_timing::units::Mm;
+///
+/// let segment = Mm(0.55);
+/// assert_eq!(segment * 2.0, Mm(1.1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Mm(pub f64);
+
+macro_rules! impl_unit {
+    ($ty:ident, $suffix:expr) => {
+        impl $ty {
+            /// Returns the raw `f64` value.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the maximum of `self` and `other`.
+            ///
+            /// Provided because `f64` is not `Ord`; NaN propagates like
+            /// `f64::max` (the non-NaN operand wins).
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                $ty(self.0.max(other.0))
+            }
+
+            /// Returns the minimum of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                $ty(self.0.min(other.0))
+            }
+
+            /// Returns `true` if the value is finite and non-negative — the
+            /// validity condition for every delay and length in this crate.
+            #[inline]
+            pub fn is_valid(self) -> bool {
+                self.0.is_finite() && self.0 >= 0.0
+            }
+        }
+
+        impl Add for $ty {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                $ty(self.0 + rhs.0)
+            }
+        }
+
+        impl AddAssign for $ty {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl Sub for $ty {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                $ty(self.0 - rhs.0)
+            }
+        }
+
+        impl SubAssign for $ty {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $ty {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                $ty(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $ty {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                $ty(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$ty> for f64 {
+            type Output = $ty;
+            #[inline]
+            fn mul(self, rhs: $ty) -> $ty {
+                $ty(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $ty {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                $ty(self.0 / rhs)
+            }
+        }
+
+        /// Dividing two like units yields a dimensionless ratio.
+        impl Div for $ty {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $ty {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                iter.fold($ty(0.0), |acc, x| acc + x)
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                if let Some(prec) = f.precision() {
+                    write!(f, "{:.*} {}", prec, self.0, $suffix)
+                } else {
+                    write!(f, "{} {}", self.0, $suffix)
+                }
+            }
+        }
+    };
+}
+
+impl_unit!(Ns, "ns");
+impl_unit!(Mm, "mm");
+
+impl Ns {
+    /// Converts to picoseconds.
+    #[inline]
+    pub fn as_ps(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The equivalent clock frequency in gigahertz (`1 / self`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the period is not strictly positive.
+    #[inline]
+    pub fn as_ghz(self) -> f64 {
+        debug_assert!(self.0 > 0.0, "period must be positive to invert");
+        1.0 / self.0
+    }
+}
+
+impl Mm {
+    /// Converts to micrometres.
+    #[inline]
+    pub fn as_um(self) -> f64 {
+        self.0 * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let a = Ns(1.5);
+        let b = Ns(0.5);
+        assert_eq!(a + b, Ns(2.0));
+        assert_eq!(a - b, Ns(1.0));
+        assert_eq!(a * 2.0, Ns(3.0));
+        assert_eq!(2.0 * a, Ns(3.0));
+        assert_eq!(a / 3.0, Ns(0.5));
+        assert_eq!(a / b, 3.0);
+    }
+
+    #[test]
+    fn add_assign_and_neg() {
+        let mut a = Mm(1.0);
+        a += Mm(0.25);
+        assert_eq!(a, Mm(1.25));
+        a -= Mm(0.25);
+        assert_eq!(a, Mm(1.0));
+        assert_eq!(-a, Mm(-1.0));
+    }
+
+    #[test]
+    fn max_min() {
+        assert_eq!(Ns(1.0).max(Ns(2.0)), Ns(2.0));
+        assert_eq!(Ns(1.0).min(Ns(2.0)), Ns(1.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Ns = (1..=4).map(|i| Ns(i as f64)).sum();
+        assert_eq!(total, Ns(10.0));
+    }
+
+    #[test]
+    fn display_with_precision() {
+        assert_eq!(format!("{:.2}", Ns(0.123456)), "0.12 ns");
+        assert_eq!(format!("{:.1}", Mm(4.44)), "4.4 mm");
+    }
+
+    #[test]
+    fn conversions() {
+        assert!((Ns(0.5).as_ps() - 500.0).abs() < 1e-12);
+        assert!((Ns(0.5).as_ghz() - 2.0).abs() < 1e-12);
+        assert!((Mm(0.25).as_um() - 250.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity() {
+        assert!(Ns(0.0).is_valid());
+        assert!(!Ns(-1.0).is_valid());
+        assert!(!Ns(f64::NAN).is_valid());
+        assert!(!Mm(f64::INFINITY).is_valid());
+    }
+}

@@ -1,0 +1,422 @@
+//! Distributed-RC wire delay and Bakoglu's optimal repeater methodology.
+//!
+//! This module reproduces the wire-delay analysis of the paper's Section 2
+//! (Figures 1 and 2). A long on-chip bus is modelled as a distributed RC
+//! line; without repeaters its delay grows quadratically with length, and
+//! with optimally inserted repeaters ("wire buffers") it grows linearly:
+//!
+//! * unbuffered: `T = 0.377 * r * c * L^2` (Bakoglu & Meindl),
+//! * buffered:   `T = 2.5 * L * sqrt(R0*C0 * r*c) + k_opt * t_int`,
+//!
+//! where `r`, `c` are the per-millimetre wire resistance and (loaded)
+//! capacitance, `R0*C0` is the repeater intrinsic RC product (scales
+//! linearly with feature size, see [`crate::tech`]), `k_opt` the optimal
+//! repeater count and `t_int` a per-repeater parasitic delay.
+//!
+//! Per the paper's first-order scaling model, `r` and `c` — and therefore
+//! the unbuffered curve — are independent of feature size, while the
+//! buffered curves improve as features shrink.
+//!
+//! The module also provides the structure geometry used by the paper:
+//! [`cache_bus_length`] for caches built from equal subarrays, and
+//! [`queue_bus_length`] for an R10000-style integer queue whose entry is
+//! equivalent to roughly 60 bytes of single-ported RAM.
+
+use crate::error::TimingError;
+use crate::tech::Technology;
+use crate::units::{Mm, Ns};
+
+/// Effective wire resistance per millimetre, in ohms, of the global
+/// address/data bus metal (including via resistance).
+pub const WIRE_R_PER_MM: f64 = 90.0;
+
+/// Effective loaded wire capacitance per millimetre, in farads, including
+/// the input capacitance of the storage-element taps hanging off the bus.
+pub const WIRE_C_PER_MM: f64 = 1.03e-12;
+
+/// The distributed-RC product `r * c` in nanoseconds per square millimetre.
+pub const WIRE_RC_NS_PER_MM2: f64 = WIRE_R_PER_MM * WIRE_C_PER_MM * 1e9;
+
+/// The Sakurai/Bakoglu coefficient for the 50 % delay of an unbuffered
+/// distributed RC line.
+pub const UNBUFFERED_COEFF: f64 = 0.377;
+
+/// Ratio `R0 / C0` of the reference repeater, in ohms per farad, used only
+/// to report the optimal repeater *size* (the delay formulas need only the
+/// product `R0 * C0`).
+pub const REPEATER_R_OVER_C: f64 = 1.0e18;
+
+/// Physical pitch of a 2 KB cache subarray along the global bus, in
+/// millimetres. Larger subarrays scale as `sqrt(capacity)`.
+pub const SUBARRAY_PITCH_2KB_MM: f64 = 0.55;
+
+/// Physical pitch of one R10000-style integer-queue entry along the tag
+/// bus, in millimetres.
+pub const QUEUE_ENTRY_PITCH_MM: f64 = 0.095;
+
+/// A straight global wire (address or data bus) of a given length.
+///
+/// # Example
+///
+/// ```
+/// use cap_timing::wire::Wire;
+/// use cap_timing::units::Mm;
+///
+/// let w = Wire::new(Mm(4.0));
+/// // Quadratic growth: doubling the length quadruples the delay.
+/// let d1 = w.unbuffered_delay();
+/// let d2 = Wire::new(Mm(8.0)).unbuffered_delay();
+/// assert!((d2 / d1 - 4.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wire {
+    length: Mm,
+}
+
+impl Wire {
+    /// Creates a wire of the given length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `length` is negative or not finite.
+    pub fn new(length: Mm) -> Self {
+        assert!(length.is_valid(), "wire length must be finite and non-negative");
+        Wire { length }
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TimingError::InvalidGeometry`] if `length` is negative or
+    /// not finite.
+    pub fn try_new(length: Mm) -> Result<Self, TimingError> {
+        if !length.is_valid() {
+            return Err(TimingError::InvalidGeometry { what: "wire length must be finite and non-negative" });
+        }
+        Ok(Wire { length })
+    }
+
+    /// The wire length.
+    #[inline]
+    pub fn length(&self) -> Mm {
+        self.length
+    }
+
+    /// The 50 % delay of the wire driven as a single unbuffered distributed
+    /// RC line: `0.377 * r * c * L^2`.
+    ///
+    /// Independent of feature size under the paper's scaling model.
+    #[inline]
+    pub fn unbuffered_delay(&self) -> Ns {
+        Ns(UNBUFFERED_COEFF * WIRE_RC_NS_PER_MM2 * self.length.value() * self.length.value())
+    }
+}
+
+/// A wire with Bakoglu-optimal repeaters inserted, at a specific technology
+/// operating point.
+///
+/// Construction computes the optimal repeater count and size and the
+/// resulting (length-linear) delay. The segments between repeaters are
+/// electrically isolated, which is exactly the property the CAP approach
+/// exploits: the segment length ([`BufferedWire::segment_length`]) is the
+/// minimum configuration increment that can be supported with no delay
+/// penalty (paper Section 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferedWire {
+    wire: Wire,
+    tech: Technology,
+    repeaters: f64,
+    delay: Ns,
+}
+
+impl BufferedWire {
+    /// Inserts the Bakoglu-optimal number of repeaters into `wire` at the
+    /// given technology point.
+    pub fn optimal(wire: Wire, tech: Technology) -> Self {
+        let l = wire.length().value();
+        let rc = WIRE_RC_NS_PER_MM2;
+        let tau0 = tech.repeater_rc().value();
+        // Optimal repeater count per Bakoglu: k = sqrt(0.4 R C / (0.7 R0 C0)),
+        // with R = r*L, C = c*L, i.e. linear in length.
+        let repeaters = l * (0.4 * rc / (0.7 * tau0)).sqrt();
+        let ideal = 2.5 * l * (tau0 * rc).sqrt();
+        let parasitic = repeaters * tech.repeater_intrinsic().value();
+        BufferedWire { wire, tech, repeaters, delay: Ns(ideal + parasitic) }
+    }
+
+    /// The underlying wire.
+    #[inline]
+    pub fn wire(&self) -> Wire {
+        self.wire
+    }
+
+    /// The technology operating point.
+    #[inline]
+    pub fn technology(&self) -> Technology {
+        self.tech
+    }
+
+    /// The total delay of the repeater-buffered wire.
+    #[inline]
+    pub fn delay(&self) -> Ns {
+        self.delay
+    }
+
+    /// The optimal repeater count, rounded to the nearest whole repeater
+    /// (at least one for any wire of positive length).
+    pub fn num_repeaters(&self) -> usize {
+        if self.wire.length().value() == 0.0 {
+            0
+        } else {
+            (self.repeaters.round() as usize).max(1)
+        }
+    }
+
+    /// The optimal repeater size as a multiple of a minimum inverter:
+    /// `h = sqrt((R0/C0) * c / r)`.
+    pub fn repeater_size(&self) -> f64 {
+        (REPEATER_R_OVER_C * WIRE_C_PER_MM / WIRE_R_PER_MM).sqrt()
+    }
+
+    /// The electrically isolated segment length between adjacent repeaters.
+    ///
+    /// This is the minimum configuration increment a complexity-adaptive
+    /// structure built on this bus can support with no delay penalty.
+    pub fn segment_length(&self) -> Mm {
+        let k = self.num_repeaters();
+        if k == 0 {
+            self.wire.length()
+        } else {
+            self.wire.length() / (k as f64 + 1.0)
+        }
+    }
+}
+
+/// The delay of the *better* of the buffered and unbuffered designs.
+///
+/// The paper's methodology: "whenever buffered line delays were faster than
+/// unbuffered delays, we used buffered values for the conventional cache
+/// hierarchy as well" — i.e. both conventional and adaptive structures use
+/// whichever wire design is faster.
+pub fn best_delay(wire: Wire, tech: Technology) -> Ns {
+    wire.unbuffered_delay().min(BufferedWire::optimal(wire, tech).delay())
+}
+
+/// The wire length above which repeater insertion beats the unbuffered
+/// design at the given technology point.
+///
+/// Solves `0.377*rc*L^2 = 2.5*L*sqrt(tau0*rc) + alpha*L*t_int` for `L`,
+/// where `alpha` is the per-millimetre optimal repeater density.
+pub fn break_even_length(tech: Technology) -> Mm {
+    let rc = WIRE_RC_NS_PER_MM2;
+    let tau0 = tech.repeater_rc().value();
+    let alpha = (0.4 * rc / (0.7 * tau0)).sqrt();
+    let numer = 2.5 * (tau0 * rc).sqrt() + alpha * tech.repeater_intrinsic().value();
+    Mm(numer / (UNBUFFERED_COEFF * rc))
+}
+
+/// Whether a structure whose global bus has the given length benefits from
+/// repeater buffering at the given technology point.
+pub fn buffering_beneficial(length: Mm, tech: Technology) -> bool {
+    length > break_even_length(tech)
+}
+
+/// The global address-bus length of a cache built from `num_subarrays`
+/// equal subarrays of `subarray_bytes` each.
+///
+/// Subarray pitch along the bus scales with the square root of its
+/// capacity, anchored at [`SUBARRAY_PITCH_2KB_MM`] for 2 KB.
+///
+/// # Errors
+///
+/// Returns [`TimingError::InvalidGeometry`] if either argument is zero.
+pub fn cache_bus_length(num_subarrays: usize, subarray_bytes: usize) -> Result<Mm, TimingError> {
+    if num_subarrays == 0 {
+        return Err(TimingError::InvalidGeometry { what: "cache must have at least one subarray" });
+    }
+    if subarray_bytes == 0 {
+        return Err(TimingError::InvalidGeometry { what: "subarray capacity must be positive" });
+    }
+    let pitch = SUBARRAY_PITCH_2KB_MM * (subarray_bytes as f64 / 2048.0).sqrt();
+    Ok(Mm(num_subarrays as f64 * pitch))
+}
+
+/// The operand tag-bus length of an R10000-style integer instruction queue
+/// with the given number of entries.
+///
+/// # Errors
+///
+/// Returns [`TimingError::InvalidGeometry`] if `entries` is zero.
+pub fn queue_bus_length(entries: usize) -> Result<Mm, TimingError> {
+    if entries == 0 {
+        return Err(TimingError::InvalidGeometry { what: "queue must have at least one entry" });
+    }
+    Ok(Mm(entries as f64 * QUEUE_ENTRY_PITCH_MM))
+}
+
+/// The single-ported-RAM-equivalent area of one R10000 integer queue entry,
+/// in bytes, under the paper's area assumptions.
+///
+/// Each entry holds 52 bits of single-ported RAM, 12 bits of triple-ported
+/// CAM and 6 bits of quadruple-ported CAM; a CAM cell is twice the area of
+/// a RAM cell and area grows quadratically with the port count. The paper
+/// rounds the result to "roughly 60 bytes".
+pub fn r10000_entry_equivalent_bytes() -> f64 {
+    let ram_bits = 52.0; // single-ported RAM
+    let cam3 = 12.0 * 2.0 * (3.0 * 3.0); // 12b CAM, 3 ports, 2x cell area
+    let cam4 = 6.0 * 2.0 * (4.0 * 4.0); // 6b CAM, 4 ports
+    (ram_bits + cam3 + cam4) / 8.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(f: f64) -> Technology {
+        Technology::um(f)
+    }
+
+    #[test]
+    fn unbuffered_is_quadratic() {
+        let d1 = Wire::new(Mm(2.0)).unbuffered_delay();
+        let d2 = Wire::new(Mm(6.0)).unbuffered_delay();
+        assert!((d2 / d1 - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbuffered_matches_fig1_scale() {
+        // 16 subarrays of 2 KB: the top of Figure 1(a), roughly 2.7 ns.
+        let l = cache_bus_length(16, 2048).unwrap();
+        let d = Wire::new(l).unbuffered_delay();
+        assert!(d > Ns(2.4) && d < Ns(3.0), "got {d}");
+    }
+
+    #[test]
+    fn buffered_is_linear_in_length() {
+        let tech = t(0.18);
+        let d1 = BufferedWire::optimal(Wire::new(Mm(2.0)), tech).delay();
+        let d2 = BufferedWire::optimal(Wire::new(Mm(4.0)), tech).delay();
+        assert!((d2 / d1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffered_improves_with_smaller_features() {
+        let w = Wire::new(Mm(6.0));
+        let d25 = BufferedWire::optimal(w, t(0.25)).delay();
+        let d18 = BufferedWire::optimal(w, t(0.18)).delay();
+        let d12 = BufferedWire::optimal(w, t(0.12)).delay();
+        assert!(d12 < d18 && d18 < d25);
+    }
+
+    #[test]
+    fn paper_claim_cache_2kb_subarrays_018() {
+        // Paper §2: "16KB and larger caches constructed from 2KB subarrays
+        // and implemented in 0.18 micron technology will benefit from
+        // buffering strategies" — and, implicitly, an 8 KB cache (4
+        // subarrays) does not.
+        let tech = t(0.18);
+        let l16kb = cache_bus_length(8, 2048).unwrap();
+        let l8kb = cache_bus_length(4, 2048).unwrap();
+        assert!(buffering_beneficial(l16kb, tech));
+        assert!(!buffering_beneficial(l8kb, tech));
+    }
+
+    #[test]
+    fn paper_claim_cache_4kb_subarrays_018() {
+        // Paper §2: "Using 4KB subarrays, a buffering strategy will clearly
+        // be beneficial for caches 32KB and larger with 0.18 micron
+        // technology."
+        let tech = t(0.18);
+        let l32kb = cache_bus_length(8, 4096).unwrap();
+        assert!(buffering_beneficial(l32kb, tech));
+        // And clearly: the margin is large.
+        let w = Wire::new(l32kb);
+        let buf = BufferedWire::optimal(w, tech).delay();
+        assert!(w.unbuffered_delay() / buf > 1.5);
+    }
+
+    #[test]
+    fn paper_claim_queue_crossovers() {
+        // Paper §2: "Buffering performs better for a 32-entry queue with
+        // 0.12 micron technology, while larger queue sizes clearly favor
+        // the buffered approach with a feature size of 0.18 microns."
+        let l32 = queue_bus_length(32).unwrap();
+        let l48 = queue_bus_length(48).unwrap();
+        assert!(buffering_beneficial(l32, t(0.12)));
+        assert!(!buffering_beneficial(l32, t(0.18)));
+        assert!(buffering_beneficial(l48, t(0.18)));
+        // At the older 0.25 um point, a 32-entry queue does not benefit.
+        assert!(!buffering_beneficial(l32, t(0.25)));
+    }
+
+    #[test]
+    fn break_even_shrinks_with_feature_size() {
+        assert!(break_even_length(t(0.12)) < break_even_length(t(0.18)));
+        assert!(break_even_length(t(0.18)) < break_even_length(t(0.25)));
+    }
+
+    #[test]
+    fn best_delay_picks_minimum() {
+        let tech = t(0.18);
+        let short = Wire::new(Mm(0.5));
+        let long = Wire::new(Mm(10.0));
+        assert_eq!(best_delay(short, tech), short.unbuffered_delay());
+        assert_eq!(best_delay(long, tech), BufferedWire::optimal(long, tech).delay());
+    }
+
+    #[test]
+    fn repeater_count_scales_with_length() {
+        let tech = t(0.18);
+        let k1 = BufferedWire::optimal(Wire::new(Mm(3.0)), tech).num_repeaters();
+        let k2 = BufferedWire::optimal(Wire::new(Mm(9.0)), tech).num_repeaters();
+        assert!(k2 > k1);
+        assert!(k1 >= 1);
+    }
+
+    #[test]
+    fn segment_length_partitions_wire() {
+        let tech = t(0.18);
+        let b = BufferedWire::optimal(Wire::new(Mm(8.8)), tech);
+        let seg = b.segment_length();
+        let total = seg * (b.num_repeaters() as f64 + 1.0);
+        assert!((total / b.wire().length() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeater_size_is_much_larger_than_min_inverter() {
+        let b = BufferedWire::optimal(Wire::new(Mm(5.0)), t(0.18));
+        assert!(b.repeater_size() > 10.0);
+    }
+
+    #[test]
+    fn zero_length_wire_is_free() {
+        let w = Wire::new(Mm(0.0));
+        assert_eq!(w.unbuffered_delay(), Ns(0.0));
+        let b = BufferedWire::optimal(w, t(0.18));
+        assert_eq!(b.delay(), Ns(0.0));
+        assert_eq!(b.num_repeaters(), 0);
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(cache_bus_length(0, 2048).is_err());
+        assert!(cache_bus_length(4, 0).is_err());
+        assert!(queue_bus_length(0).is_err());
+        assert!(Wire::try_new(Mm(-1.0)).is_err());
+    }
+
+    #[test]
+    fn r10000_entry_is_roughly_60_bytes() {
+        let b = r10000_entry_equivalent_bytes();
+        assert!(b > 50.0 && b < 65.0, "got {b}");
+    }
+
+    #[test]
+    fn queue_unbuffered_matches_fig2_scale() {
+        // Figure 2 tops out around 1.3 ns at 64 entries.
+        let l = queue_bus_length(64).unwrap();
+        let d = Wire::new(l).unbuffered_delay();
+        assert!(d > Ns(1.0) && d < Ns(1.5), "got {d}");
+    }
+}

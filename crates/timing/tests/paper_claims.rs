@@ -1,0 +1,145 @@
+//! Property tests over the timing models: every claim the paper's
+//! Section 2 makes about wires and structures must hold across the whole
+//! calibrated parameter space, not just at the figures' sample points.
+
+use cap_timing::cacti::{CacheGeometry, CacheTimingModel, L1_LATENCY_CYCLES, MISS_LATENCY_NS};
+use cap_timing::cam::CamTimingModel;
+use cap_timing::queue::{QueueTimingModel, PAPER_SIZES};
+use cap_timing::units::{Mm, Ns};
+use cap_timing::wire::{
+    break_even_length, buffering_beneficial, cache_bus_length, queue_bus_length, BufferedWire, Wire,
+};
+use cap_timing::Technology;
+use proptest::prelude::*;
+
+fn arb_tech() -> impl Strategy<Value = Technology> {
+    (0.08f64..0.5).prop_map(Technology::um)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Unbuffered wire delay is exactly quadratic in length.
+    #[test]
+    fn unbuffered_quadratic(len in 0.1f64..30.0, scale in 1.1f64..5.0) {
+        let d1 = Wire::new(Mm(len)).unbuffered_delay();
+        let d2 = Wire::new(Mm(len * scale)).unbuffered_delay();
+        prop_assert!((d2 / d1 - scale * scale).abs() < 1e-9);
+    }
+
+    /// Buffered wire delay is exactly linear in length.
+    #[test]
+    fn buffered_linear(len in 0.1f64..30.0, scale in 1.1f64..5.0, tech in arb_tech()) {
+        let d1 = BufferedWire::optimal(Wire::new(Mm(len)), tech).delay();
+        let d2 = BufferedWire::optimal(Wire::new(Mm(len * scale)), tech).delay();
+        prop_assert!((d2 / d1 - scale).abs() < 1e-9);
+    }
+
+    /// Smaller features never make a buffered wire slower, and never
+    /// change the unbuffered wire at all (the paper's scaling model).
+    #[test]
+    fn feature_scaling_direction(len in 0.5f64..20.0, f1 in 0.08f64..0.5, f2 in 0.08f64..0.5) {
+        let (small, large) = if f1 < f2 { (f1, f2) } else { (f2, f1) };
+        let w = Wire::new(Mm(len));
+        let ds = BufferedWire::optimal(w, Technology::um(small)).delay();
+        let dl = BufferedWire::optimal(w, Technology::um(large)).delay();
+        prop_assert!(ds <= dl);
+        prop_assert_eq!(w.unbuffered_delay(), Wire::new(Mm(len)).unbuffered_delay());
+    }
+
+    /// The break-even predicate agrees with a direct delay comparison.
+    #[test]
+    fn break_even_consistent(len in 0.1f64..30.0, tech in arb_tech()) {
+        let w = Wire::new(Mm(len));
+        let buffered = BufferedWire::optimal(w, tech).delay();
+        let be = break_even_length(tech);
+        if Mm(len) > be * 1.01 {
+            prop_assert!(buffered < w.unbuffered_delay());
+            prop_assert!(buffering_beneficial(Mm(len), tech));
+        }
+        if Mm(len) < be * 0.99 {
+            prop_assert!(buffered >= w.unbuffered_delay());
+        }
+    }
+
+    /// Cache bus length is additive in subarrays and grows with capacity
+    /// as sqrt.
+    #[test]
+    fn bus_geometry(n in 1usize..64, bytes_log in 10u32..15) {
+        let bytes = 1usize << bytes_log;
+        let l1 = cache_bus_length(n, bytes).unwrap();
+        let l2 = cache_bus_length(2 * n, bytes).unwrap();
+        prop_assert!((l2 / l1 - 2.0).abs() < 1e-9);
+        let l4 = cache_bus_length(n, 4 * bytes).unwrap();
+        prop_assert!((l4 / l1 - 2.0).abs() < 1e-9, "4x capacity = 2x pitch");
+    }
+
+    /// Queue cycle time is monotone over any pair of valid sizes and
+    /// scales linearly with feature size.
+    #[test]
+    fn queue_cycle_monotone(a in 1usize..16, b in 1usize..16, tech in arb_tech()) {
+        let m = QueueTimingModel::new(tech);
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        let cs = m.cycle_time(small * 16).unwrap();
+        let cl = m.cycle_time(large * 16).unwrap();
+        prop_assert!(cs <= cl);
+    }
+
+    /// Cache cycle times, L2 latencies and miss latencies are all
+    /// positive, ordered, and the ns-denominated L2/miss relation holds
+    /// for every boundary.
+    #[test]
+    fn cache_latency_ordering(k in 1usize..16, tech in arb_tech()) {
+        let m = CacheTimingModel::isca98(tech);
+        let cycle = m.cycle_time(k).unwrap();
+        prop_assert!(cycle > Ns(0.0));
+        let l2 = m.l2_hit_cycles(k).unwrap();
+        prop_assert!(l2 > u64::from(L1_LATENCY_CYCLES));
+        // ceil() rounding never undercharges.
+        prop_assert!(l2 as f64 * cycle.value() >= m.l2_access(k).unwrap().value() - 1e-9);
+        let miss = m.miss_cycles(k).unwrap();
+        prop_assert!(miss as f64 * cycle.value() >= MISS_LATENCY_NS - 1e-9);
+    }
+
+    /// CAM lookups are monotone in entries for any plausible geometry.
+    #[test]
+    fn cam_monotone(pitch_um in 20.0f64..300.0, overhead_ps in 50.0f64..600.0, tech in arb_tech(), n in 1usize..9) {
+        let m = CamTimingModel::new(tech, Mm(pitch_um / 1000.0), Ns(overhead_ps / 1000.0)).unwrap();
+        let d1 = m.lookup_delay(16 * n).unwrap();
+        let d2 = m.lookup_delay(32 * n).unwrap();
+        prop_assert!(d2 > d1);
+    }
+}
+
+#[test]
+fn geometry_sets_do_not_alias() {
+    // The evaluated geometry's set count and the boundary-derived
+    // associativities must be consistent for every boundary.
+    let g = CacheGeometry::isca98();
+    for k in 1..g.increments {
+        assert_eq!(g.l1_assoc(k) + g.l2_assoc(k), g.increments * g.increment_assoc);
+        assert_eq!(g.l1_bytes(k) / (g.block_bytes * g.l1_assoc(k)), g.sets());
+    }
+}
+
+#[test]
+fn paper_sizes_all_valid() {
+    let m = QueueTimingModel::default();
+    for s in PAPER_SIZES {
+        assert!(m.cycle_time(s).is_ok());
+        assert!(queue_bus_length(s).is_ok());
+    }
+}
+
+#[test]
+fn cycle_ratio_between_extremes_is_bounded() {
+    // The whole evaluation depends on the clock spread between the
+    // smallest and largest configurations being meaningful but not
+    // absurd — for both structures.
+    let q = QueueTimingModel::default();
+    let rq = q.cycle_time(128).unwrap() / q.cycle_time(16).unwrap();
+    assert!((1.2..2.5).contains(&rq), "queue spread {rq}");
+    let c = CacheTimingModel::isca98(Technology::isca98_evaluation());
+    let rc = c.cycle_time(8).unwrap() / c.cycle_time(1).unwrap();
+    assert!((1.5..3.0).contains(&rc), "cache spread {rc}");
+}

@@ -1,0 +1,48 @@
+//! Error type for trace-generator construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when building a trace generator from invalid parameters.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// A generator was built with no regions / segments to draw from.
+    Empty {
+        /// What kind of generator was empty.
+        what: &'static str,
+    },
+    /// A weight, probability or size parameter was out of range.
+    InvalidParameter {
+        /// Human-readable description of the offending parameter.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Empty { what } => write!(f, "cannot build an empty {what}"),
+            TraceError::InvalidParameter { what } => write!(f, "invalid generator parameter: {what}"),
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!TraceError::Empty { what: "region mix" }.to_string().is_empty());
+        assert!(!TraceError::InvalidParameter { what: "negative weight" }.to_string().is_empty());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceError>();
+    }
+}

@@ -1,0 +1,274 @@
+//! LRU stack-distance (reuse-distance) profiling.
+//!
+//! The workload crate calibrates each synthetic application's region
+//! mixture against a target miss-ratio-versus-capacity curve. This module
+//! supplies the measuring instrument: a single pass over an address stream
+//! yields, for *every* fully associative LRU capacity at once, the exact
+//! miss ratio (Mattson's stack algorithm).
+//!
+//! The implementation uses the classic Fenwick-tree formulation: each
+//! block's most recent access position is marked in a binary indexed tree,
+//! and the reuse distance of an access is the number of *distinct* blocks
+//! touched since that block's previous access — a suffix count.
+//!
+//! # Example
+//!
+//! ```
+//! use cap_trace::stack::StackProfiler;
+//!
+//! let mut p = StackProfiler::new(32);
+//! for round in 0..4 {
+//!     for blk in 0..8u64 {
+//!         p.observe(blk * 32);
+//!     }
+//!     let _ = round;
+//! }
+//! // 8 distinct blocks swept cyclically: an LRU cache of 8 blocks hits
+//! // after the cold pass; a cache of 4 blocks always misses.
+//! assert!(p.miss_ratio_at_blocks(8) < 0.3);
+//! assert_eq!(p.miss_ratio_at_blocks(4), 1.0);
+//! ```
+
+use std::collections::HashMap;
+
+/// Mattson stack-distance profiler over block-granular addresses.
+#[derive(Debug, Clone)]
+pub struct StackProfiler {
+    block_shift: u32,
+    /// Block -> most recent access position (1-based in the Fenwick tree).
+    last_pos: HashMap<u64, usize>,
+    /// Fenwick tree marking active (most recent) positions.
+    tree: Vec<u32>,
+    /// Number of accesses observed so far.
+    time: usize,
+    /// `hist[d]` = number of accesses with reuse distance exactly `d`.
+    hist: Vec<u64>,
+    cold: u64,
+}
+
+impl StackProfiler {
+    /// Creates a profiler with the given cache-block size in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_bytes` is not a power of two.
+    pub fn new(block_bytes: u64) -> Self {
+        assert!(block_bytes.is_power_of_two(), "block size must be a power of two");
+        StackProfiler {
+            block_shift: block_bytes.trailing_zeros(),
+            last_pos: HashMap::new(),
+            tree: vec![0; 1024],
+            time: 0,
+            hist: Vec::new(),
+            cold: 0,
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i32) {
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + i64::from(delta)) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn prefix(&self, mut i: usize) -> u64 {
+        let mut s = 0u64;
+        while i > 0 {
+            s += u64::from(self.tree[i]);
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.tree.len() * 2;
+        let mut bigger = StackProfiler {
+            block_shift: self.block_shift,
+            last_pos: HashMap::with_capacity(self.last_pos.len()),
+            tree: vec![0; new_len],
+            time: self.time,
+            hist: std::mem::take(&mut self.hist),
+            cold: self.cold,
+        };
+        for (&blk, &pos) in &self.last_pos {
+            bigger.last_pos.insert(blk, pos);
+            bigger.add(pos, 1);
+        }
+        *self = bigger;
+    }
+
+    /// Observes one access at byte address `addr`.
+    pub fn observe(&mut self, addr: u64) {
+        let blk = addr >> self.block_shift;
+        self.time += 1;
+        if self.time + 1 >= self.tree.len() {
+            self.grow();
+        }
+        let active = self.last_pos.len() as u64;
+        match self.last_pos.get(&blk).copied() {
+            Some(p) => {
+                // Distinct blocks accessed since: active positions after p.
+                let distance = (active - self.prefix(p)) as usize;
+                if distance >= self.hist.len() {
+                    self.hist.resize(distance + 1, 0);
+                }
+                self.hist[distance] += 1;
+                self.add(p, -1);
+            }
+            None => self.cold += 1,
+        }
+        let t = self.time;
+        self.add(t, 1);
+        self.last_pos.insert(blk, t);
+    }
+
+    /// Total accesses observed.
+    pub fn total(&self) -> u64 {
+        self.time as u64
+    }
+
+    /// Cold (first-touch) accesses observed.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Number of distinct blocks touched.
+    pub fn footprint_blocks(&self) -> u64 {
+        self.last_pos.len() as u64
+    }
+
+    /// Miss ratio of a fully associative LRU cache of `blocks` blocks:
+    /// cold misses plus all accesses whose reuse distance is at least
+    /// `blocks`. Returns 0 when nothing was observed.
+    pub fn miss_ratio_at_blocks(&self, blocks: u64) -> f64 {
+        if self.time == 0 {
+            return 0.0;
+        }
+        let reuse_misses: u64 = self
+            .hist
+            .iter()
+            .enumerate()
+            .skip(blocks as usize)
+            .map(|(_, &c)| c)
+            .sum();
+        (self.cold + reuse_misses) as f64 / self.time as f64
+    }
+
+    /// Miss ratio at a capacity expressed in bytes.
+    pub fn miss_ratio_at_bytes(&self, bytes: u64) -> f64 {
+        self.miss_ratio_at_blocks(bytes >> self.block_shift)
+    }
+
+    /// The raw reuse-distance histogram (`hist[d]` = accesses at distance
+    /// exactly `d`; cold misses excluded).
+    pub fn histogram(&self) -> &[u64] {
+        &self.hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep(p: &mut StackProfiler, blocks: u64, rounds: usize) {
+        for _ in 0..rounds {
+            for b in 0..blocks {
+                p.observe(b * 32);
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_sweep_is_all_or_nothing() {
+        let mut p = StackProfiler::new(32);
+        sweep(&mut p, 100, 10);
+        // Capacity >= working set: only the cold pass misses.
+        let big = p.miss_ratio_at_blocks(100);
+        assert!((big - 0.1).abs() < 1e-9, "got {big}");
+        // Capacity below working set: LRU pathology, everything misses.
+        assert_eq!(p.miss_ratio_at_blocks(99), 1.0);
+        assert_eq!(p.miss_ratio_at_blocks(10), 1.0);
+    }
+
+    #[test]
+    fn repeated_single_block_always_hits() {
+        let mut p = StackProfiler::new(32);
+        for _ in 0..50 {
+            p.observe(0x1000);
+        }
+        assert_eq!(p.cold_misses(), 1);
+        assert!((p.miss_ratio_at_blocks(1) - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_ratio_monotone_in_capacity() {
+        let mut p = StackProfiler::new(32);
+        // Mixed pattern: two interleaved sweeps of different sizes.
+        for i in 0..5000u64 {
+            p.observe((i % 37) * 32);
+            p.observe(0x10_0000 + (i % 211) * 32);
+        }
+        let mut prev = 1.0;
+        for cap in [1u64, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            let m = p.miss_ratio_at_blocks(cap);
+            assert!(m <= prev + 1e-12, "miss ratio must not increase with capacity");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn footprint_counts_distinct_blocks() {
+        let mut p = StackProfiler::new(64);
+        p.observe(0);
+        p.observe(63); // same block
+        p.observe(64); // next block
+        p.observe(128);
+        assert_eq!(p.footprint_blocks(), 3);
+        assert_eq!(p.total(), 4);
+    }
+
+    #[test]
+    fn byte_capacity_conversion() {
+        let mut p = StackProfiler::new(32);
+        sweep(&mut p, 8, 4);
+        assert_eq!(p.miss_ratio_at_bytes(8 * 32), p.miss_ratio_at_blocks(8));
+    }
+
+    #[test]
+    fn random_uniform_matches_analytic_hit_ratio() {
+        // Uniform random over S blocks with LRU capacity C < S hits with
+        // probability about C/S in steady state.
+        use crate::rng::TraceRng;
+        let mut rng = TraceRng::seeded(77);
+        let mut p = StackProfiler::new(32);
+        let s = 1000u64;
+        for _ in 0..200_000 {
+            p.observe(rng.below(s) * 32);
+        }
+        let measured_hit = 1.0 - p.miss_ratio_at_blocks(250);
+        assert!((measured_hit - 0.25).abs() < 0.02, "got {measured_hit}");
+    }
+
+    #[test]
+    fn grows_past_initial_tree_capacity() {
+        let mut p = StackProfiler::new(32);
+        sweep(&mut p, 3, 2000); // 6000 accesses > initial 1024 slots
+        assert_eq!(p.total(), 6000);
+        assert!(p.miss_ratio_at_blocks(3) < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_blocks() {
+        let _ = StackProfiler::new(48);
+    }
+
+    #[test]
+    fn histogram_exposed() {
+        let mut p = StackProfiler::new(32);
+        p.observe(0);
+        p.observe(32);
+        p.observe(0); // distance 1
+        assert_eq!(p.histogram().get(1), Some(&1));
+    }
+}

@@ -1,0 +1,175 @@
+//! Statistical property tests of the synthetic trace generators: the
+//! distributions the simulators rely on must hold for arbitrary
+//! parameters, not just the calibrated workload points.
+
+use cap_trace::branch::{BranchBehavior, BranchStream, SyntheticBranches};
+use cap_trace::inst::{IlpParams, InstStream, SegmentIlp};
+use cap_trace::mem::{AccessKind, AddressStream, Region, RegionMix};
+use cap_trace::phase::{Phase, PhasedIlp};
+use cap_trace::stack::StackProfiler;
+use proptest::prelude::*;
+
+fn arb_ilp() -> impl Strategy<Value = IlpParams> {
+    (1u64..20, 1u64..100, 1u32..4, 1u64..16, 0.0f64..1.0, 0.0f64..0.3, 0.0f64..0.5).prop_map(
+        |(chain, burst, lat, sub, q, far, jitter)| IlpParams {
+            chain_len: chain,
+            burst_len: burst,
+            chain_latency: lat,
+            burst_latency: 1,
+            cross_dep_prob: q,
+            burst_chain_len: sub,
+            far_dep_prob: far,
+            jitter,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every generated instruction's dependences point strictly
+    /// backwards, and seq numbers are dense from zero.
+    #[test]
+    fn inst_stream_well_formed(params in arb_ilp(), seed in 0u64..5000) {
+        let mut g = SegmentIlp::new(params, seed).unwrap();
+        for (i, inst) in g.take_insts(3000).into_iter().enumerate() {
+            prop_assert_eq!(inst.seq, i as u64);
+            prop_assert!(inst.latency >= 1);
+            for d in inst.deps() {
+                prop_assert!(d < inst.seq);
+            }
+        }
+    }
+
+    /// Chain instructions carry the chain latency; burst instructions
+    /// the burst latency — for any parameters.
+    #[test]
+    fn latencies_partition(params in arb_ilp(), seed in 0u64..5000) {
+        let mut g = SegmentIlp::new(params, seed).unwrap();
+        for inst in g.take_insts(2000) {
+            prop_assert!(inst.latency == params.chain_latency || inst.latency == params.burst_latency);
+        }
+    }
+
+    /// Region mixtures stay inside their regions for any geometry.
+    #[test]
+    fn addresses_in_bounds(
+        size_a in 64u64..1_000_000,
+        size_b in 64u64..1_000_000,
+        w in 0.1f64..10.0,
+        seed in 0u64..5000,
+    ) {
+        let base_b = 1u64 << 40;
+        let mut g = RegionMix::builder(seed)
+            .region(Region::random(0, size_a), 1.0)
+            .region(Region::sequential_loop(base_b, size_b, 32.min(size_b)), w)
+            .build()
+            .unwrap();
+        for r in g.take_refs(2000) {
+            let in_a = r.addr < size_a;
+            let in_b = (base_b..base_b + size_b).contains(&r.addr);
+            prop_assert!(in_a || in_b, "addr {:#x} escaped both regions", r.addr);
+        }
+    }
+
+    /// The LRU stack profiler's miss ratio is monotone non-increasing in
+    /// capacity for any mixture.
+    #[test]
+    fn stack_monotone(sizes in prop::collection::vec(1024u64..262_144, 1..4), seed in 0u64..5000) {
+        let mut b = RegionMix::builder(seed);
+        for (i, s) in sizes.iter().enumerate() {
+            b = b.region(Region::random((i as u64) << 32, *s), 1.0 + i as f64);
+        }
+        let mut g = b.build().unwrap();
+        let mut prof = StackProfiler::new(32);
+        for _ in 0..20_000 {
+            prof.observe(g.next_ref().addr);
+        }
+        let mut prev = 1.0f64;
+        for cap in [256, 512, 1024, 2048, 4096, 8192] {
+            let m = prof.miss_ratio_at_blocks(cap);
+            prop_assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+    }
+
+    /// A pure loop population's outcome stream is exactly (trip-1) taken
+    /// then one not-taken, repeating.
+    #[test]
+    fn loop_trip_counts_exact(trip in 2u32..30, seed in 0u64..5000) {
+        let mut g = SyntheticBranches::builder(seed)
+            .branch(BranchBehavior::Loop(trip), 1.0)
+            .build()
+            .unwrap();
+        let mut run = 0u32;
+        for (i, e) in g.take_branches(2000).into_iter().enumerate() {
+            if e.taken {
+                run += 1;
+                prop_assert!(run < trip, "run too long at {i}");
+            } else {
+                prop_assert_eq!(run, trip - 1, "early exit at {}", i);
+                run = 0;
+            }
+        }
+    }
+
+    /// A mixed population only ever emits its static PCs.
+    #[test]
+    fn branch_pcs_from_population(trip in 2u32..30, bias in 0.0f64..1.0, seed in 0u64..5000) {
+        let mut g = SyntheticBranches::builder(seed)
+            .branch(BranchBehavior::Loop(trip), 1.0)
+            .branch(BranchBehavior::Biased(bias), 1.0)
+            .build()
+            .unwrap();
+        let pcs: std::collections::HashSet<u64> =
+            g.take_branches(2000).iter().map(|e| e.pc).collect();
+        prop_assert!(pcs.len() <= 2 && !pcs.is_empty());
+    }
+
+    /// Phase schedules deliver exactly their phase lengths, cyclically.
+    /// `current_phase` reports the phase of the most recently produced
+    /// instruction (the schedule advances lazily on the next pull).
+    #[test]
+    fn phases_cycle_exactly(len_a in 100u64..2000, len_b in 100u64..2000, seed in 0u64..5000) {
+        let mut p = IlpParams::balanced();
+        p.jitter = 0.0;
+        let mut g = PhasedIlp::new(vec![Phase::new(p, len_a), Phase::new(p, len_b)], seed).unwrap();
+        let period = len_a + len_b;
+        for i in 0..(2 * period) {
+            let _ = g.next_inst();
+            let expected = if i % period < len_a { 0 } else { 1 };
+            prop_assert_eq!(g.current_phase(), expected, "at instruction {}", i);
+        }
+    }
+}
+
+#[test]
+fn write_fractions_converge() {
+    let mut g = RegionMix::builder(3)
+        .region(Region::random(0, 1 << 20).with_write_frac(0.3), 1.0)
+        .build()
+        .unwrap();
+    let writes = g.take_refs(50_000).iter().filter(|r| r.kind == AccessKind::Write).count();
+    let frac = writes as f64 / 50_000.0;
+    assert!((frac - 0.3).abs() < 0.01, "got {frac}");
+}
+
+#[test]
+fn segment_sizes_respect_jitter_bounds() {
+    // With 25 % jitter, chain runs must stay within +-25 % (rounded) of
+    // the nominal length.
+    let params = IlpParams { jitter: 0.25, far_dep_prob: 0.0, ..IlpParams::balanced() };
+    let mut g = SegmentIlp::new(params, 9).unwrap();
+    let insts = g.take_insts(50_000);
+    let mut chain_run = 0u64;
+    for inst in &insts {
+        if inst.latency == params.chain_latency {
+            chain_run += 1;
+        } else if chain_run > 0 {
+            let lo = (params.chain_len as f64 * 0.75).floor() as u64;
+            let hi = (params.chain_len as f64 * 1.25).ceil() as u64;
+            assert!((lo..=hi).contains(&chain_run), "chain run {chain_run}");
+            chain_run = 0;
+        }
+    }
+}

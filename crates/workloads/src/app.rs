@@ -1,0 +1,218 @@
+//! The application roster of the paper's evaluation.
+
+use crate::ilp_profiles::IlpProfile;
+use crate::mem_profiles::MemProfile;
+use std::fmt;
+
+/// Which suite an application comes from (determines which panel of the
+/// paper's two-part figures it is plotted in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Category {
+    /// SPEC95 integer — plotted in panel (a).
+    SpecInt,
+    /// SPEC95 floating point — plotted in panel (b).
+    SpecFp,
+    /// CMU task-parallel suite — plotted in panel (b).
+    Cmu,
+    /// NAS parallel benchmarks — plotted in panel (b).
+    Nas,
+}
+
+/// One of the paper's 22 evaluation applications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum App {
+    Go,
+    M88ksim,
+    Gcc,
+    Compress,
+    Li,
+    Ijpeg,
+    Perl,
+    Vortex,
+    Airshed,
+    Stereo,
+    Radar,
+    Appcg,
+    Tomcatv,
+    Swim,
+    Su2cor,
+    Hydro2d,
+    Mgrid,
+    Applu,
+    Turb3d,
+    Apsi,
+    Fpppp,
+    Wave5,
+}
+
+impl App {
+    /// All 22 applications, in the paper's figure order.
+    pub const ALL: [App; 22] = [
+        App::Go,
+        App::M88ksim,
+        App::Gcc,
+        App::Compress,
+        App::Li,
+        App::Ijpeg,
+        App::Perl,
+        App::Vortex,
+        App::Airshed,
+        App::Stereo,
+        App::Radar,
+        App::Appcg,
+        App::Tomcatv,
+        App::Swim,
+        App::Su2cor,
+        App::Hydro2d,
+        App::Mgrid,
+        App::Applu,
+        App::Turb3d,
+        App::Apsi,
+        App::Fpppp,
+        App::Wave5,
+    ];
+
+    /// The 21 applications of the cache study (the paper could not
+    /// instrument go with ATOM).
+    pub fn cache_suite() -> impl Iterator<Item = App> {
+        Self::ALL.into_iter().filter(|a| *a != App::Go)
+    }
+
+    /// The 22 applications of the instruction-queue study ("with the
+    /// addition of go").
+    pub fn queue_suite() -> impl Iterator<Item = App> {
+        Self::ALL.into_iter()
+    }
+
+    /// The application's lowercase display name as the paper prints it.
+    pub fn name(&self) -> &'static str {
+        match self {
+            App::Go => "go",
+            App::M88ksim => "m88ksim",
+            App::Gcc => "gcc",
+            App::Compress => "compress",
+            App::Li => "li",
+            App::Ijpeg => "ijpeg",
+            App::Perl => "perl",
+            App::Vortex => "vortex",
+            App::Airshed => "airshed",
+            App::Stereo => "stereo",
+            App::Radar => "radar",
+            App::Appcg => "appcg",
+            App::Tomcatv => "tomcatv",
+            App::Swim => "swim",
+            App::Su2cor => "su2cor",
+            App::Hydro2d => "hydro2d",
+            App::Mgrid => "mgrid",
+            App::Applu => "applu",
+            App::Turb3d => "turb3d",
+            App::Apsi => "apsi",
+            App::Fpppp => "fpppp",
+            App::Wave5 => "wave5",
+        }
+    }
+
+    /// The application's suite.
+    pub fn category(&self) -> Category {
+        match self {
+            App::Go
+            | App::M88ksim
+            | App::Gcc
+            | App::Compress
+            | App::Li
+            | App::Ijpeg
+            | App::Perl
+            | App::Vortex => Category::SpecInt,
+            App::Airshed | App::Stereo | App::Radar => Category::Cmu,
+            App::Appcg => Category::Nas,
+            _ => Category::SpecFp,
+        }
+    }
+
+    /// Whether the paper plots the application in the integer panel (a).
+    pub fn in_integer_panel(&self) -> bool {
+        self.category() == Category::SpecInt
+    }
+
+    /// The application's calibrated memory profile.
+    pub fn memory_profile(&self) -> MemProfile {
+        crate::mem_profiles::profile(*self)
+    }
+
+    /// The application's calibrated ILP profile.
+    pub fn ilp_profile(&self) -> IlpProfile {
+        crate::ilp_profiles::profile(*self)
+    }
+
+    /// The application's calibrated branch-behaviour profile (input to
+    /// the future-work predictor study).
+    pub fn branch_profile(&self) -> crate::branch_profiles::BranchProfile {
+        crate::branch_profiles::profile(*self)
+    }
+
+    /// A stable per-application seed offset, so different applications
+    /// never share random streams even under the same experiment seed.
+    pub fn seed_salt(&self) -> u64 {
+        Self::ALL.iter().position(|a| a == self).expect("app is in ALL") as u64 + 1
+    }
+}
+
+impl fmt::Display for App {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_sizes_match_paper() {
+        assert_eq!(App::ALL.len(), 22);
+        assert_eq!(App::cache_suite().count(), 21);
+        assert_eq!(App::queue_suite().count(), 22);
+        assert!(!App::cache_suite().any(|a| a == App::Go));
+    }
+
+    #[test]
+    fn eight_integer_apps() {
+        let ints = App::ALL.iter().filter(|a| a.in_integer_panel()).count();
+        assert_eq!(ints, 8);
+    }
+
+    #[test]
+    fn categories() {
+        assert_eq!(App::Stereo.category(), Category::Cmu);
+        assert_eq!(App::Appcg.category(), Category::Nas);
+        assert_eq!(App::Swim.category(), Category::SpecFp);
+        assert_eq!(App::Go.category(), Category::SpecInt);
+    }
+
+    #[test]
+    fn names_are_unique_and_lowercase() {
+        let mut names: Vec<&str> = App::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        for n in names {
+            assert_eq!(n, n.to_lowercase());
+        }
+    }
+
+    #[test]
+    fn seed_salts_are_distinct() {
+        let mut salts: Vec<u64> = App::ALL.iter().map(|a| a.seed_salt()).collect();
+        salts.sort_unstable();
+        salts.dedup();
+        assert_eq!(salts.len(), 22);
+        assert!(salts.iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(App::Turb3d.to_string(), "turb3d");
+    }
+}

@@ -1,0 +1,119 @@
+//! Calibrated branch-behaviour profiles (predictor-study inputs).
+//!
+//! The paper's evaluation assumes perfect branch prediction; its future
+//! work names branch predictor tables as the next complexity-adaptive
+//! structure. These profiles supply that study's inputs, using three
+//! archetypes:
+//!
+//! * **loop-dominated** (scientific fp codes): few static branches, long
+//!   trip counts — tiny tables predict them; the fast single-cycle
+//!   configuration wins;
+//! * **alias-heavy** (big integer codes — gcc, go, perl, vortex):
+//!   thousands of static branches with strong individual biases; every
+//!   table doubling separates more of them;
+//! * **mixed** (everything else): a moderate population plus an
+//!   unpredictable data-dependent tail that no table size fixes.
+
+use crate::app::App;
+use cap_trace::branch::{BranchBehavior, SyntheticBranches};
+
+/// A calibrated branch behaviour: population plus dynamic branch density.
+#[derive(Debug, Clone)]
+pub struct BranchProfile {
+    /// Fraction of dynamic instructions that are conditional branches.
+    pub branch_frac: f64,
+    archetype: Archetype,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Archetype {
+    LoopDominated,
+    AliasHeavy,
+    Mixed,
+}
+
+impl BranchProfile {
+    /// Builds the deterministic branch stream for this profile.
+    pub fn build(&self, seed: u64) -> SyntheticBranches {
+        let b = SyntheticBranches::builder(seed);
+        match self.archetype {
+            Archetype::LoopDominated => b
+                .branch_group(BranchBehavior::Loop(10), 20, 5.0)
+                .branch_group(BranchBehavior::Loop(5), 10, 2.0)
+                .branch_group(BranchBehavior::Biased(0.9), 30, 1.0)
+                .build(),
+            Archetype::AliasHeavy => b
+                .branch_group(BranchBehavior::Biased(0.95), 400, 3.0)
+                .branch_group(BranchBehavior::Biased(0.05), 400, 3.0)
+                .branch_group(BranchBehavior::Loop(6), 80, 1.0)
+                .branch_group(BranchBehavior::Biased(0.6), 120, 1.0)
+                .build(),
+            Archetype::Mixed => b
+                .branch_group(BranchBehavior::Biased(0.92), 300, 3.0)
+                .branch_group(BranchBehavior::Loop(8), 60, 2.0)
+                .branch_group(BranchBehavior::Biased(0.5), 40, 0.8)
+                .build(),
+        }
+        .expect("profiles are statically valid")
+    }
+
+    /// Whether this profile's accuracy keeps improving with table size.
+    pub fn is_alias_heavy(&self) -> bool {
+        self.archetype == Archetype::AliasHeavy
+    }
+}
+
+/// The calibrated profile for an application.
+pub fn profile(app: App) -> BranchProfile {
+    let (frac, archetype) = match app {
+        // Large integer codes: huge static branch populations.
+        App::Gcc | App::Go | App::Perl | App::Vortex => (0.19, Archetype::AliasHeavy),
+        // Loop-nest fp codes and the dense kernels.
+        App::Swim
+        | App::Tomcatv
+        | App::Mgrid
+        | App::Applu
+        | App::Hydro2d
+        | App::Turb3d
+        | App::Su2cor
+        | App::Wave5
+        | App::Appcg => (0.08, Archetype::LoopDominated),
+        // fpppp famously has almost no branches at all.
+        App::Fpppp => (0.03, Archetype::LoopDominated),
+        // Everything else: moderate mixed behaviour.
+        _ => (0.14, Archetype::Mixed),
+    };
+    BranchProfile { branch_frac: frac, archetype }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cap_trace::branch::BranchStream;
+
+    #[test]
+    fn every_app_builds() {
+        for app in App::ALL {
+            let p = profile(app);
+            assert!((0.0..=0.5).contains(&p.branch_frac), "{app}");
+            let mut s = p.build(1);
+            assert_eq!(s.take_branches(100).len(), 100, "{app}");
+        }
+    }
+
+    #[test]
+    fn archetype_assignment() {
+        assert!(profile(App::Gcc).is_alias_heavy());
+        assert!(!profile(App::Swim).is_alias_heavy());
+        assert!(profile(App::Fpppp).branch_frac < 0.05);
+        assert!(profile(App::Gcc).branch_frac > profile(App::Swim).branch_frac);
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = profile(App::Li);
+        let a = p.build(9).take_branches(1000);
+        let b = p.build(9).take_branches(1000);
+        assert_eq!(a, b);
+    }
+}

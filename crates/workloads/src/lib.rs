@@ -1,0 +1,47 @@
+//! Synthetic stand-ins for the ISCA'98 CAP evaluation workloads.
+//!
+//! The paper evaluates 22 applications: the SPEC95 suite (go is used only
+//! in the instruction-queue study — it could not be instrumented with ATOM
+//! for the cache traces), three applications from the CMU task-parallel
+//! suite (airshed, stereo, radar) and the NAS appcg kernel. The binaries
+//! and traces are not available, so each application is modelled as:
+//!
+//! * a **memory profile** — a weighted region mixture
+//!   ([`cap_trace::mem::RegionMix`]) plus an instructions-per-reference
+//!   density, calibrated so the miss-ratio-versus-L1-size curve has the
+//!   shape the paper reports for that application (see
+//!   [`mem_profiles`]); and
+//! * an **ILP profile** — segment-model parameters
+//!   ([`cap_trace::inst::IlpParams`]), possibly phased, calibrated so the
+//!   TPI-versus-window-size minimum falls where the paper's Figure 10
+//!   puts it (see [`ilp_profiles`]).
+//!
+//! The calibration targets are documented on each profile; the
+//! `calibration` integration tests in this crate verify them against the
+//! actual simulators.
+//!
+//! # Example
+//!
+//! ```
+//! use cap_workloads::App;
+//! use cap_trace::AddressStream;
+//!
+//! let profile = App::Stereo.memory_profile();
+//! let mut stream = profile.build(1);
+//! let _ref = stream.next_ref();
+//! // stereo is reference-dense: fewer than 3 instructions per access.
+//! assert!(profile.insts_per_ref < 3.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod branch_profiles;
+pub mod ilp_profiles;
+pub mod mem_profiles;
+
+pub use app::{App, Category};
+pub use branch_profiles::BranchProfile;
+pub use ilp_profiles::{AppInstStream, IlpProfile};
+pub use mem_profiles::MemProfile;

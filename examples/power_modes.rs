@@ -1,0 +1,44 @@
+//! Power management on a CAP (paper §4.1): one die, several
+//! performance/power operating points — from the full structure at its
+//! fastest clock down to the paper's lowest-power mode (smallest
+//! structures, slowest clock).
+//!
+//! Run with: `cargo run --release --example power_modes`
+
+use cap::core::experiments::{ExperimentScale, QueueExperiment};
+use cap::core::power::{best_performance, lowest_power, queue_frontier, PowerModel};
+use cap::workloads::App;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exp = QueueExperiment::new(ExperimentScale::Smoke);
+    let curve = exp.sweep(App::Gcc)?;
+    let frontier = queue_frontier(&curve, PowerModel::typical());
+
+    println!("Operating points for gcc on the adaptive instruction queue:\n");
+    println!("{:>10} {:>12} {:>10} {:>10} {:>10}", "entries", "period ns", "TPI ns", "power", "EPI");
+    for p in &frontier {
+        println!(
+            "{:>10} {:>12.3} {:>10.3} {:>10.3} {:>10.3}",
+            p.entries, p.period_ns, p.tpi_ns, p.power, p.epi
+        );
+    }
+
+    let hp = best_performance(&frontier).expect("frontier is nonempty");
+    let lp = lowest_power(&frontier).expect("frontier is nonempty");
+    println!();
+    println!(
+        "server point: {} entries @ {:.3} ns ({:.2}x the power of the laptop point)",
+        hp.entries,
+        hp.period_ns,
+        hp.power / lp.power
+    );
+    println!(
+        "laptop point: {} entries @ {:.3} ns ({:.2}x the TPI of the server point)",
+        lp.entries,
+        lp.period_ns,
+        lp.tpi_ns / hp.tpi_ns
+    );
+    println!("\nThe paper: \"a single CAP design can be configured for product");
+    println!("environments ranging from high-end servers to low power laptops.\"");
+    Ok(())
+}

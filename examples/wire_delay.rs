@@ -1,0 +1,49 @@
+//! Technology exploration: when does repeater buffering win, and what
+//! does that mean for adaptive structures? Reproduces the reasoning of
+//! the paper's Section 2 for a user-specified structure.
+//!
+//! Run with: `cargo run --release --example wire_delay -- [subarray_kb]`
+
+use cap::timing::wire::{break_even_length, cache_bus_length, BufferedWire, Wire};
+use cap::timing::Technology;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let subarray_kb: usize = std::env::args().nth(1).map(|s| s.parse()).transpose()?.unwrap_or(2);
+    let subarray_bytes = subarray_kb * 1024;
+
+    println!("Cache built from {subarray_kb} KB subarrays\n");
+    for tech in Technology::paper_sweep() {
+        let be = break_even_length(tech);
+        println!("{tech}: buffering pays beyond {:.2} mm of bus", be.value());
+        for n in [4usize, 8, 16] {
+            let wire = Wire::new(cache_bus_length(n, subarray_bytes)?);
+            let buffered = BufferedWire::optimal(wire, tech);
+            let better = if buffered.delay() < wire.unbuffered_delay() { "buffered" } else { "unbuffered" };
+            println!(
+                "  {:>2} subarrays ({:>3} KB): unbuffered {:.3} ns, buffered {:.3} ns with {} repeaters -> {}",
+                n,
+                n * subarray_kb,
+                wire.unbuffered_delay().value(),
+                buffered.delay().value(),
+                buffered.num_repeaters(),
+                better
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Once buffered, the electrically isolated segment between repeaters\n\
+         is the minimum configuration increment an adaptive structure can\n\
+         support with no delay penalty (paper Section 3)."
+    );
+    let tech = Technology::isca98_evaluation();
+    let wire = Wire::new(cache_bus_length(16, subarray_bytes)?);
+    let buffered = BufferedWire::optimal(wire, tech);
+    println!(
+        "At {tech}, a {} KB structure's segment length is {:.2} mm.",
+        16 * subarray_kb,
+        buffered.segment_length().value()
+    );
+    Ok(())
+}

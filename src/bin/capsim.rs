@@ -1,0 +1,208 @@
+//! `capsim` — command-line front end to the CAP reproduction.
+//!
+//! ```text
+//! capsim list                      the 22 evaluation applications
+//! capsim cache <app>               TPI vs L1/L2 boundary (Figure 7 row)
+//! capsim queue <app>               TPI vs window size (Figure 10 row)
+//! capsim managed <app> [--eager]   §6 interval-adaptive run
+//! capsim joint <app>               online joint cache+queue management
+//! capsim power <app>               §4.1 performance/power frontier
+//! capsim headline                  paper-vs-measured headline numbers
+//! ```
+//!
+//! Scale is taken from `CAP_SCALE` (`smoke`/`default`/`full`).
+
+use cap::core::experiments::{
+    CacheExperiment, ExperimentScale, IntervalExperiment, QueueExperiment,
+};
+use cap::core::extended::run_managed_combined;
+use cap::core::manager::ConfidencePolicy;
+use cap::core::power::{queue_frontier, PowerModel};
+use cap::workloads::App;
+use std::fmt::Write as _;
+
+const USAGE: &str = "usage: capsim <list|cache|queue|managed|joint|power|headline> [app] [--eager]
+  list                 the 22 evaluation applications
+  cache <app>          TPI vs L1/L2 boundary (Figure 7 row)
+  queue <app>          TPI vs window size (Figure 10 row)
+  managed <app>        Section 6 interval-adaptive run (--eager: no confidence)
+  joint <app>          online joint cache+queue management
+  power <app>          performance/power frontier
+  headline             paper-vs-measured headline numbers
+scale via CAP_SCALE = smoke | default | full";
+
+fn find_app(name: &str) -> Result<App, String> {
+    App::ALL
+        .into_iter()
+        .find(|a| a.name() == name.to_lowercase())
+        .ok_or_else(|| format!("unknown application `{name}` (try `capsim list`)"))
+}
+
+/// Executes a parsed command line and renders the report.
+fn run(args: &[&str]) -> Result<String, String> {
+    let scale = ExperimentScale::from_env();
+    let mut out = String::new();
+    match args {
+        ["list"] => {
+            for app in App::ALL {
+                let mem = app.memory_profile();
+                let _ = writeln!(
+                    out,
+                    "{:>10}  {:?}  insts/ref {:>5.1}  footprint {:>5} KB",
+                    app.name(),
+                    app.category(),
+                    mem.insts_per_ref,
+                    mem.footprint() / 1024
+                );
+            }
+        }
+        ["cache", name] => {
+            let app = find_app(name)?;
+            let curve = CacheExperiment::new(scale)
+                .map_err(|e| e.to_string())?
+                .sweep(app)
+                .map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "{:>8} {:>8} {:>10} {:>10} {:>10}", "L1 KB", "assoc", "cycle ns", "TPI ns", "missTPI");
+            for p in &curve.points {
+                let _ = writeln!(
+                    out,
+                    "{:>8} {:>8} {:>10.3} {:>10.3} {:>10.3}",
+                    p.l1_kb, p.l1_assoc, p.cycle_ns, p.tpi_ns, p.tpi_miss_ns
+                );
+            }
+            let b = curve.best();
+            let _ = writeln!(out, "best: L1={} KB ({}-way), TPI {:.3} ns", b.l1_kb, b.l1_assoc, b.tpi_ns);
+        }
+        ["queue", name] => {
+            let app = find_app(name)?;
+            let curve = QueueExperiment::new(scale).sweep(app).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "{:>8} {:>10} {:>8} {:>10}", "entries", "cycle ns", "IPC", "TPI ns");
+            for p in &curve.points {
+                let _ = writeln!(out, "{:>8} {:>10.3} {:>8.2} {:>10.3}", p.entries, p.cycle_ns, p.ipc, p.tpi_ns);
+            }
+            let b = curve.best();
+            let _ = writeln!(out, "best: {} entries, TPI {:.3} ns (IPC {:.2})", b.entries, b.tpi_ns, b.ipc);
+        }
+        ["managed", name] | ["managed", name, "--eager"] => {
+            let app = find_app(name)?;
+            let eager = args.last() == Some(&"--eager");
+            let policy = if eager { ConfidencePolicy::none() } else { ConfidencePolicy::default_policy() };
+            let cmp = IntervalExperiment::new()
+                .adaptive_comparison(app, 400, policy, 40)
+                .map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "policy:        {}", if eager { "eager (no confidence)" } else { "confident" });
+            let _ = writeln!(out, "process level: {:.3} ns", cmp.process_level_tpi);
+            let _ = writeln!(out, "managed:       {:.3} ns ({} switches)", cmp.managed_tpi, cmp.switches);
+            let _ = writeln!(out, "oracle:        {:.3} ns", cmp.oracle_tpi);
+        }
+        ["joint", name] => {
+            let app = find_app(name)?;
+            let r = run_managed_combined(app, 300, 0x15CA_1998, ConfidencePolicy::default_policy())
+                .map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "intervals:      {}", r.intervals);
+            let _ = writeln!(out, "average TPI:    {:.3} ns", r.avg_tpi);
+            let _ = writeln!(out, "switches:       {}", r.switches);
+            let _ = writeln!(out, "settled config: L1={} KB, {}-entry window", r.final_l1_kb, r.final_entries);
+        }
+        ["power", name] => {
+            let app = find_app(name)?;
+            let curve = QueueExperiment::new(scale).sweep(app).map_err(|e| e.to_string())?;
+            let frontier = queue_frontier(&curve, PowerModel::typical());
+            let _ = writeln!(out, "{:>8} {:>10} {:>10} {:>8} {:>8}", "entries", "period ns", "TPI ns", "power", "EPI");
+            for p in &frontier {
+                let _ = writeln!(
+                    out,
+                    "{:>8} {:>10.3} {:>10.3} {:>8.3} {:>8.3}",
+                    p.entries, p.period_ns, p.tpi_ns, p.power, p.epi
+                );
+            }
+        }
+        ["headline"] => {
+            let cache = CacheExperiment::new(scale)
+                .map_err(|e| e.to_string())?
+                .headline()
+                .map_err(|e| e.to_string())?;
+            let queue = QueueExperiment::new(scale).headline().map_err(|e| e.to_string())?;
+            let rows = [
+                ("cache: mean TPImiss reduction", 0.26, cache.tpimiss_reduction),
+                ("cache: mean TPI reduction", 0.09, cache.tpi_reduction),
+                ("cache: stereo TPI reduction", 0.46, cache.stereo_tpi_reduction),
+                ("queue: mean TPI reduction", 0.07, queue.tpi_reduction),
+                ("queue: appcg TPI reduction", 0.28, queue.appcg_tpi_reduction),
+            ];
+            let _ = writeln!(out, "{:<34} {:>7} {:>9}", "metric", "paper", "measured");
+            for (m, p, v) in rows {
+                let _ = writeln!(out, "{m:<34} {:>6.0}% {:>8.1}%", p * 100.0, v * 100.0);
+            }
+        }
+        _ => return Err(USAGE.to_string()),
+    }
+    Ok(out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let refs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match run(&refs) {
+        Ok(report) => print!("{report}"),
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn usage_on_bad_args() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate"]).is_err());
+        assert!(run(&["cache"]).is_err());
+        assert!(run(&["cache", "notanapp"]).unwrap_err().contains("unknown application"));
+    }
+
+    #[test]
+    fn list_names_all_apps() {
+        let out = run(&["list"]).unwrap();
+        for app in App::ALL {
+            assert!(out.contains(app.name()), "{}", app.name());
+        }
+    }
+
+    #[test]
+    fn cache_report_has_best_line() {
+        std::env::set_var("CAP_SCALE", "smoke");
+        let out = run(&["cache", "stereo"]).unwrap();
+        assert!(out.contains("best: L1=48 KB") || out.contains("best: L1=56 KB"), "{out}");
+    }
+
+    #[test]
+    fn queue_report_has_best_line() {
+        std::env::set_var("CAP_SCALE", "smoke");
+        let out = run(&["queue", "appcg"]).unwrap();
+        assert!(out.contains("best: 16 entries"), "{out}");
+    }
+
+    #[test]
+    fn power_report_lists_nine_points() {
+        std::env::set_var("CAP_SCALE", "smoke");
+        let out = run(&["power", "gcc"]).unwrap();
+        assert_eq!(out.lines().count(), 10, "header + 9 points:\n{out}");
+    }
+
+    #[test]
+    fn joint_report_is_complete() {
+        let out = run(&["joint", "radar"]).unwrap();
+        assert!(out.contains("settled config"));
+        assert!(out.contains("switches"));
+    }
+
+    #[test]
+    fn app_lookup_is_case_insensitive() {
+        assert_eq!(find_app("Stereo").unwrap(), App::Stereo);
+        assert_eq!(find_app("APPCG").unwrap(), App::Appcg);
+    }
+}

@@ -1,0 +1,45 @@
+//! Reproducibility: every experiment is a pure function of its seed.
+
+use cap::core::experiments::{CacheExperiment, ExperimentScale, IntervalExperiment, QueueExperiment};
+use cap::core::manager::ConfidencePolicy;
+use cap::workloads::App;
+
+#[test]
+fn cache_experiments_reproduce_exactly() {
+    let run = || {
+        CacheExperiment::new(ExperimentScale::Smoke)
+            .expect("valid geometry")
+            .sweep(App::Swim)
+            .expect("valid sweep")
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn queue_experiments_reproduce_exactly() {
+    let run = || QueueExperiment::new(ExperimentScale::Smoke).sweep(App::Vortex).expect("valid sweep");
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn interval_experiments_reproduce_exactly() {
+    let run = || IntervalExperiment::new().figure13().expect("valid configuration");
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn managed_runs_reproduce_exactly() {
+    let run = || {
+        IntervalExperiment::new()
+            .adaptive_comparison(App::Vortex, 150, ConfidencePolicy::default_policy(), 30)
+            .expect("valid configuration")
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn seeds_actually_matter() {
+    let a = QueueExperiment::new(ExperimentScale::Smoke).sweep(App::Go).expect("valid sweep");
+    let b = QueueExperiment::new(ExperimentScale::Smoke).with_seed(99).sweep(App::Go).expect("valid sweep");
+    assert_ne!(a, b);
+}

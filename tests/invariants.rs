@@ -1,0 +1,145 @@
+//! Cross-crate property tests on the system's core invariants.
+
+use cap::cache::config::Boundary;
+use cap::cache::hierarchy::AdaptiveCacheHierarchy;
+use cap::ooo::config::CoreConfig;
+use cap::ooo::core::OooCore;
+use cap::timing::queue::QueueTimingModel;
+use cap::timing::wire::{break_even_length, BufferedWire, Wire};
+use cap::timing::{Mm, Technology};
+use cap::trace::inst::{IlpParams, SegmentIlp};
+use cap::trace::mem::{AccessKind, MemRef, Region, RegionMix};
+use cap::trace::stack::StackProfiler;
+use proptest::prelude::*;
+
+fn arb_mem_ops() -> impl Strategy<Value = Vec<(u64, bool)>> {
+    prop::collection::vec((0u64..1_000_000u64, any::<bool>()), 200..800)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exclusion holds and contents survive arbitrary interleavings of
+    /// accesses and boundary moves.
+    #[test]
+    fn cache_exclusion_under_random_traffic(
+        ops in arb_mem_ops(),
+        boundaries in prop::collection::vec(1usize..16, 1..6),
+    ) {
+        let mut cache = AdaptiveCacheHierarchy::isca98(Boundary::new(2).unwrap());
+        let chunk = (ops.len() / boundaries.len()).max(1);
+        for (i, (addr, write)) in ops.iter().enumerate() {
+            if i % chunk == 0 {
+                let b = boundaries[(i / chunk) % boundaries.len()];
+                let snapshot = cache.contents_snapshot();
+                cache.set_boundary(Boundary::new(b).unwrap());
+                prop_assert_eq!(cache.contents_snapshot(), snapshot);
+            }
+            let kind = if *write { AccessKind::Write } else { AccessKind::Read };
+            cache.access(MemRef { addr: *addr, kind });
+            }
+        prop_assert!(cache.check_exclusive());
+        prop_assert!(cache.stats().is_consistent());
+        let max_blocks = 16 * 8 * 1024 / 32;
+        prop_assert!(cache.resident_blocks() <= max_blocks);
+    }
+
+    /// An immediately re-accessed address always hits L1.
+    #[test]
+    fn cache_reaccess_hits(addr in 0u64..10_000_000) {
+        let mut cache = AdaptiveCacheHierarchy::isca98(Boundary::new(1).unwrap());
+        cache.access(MemRef { addr, kind: AccessKind::Read });
+        let outcome = cache.access(MemRef { addr, kind: AccessKind::Read });
+        prop_assert_eq!(outcome, cap::cache::AccessOutcome::L1Hit);
+    }
+
+    /// IPC is positive, bounded by the machine width, and never hurt by
+    /// a bigger window (for any stationary segment workload).
+    #[test]
+    fn ooo_ipc_bounds(
+        chain in 1u64..16,
+        burst in 1u64..64,
+        sub in 1u64..12,
+        lat in 1u32..4,
+        seed in 0u64..1000,
+    ) {
+        let params = IlpParams {
+            chain_len: chain,
+            burst_len: burst,
+            chain_latency: lat,
+            burst_latency: 1,
+            cross_dep_prob: 1.0,
+            burst_chain_len: sub,
+            far_dep_prob: 0.0,
+            jitter: 0.0,
+        };
+        let run = |w: usize| {
+            let mut core = OooCore::new(CoreConfig::isca98(w).unwrap());
+            let mut s = SegmentIlp::new(params, seed).unwrap();
+            core.run(&mut s, 12_000).ipc()
+        };
+        let small = run(16);
+        let large = run(128);
+        prop_assert!(small > 0.0 && small <= 8.0 + 1e-9);
+        prop_assert!(large > 0.0 && large <= 8.0 + 1e-9);
+        // Allow a whisker of measurement noise from end effects.
+        prop_assert!(large >= small * 0.97, "window 128 ipc {} < window 16 ipc {}", large, small);
+    }
+
+    /// Queue cycle time is monotone and the window drain protocol always
+    /// completes.
+    #[test]
+    fn queue_resize_always_drains(from in 0usize..8, to in 0usize..8, seed in 0u64..100) {
+        let sizes = [16, 32, 48, 64, 80, 96, 112, 128];
+        let mut core = OooCore::new(CoreConfig::isca98(sizes[from]).unwrap());
+        let mut stream = SegmentIlp::new(IlpParams::balanced(), seed).unwrap();
+        let _ = core.run(&mut stream, 2000);
+        core.request_resize(cap::ooo::WindowSize::new(sizes[to]).unwrap()).unwrap();
+        let mut steps = 0;
+        while core.resize_pending() {
+            core.step(&mut stream);
+            steps += 1;
+            prop_assert!(steps < 10_000, "drain must terminate");
+        }
+        prop_assert_eq!(core.active_window(), sizes[to]);
+        let timing = QueueTimingModel::new(Technology::isca98_evaluation());
+        prop_assert!(timing.cycle_time(sizes[from]).unwrap().value() > 0.0);
+    }
+
+    /// Bakoglu buffering beats the unbuffered wire exactly beyond the
+    /// break-even length.
+    #[test]
+    fn wire_break_even_is_exact(len_um in 100.0f64..20_000.0, feature in 0.10f64..0.30) {
+        let tech = Technology::um(feature);
+        let wire = Wire::new(Mm(len_um / 1000.0));
+        let buffered = BufferedWire::optimal(wire, tech).delay();
+        let unbuffered = wire.unbuffered_delay();
+        let be = break_even_length(tech);
+        if wire.length() > be * 1.001 {
+            prop_assert!(buffered < unbuffered);
+        } else if wire.length() < be * 0.999 {
+            prop_assert!(buffered >= unbuffered);
+        }
+    }
+
+    /// The stack profiler's fully associative miss ratio is monotone in
+    /// capacity and brackets the real set-associative hierarchy's cold+cap
+    /// behaviour for single-region streams.
+    #[test]
+    fn stack_profile_monotone(region_kb in 1u64..64, seed in 0u64..50) {
+        let mut profiler = StackProfiler::new(32);
+        let mut stream = RegionMix::builder(seed)
+            .region(Region::random(0, region_kb * 1024), 1.0)
+            .build()
+            .unwrap();
+        for _ in 0..20_000 {
+            profiler.observe(cap::trace::AddressStream::next_ref(&mut stream).addr);
+        }
+        let mut prev = 1.0f64;
+        for cap_kb in [1u64, 2, 4, 8, 16, 32, 64, 128] {
+            let m = profiler.miss_ratio_at_bytes(cap_kb * 1024);
+            prop_assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+    }
+}
