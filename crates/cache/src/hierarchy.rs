@@ -14,8 +14,20 @@
 //! block. At no point can a tag appear twice in a set — an invariant
 //! checked by [`AdaptiveCacheHierarchy::check_exclusive`] and exercised by
 //! property tests.
+//!
+//! # Degraded operation
+//!
+//! The fault model in `cap-core` can retire trailing increments (e.g. a
+//! manufacturing defect or an in-field failure takes a bus segment out of
+//! service). [`AdaptiveCacheHierarchy::retire_increments`] drops the blocks
+//! they held and shrinks the usable way range; the structure keeps serving
+//! references from the surviving increments, and boundaries that would
+//! reach into the dead region are clamped (the effective L1 never exceeds
+//! the usable increments, and the L2 region may become empty, in which
+//! case demoted victims are simply discarded).
 
 use crate::config::Boundary;
+use crate::error::CacheError;
 use crate::stats::{AccessOutcome, CacheStats};
 use cap_timing::cacti::CacheGeometry;
 use cap_trace::mem::{AccessKind, MemRef};
@@ -55,6 +67,9 @@ pub struct AdaptiveCacheHierarchy {
     /// Hits per physical way position (for the §4.1 asynchronous-design
     /// analysis: accesses served by near increments are faster).
     way_hits: Vec<u64>,
+    /// Trailing increments taken out of service (fault model); their way
+    /// positions hold no blocks and are never filled.
+    dead_increments: usize,
 }
 
 impl AdaptiveCacheHierarchy {
@@ -83,6 +98,7 @@ impl AdaptiveCacheHierarchy {
             clock: 0,
             stats: CacheStats::new(),
             way_hits: vec![0; total_ways],
+            dead_increments: 0,
         }
     }
 
@@ -98,9 +114,68 @@ impl AdaptiveCacheHierarchy {
 
     /// Moves the L1/L2 boundary. Contents are untouched: blocks in
     /// re-labelled increments simply change level, per the paper's
-    /// exclusive mapping rule.
+    /// exclusive mapping rule. If increments have been retired, the
+    /// effective L1 is clamped to the usable range (see
+    /// [`AdaptiveCacheHierarchy::try_set_boundary`] for the checked
+    /// variant).
     pub fn set_boundary(&mut self, boundary: Boundary) {
         self.boundary = boundary;
+    }
+
+    /// Moves the L1/L2 boundary, rejecting positions that would leave no
+    /// usable L2 increment after dead increments are excluded.
+    ///
+    /// With no retired increments this accepts every valid [`Boundary`]
+    /// and behaves exactly like
+    /// [`AdaptiveCacheHierarchy::set_boundary`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::InvalidBoundary`] (with `increments` set to
+    /// the usable count) if `boundary` needs more increments than remain
+    /// in service.
+    pub fn try_set_boundary(&mut self, boundary: Boundary) -> Result<(), CacheError> {
+        let usable = self.usable_increments();
+        if boundary.increments() >= usable {
+            return Err(CacheError::InvalidBoundary { requested: boundary.increments(), increments: usable });
+        }
+        self.boundary = boundary;
+        Ok(())
+    }
+
+    /// Takes the trailing `n` increments out of service, discarding any
+    /// blocks they held (their data is lost — this models a hardware
+    /// fault, not an orderly writeback). At least one increment always
+    /// stays in service. Returns the number of usable increments left.
+    ///
+    /// Calling this again with a larger `n` retires more increments;
+    /// a smaller `n` does not bring retired increments back.
+    pub fn retire_increments(&mut self, n: usize) -> usize {
+        let n = n.min(self.geometry.increments - 1);
+        if n > self.dead_increments {
+            self.dead_increments = n;
+            let usable_ways = self.usable_ways();
+            for set in &mut self.sets {
+                for w in &mut set.ways[usable_ways..] {
+                    *w = None;
+                }
+            }
+        }
+        self.usable_increments()
+    }
+
+    /// Increments currently in service.
+    pub fn usable_increments(&self) -> usize {
+        self.geometry.increments - self.dead_increments
+    }
+
+    /// Increments retired by [`AdaptiveCacheHierarchy::retire_increments`].
+    pub fn dead_increments(&self) -> usize {
+        self.dead_increments
+    }
+
+    fn usable_ways(&self) -> usize {
+        self.usable_increments() * self.geometry.increment_assoc
     }
 
     /// Counters accumulated since construction or the last
@@ -133,7 +208,8 @@ impl AdaptiveCacheHierarchy {
     }
 
     fn l1_ways(&self) -> usize {
-        self.boundary.increments() * self.geometry.increment_assoc
+        // The effective L1 never extends into retired increments.
+        self.boundary.increments().min(self.usable_increments()) * self.geometry.increment_assoc
     }
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
@@ -209,19 +285,25 @@ impl AdaptiveCacheHierarchy {
             }
             None => {
                 // Miss: fill into L1, demoting the L1 victim into L2 and
-                // possibly evicting the L2 LRU block.
+                // possibly evicting the L2 LRU block. With every usable
+                // increment labelled L1 (possible only in degraded
+                // operation), the victim is evicted outright instead.
                 let demote_rec = self.tick();
                 let fill_rec = self.tick();
                 let victim = Self::victim_in(&self.sets[set_idx], 0, l1_ways);
-                let total = self.sets[set_idx].ways.len();
+                let usable = self.usable_ways();
                 let set = &mut self.sets[set_idx];
                 if let Some(mut demoted) = set.ways[victim].take() {
-                    demoted.recency = demote_rec;
-                    let slot = Self::victim_in(set, l1_ways, total);
-                    if let Some(evicted) = set.ways[slot].replace(demoted) {
-                        if evicted.dirty {
-                            self.stats.writebacks += 1;
+                    if l1_ways < usable {
+                        demoted.recency = demote_rec;
+                        let slot = Self::victim_in(set, l1_ways, usable);
+                        if let Some(evicted) = set.ways[slot].replace(demoted) {
+                            if evicted.dirty {
+                                self.stats.writebacks += 1;
+                            }
                         }
+                    } else if demoted.dirty {
+                        self.stats.writebacks += 1;
                     }
                 }
                 set.ways[victim] = Some(Block { tag, dirty, recency: fill_rec });
@@ -446,6 +528,66 @@ mod tests {
         let s = c.stats();
         assert_eq!(s.misses, 0, "64 KB set fits in the 128 KB structure");
         assert!(s.l2_hits > 0, "but not in the 8 KB L1");
+    }
+
+    #[test]
+    fn retiring_increments_shrinks_capacity_and_drops_blocks() {
+        let mut c = cache(2);
+        for i in 0..20_000u64 {
+            c.access(rd(i * 32));
+        }
+        let full = 16 * 8 * 1024 / 32;
+        assert_eq!(c.resident_blocks(), full);
+        assert_eq!(c.retire_increments(4), 12);
+        assert_eq!(c.dead_increments(), 4);
+        assert_eq!(c.resident_blocks(), 12 * 8 * 1024 / 32);
+        assert!(c.check_exclusive());
+        // The survivors keep serving; refills never use dead ways.
+        for i in 0..20_000u64 {
+            c.access(rd(i * 32));
+        }
+        assert!(c.resident_blocks() <= 12 * 8 * 1024 / 32);
+        // Retiring fewer is a no-op; retiring everything leaves one.
+        assert_eq!(c.retire_increments(2), 12);
+        assert_eq!(c.retire_increments(100), 1);
+    }
+
+    #[test]
+    fn boundary_clamps_to_usable_increments() {
+        let mut c = cache(8); // nominal 64 KB L1
+        c.retire_increments(12); // 4 increments (8 ways) survive
+        let a = 0x0000;
+        c.access(rd(a));
+        // 9 distinct conflicting blocks overflow the 8 usable ways even
+        // though the nominal L1 alone holds 16; the effective L1 covers
+        // all 4 usable increments, so the victim is evicted outright.
+        for i in 1..=8u64 {
+            c.access(rd(i * 4096));
+        }
+        assert_eq!(c.probe(a), None, "evicted despite a nominal 16-way L1");
+        assert!(c.check_exclusive());
+    }
+
+    #[test]
+    fn degraded_demotion_counts_dirty_writebacks() {
+        let mut c = cache(8);
+        c.retire_increments(8); // usable 8 == boundary 8: L2 region empty
+        for i in 0..32u64 {
+            c.access(wr(i * 4096)); // one set, dirty fills far beyond 16 ways
+        }
+        assert!(c.stats().writebacks > 0, "discarded dirty victims must write back");
+        assert!(c.check_exclusive());
+    }
+
+    #[test]
+    fn try_set_boundary_respects_usable_range() {
+        let mut c = cache(2);
+        assert!(c.try_set_boundary(Boundary::new(15).unwrap()).is_ok());
+        c.retire_increments(8);
+        assert!(c.try_set_boundary(Boundary::new(7).unwrap()).is_ok());
+        let err = c.try_set_boundary(Boundary::new(8).unwrap()).unwrap_err();
+        assert!(matches!(err, CacheError::InvalidBoundary { requested: 8, increments: 8 }));
+        assert_eq!(c.boundary().increments(), 7, "rejected move leaves boundary unchanged");
     }
 
     #[test]

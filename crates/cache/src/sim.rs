@@ -83,11 +83,8 @@ where
 /// less-complex configuration when performance is equal.
 pub fn best_point(points: &[SweepPoint]) -> Option<&SweepPoint> {
     points.iter().min_by(|a, b| {
-        a.tpi
-            .total_tpi()
-            .partial_cmp(&b.tpi.total_tpi())
-            .expect("TPI values are finite")
-            .then(a.boundary.cmp(&b.boundary))
+        let (ta, tb) = (a.tpi.total_tpi().value(), b.tpi.total_tpi().value());
+        ta.total_cmp(&tb).then(a.boundary.cmp(&b.boundary))
     })
 }
 

@@ -100,6 +100,31 @@ impl DynamicClock {
         Ok(penalty)
     }
 
+    /// The wall-clock cost of `cycles` penalty cycles charged at the
+    /// slower of the current period and configuration `index`'s period —
+    /// the same conservative accounting as
+    /// [`DynamicClock::select`]. Used to charge retry/backoff cycles for
+    /// reconfiguration attempts that fail before the switch completes;
+    /// the selection itself is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::UnknownConfiguration`] for an out-of-range
+    /// index.
+    pub fn penalty_at(&self, index: usize, cycles: u64) -> Result<Ns, CapError> {
+        let target = self
+            .periods
+            .get(index)
+            .ok_or(CapError::UnknownConfiguration { index, available: self.periods.len() })?;
+        Ok(self.period().max(*target) * cycles as f64)
+    }
+
+    /// Adds externally accounted penalty time (retry/backoff cycles from
+    /// failed switch attempts) to the running total.
+    pub fn charge_extra_penalty(&mut self, penalty: Ns) {
+        self.total_penalty += penalty;
+    }
+
     /// The number of completed switches.
     pub fn switches(&self) -> u64 {
         self.switches
@@ -157,6 +182,18 @@ mod tests {
         assert!(DynamicClock::new(vec![Ns(0.0)], 30).is_err());
         assert!(DynamicClock::new(vec![Ns(-1.0)], 30).is_err());
         assert!(DynamicClock::new(vec![Ns(f64::NAN)], 30).is_err());
+    }
+
+    #[test]
+    fn penalty_at_charges_slower_period_without_switching() {
+        let mut c = clock();
+        let p = c.penalty_at(1, 10).unwrap();
+        assert!((p.value() - 10.0).abs() < 1e-9, "10 cycles at the slower 1.0 ns");
+        assert_eq!(c.selected(), 0, "no switch happened");
+        assert!(c.penalty_at(3, 1).is_err());
+        assert_eq!(c.total_penalty(), Ns(0.0));
+        c.charge_extra_penalty(p);
+        assert!((c.total_penalty().value() - 10.0).abs() < 1e-9);
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub enum CapError {
     Cache(cap_cache::CacheError),
     /// The out-of-order substrate rejected a request.
     Ooo(cap_ooo::OooError),
+    /// An injected fault prevented the operation from completing (only
+    /// produced under the [`crate::faults`] harness).
+    FaultInjected {
+        /// What the fault prevented.
+        what: &'static str,
+    },
+    /// Every configuration is quarantined or unavailable, including the
+    /// designated safe fallback — the managed run cannot proceed.
+    NoViableConfiguration,
 }
 
 impl fmt::Display for CapError {
@@ -37,6 +46,10 @@ impl fmt::Display for CapError {
             CapError::Timing(e) => write!(f, "timing model error: {e}"),
             CapError::Cache(e) => write!(f, "cache substrate error: {e}"),
             CapError::Ooo(e) => write!(f, "out-of-order substrate error: {e}"),
+            CapError::FaultInjected { what } => write!(f, "injected fault: {what}"),
+            CapError::NoViableConfiguration => {
+                write!(f, "no viable configuration remains (all quarantined or unavailable)")
+            }
         }
     }
 }
@@ -88,6 +101,10 @@ mod tests {
         assert!(c.source().is_some());
         let o: CapError = cap_ooo::OooError::InvalidWindow { entries: 3 }.into();
         assert!(o.source().is_some());
+        let fi = CapError::FaultInjected { what: "clock switch" };
+        assert!(fi.to_string().contains("clock switch"));
+        assert!(fi.source().is_none());
+        assert!(CapError::NoViableConfiguration.to_string().contains("no viable"));
     }
 
     #[test]

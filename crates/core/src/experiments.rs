@@ -120,7 +120,7 @@ impl CacheCurve {
     pub fn best(&self) -> &CachePoint {
         self.points
             .iter()
-            .min_by(|a, b| a.tpi_ns.partial_cmp(&b.tpi_ns).expect("TPI is finite"))
+            .min_by(|a, b| a.tpi_ns.total_cmp(&b.tpi_ns))
             .expect("curves are nonempty")
     }
 
@@ -315,7 +315,7 @@ impl QueueCurve {
     pub fn best(&self) -> &QueuePoint {
         self.points
             .iter()
-            .min_by(|a, b| a.tpi_ns.partial_cmp(&b.tpi_ns).expect("TPI is finite"))
+            .min_by(|a, b| a.tpi_ns.total_cmp(&b.tpi_ns))
             .expect("curves are nonempty")
     }
 
@@ -561,7 +561,7 @@ impl IntervalExperiment {
         let cycle = self.timing.cycle_time(window)?;
         let mut core = OooCore::new(CoreConfig::isca98(window)?);
         let mut stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
-        let samples = record_intervals(&mut core, &mut stream, intervals, PAPER_INTERVAL_INSTS);
+        let samples = record_intervals(&mut core, &mut stream, intervals, PAPER_INTERVAL_INSTS)?;
         Ok(samples.iter().map(|s| s.tpi(cycle).value()).collect())
     }
 
@@ -608,7 +608,7 @@ impl IntervalExperiment {
     pub fn ilp_variation(&self, app: App, intervals: u64) -> Result<(f64, f64, f64), CapError> {
         let mut core = OooCore::new(CoreConfig::isca98(128)?);
         let mut stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
-        let samples = record_intervals(&mut core, &mut stream, intervals, PAPER_INTERVAL_INSTS);
+        let samples = record_intervals(&mut core, &mut stream, intervals, PAPER_INTERVAL_INSTS)?;
         let ipcs: Vec<f64> = samples.iter().map(|s| s.insts as f64 / s.cycles as f64).collect();
         let min = ipcs.iter().cloned().fold(f64::INFINITY, f64::min);
         let max = ipcs.iter().cloned().fold(0.0f64, f64::max);

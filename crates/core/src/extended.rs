@@ -74,7 +74,7 @@ pub fn tlb_study(scale: ExperimentScale, seed: u64) -> Result<Vec<TlbStudyRow>, 
         let points = tlb::sweep(|| pristine.clone(), refs, &cam, cycle, profile.insts_per_ref)?;
         let best = points
             .iter()
-            .min_by(|a, b| a.tpi.tpi_ns.partial_cmp(&b.tpi.tpi_ns).expect("TPI is finite"))
+            .min_by(|a, b| a.tpi.tpi_ns.total_cmp(&b.tpi.tpi_ns))
             .expect("sweep is nonempty");
         rows.push(TlbStudyRow {
             app: app.name().to_string(),
@@ -165,7 +165,7 @@ impl CombinedStudy {
     pub fn best(&self) -> &CombinedPoint {
         self.points
             .iter()
-            .min_by(|a, b| a.tpi_ns.partial_cmp(&b.tpi_ns).expect("TPI is finite"))
+            .min_by(|a, b| a.tpi_ns.total_cmp(&b.tpi_ns))
             .expect("the space is nonempty")
     }
 
@@ -267,9 +267,7 @@ impl CombinedExperiment {
 
         let solo_cache_kb = cache_points
             .iter()
-            .min_by(|a, b| {
-                a.tpi.total_tpi().partial_cmp(&b.tpi.total_tpi()).expect("TPI is finite")
-            })
+            .min_by(|a, b| a.tpi.total_tpi().value().total_cmp(&b.tpi.total_tpi().value()))
             .expect("nonempty")
             .boundary
             .l1_kb();
@@ -277,7 +275,7 @@ impl CombinedExperiment {
             let qt = &self.queue_timing;
             ipcs.iter()
                 .map(|&(w, ipc)| (w, qt.cycle_time(w).expect("paper size").value() / ipc))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("TPI is finite"))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("nonempty")
                 .0
         };

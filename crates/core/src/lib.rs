@@ -21,6 +21,9 @@
 //!   confidence, evaluated on the Figure 13 winner sequences.
 //! * [`power`] — the §4.1 power-management story: per-configuration
 //!   power, energy per instruction, and the server-to-laptop frontier.
+//! * [`faults`] — deterministic fault injection (failed switches,
+//!   corrupted monitoring samples, dead cache increments) and the
+//!   clean-vs-faulty degradation campaigns behind `capsim faults`.
 //! * [`metrics`] — TPI aggregation across applications and the
 //!   reduction arithmetic of Figures 8, 9 and 11.
 //! * [`experiments`] — one driver per paper artifact: Figure 7–13 data
@@ -49,6 +52,7 @@ pub mod clock;
 pub mod error;
 pub mod experiments;
 pub mod extended;
+pub mod faults;
 pub mod manager;
 pub mod metrics;
 pub mod pattern;
@@ -58,5 +62,6 @@ pub mod structure;
 
 pub use clock::DynamicClock;
 pub use error::CapError;
-pub use manager::{ConfidencePolicy, IntervalManager, ManagerDecision};
+pub use faults::{FaultCampaign, FaultInjector, FaultSpec};
+pub use manager::{ConfidencePolicy, IntervalManager, ManagerDecision, ResiliencePolicy};
 pub use structure::AdaptiveStructure;

@@ -28,13 +28,40 @@
 //! [`run_managed_queue`] drives a [`QueueStructure`] under any manager,
 //! charging reconfigurations with the dynamic clock's switch penalty and
 //! the slower period during transition intervals.
+//!
+//! # Hardening
+//!
+//! Real adaptive hardware must survive misbehaving monitoring hardware
+//! and reconfiguration machinery. The manager therefore:
+//!
+//! * **sanitizes** every sample before the EWMA — non-finite or
+//!   non-positive TPIs are rejected outright, and (under a
+//!   [`ResiliencePolicy`] with an outlier factor) wildly implausible
+//!   values are clamped toward the configuration's current estimate;
+//! * **quarantines** configurations whose reconfigurations keep failing
+//!   (reported via [`IntervalManager::record_switch_outcome`]), masking
+//!   them out of exploration and prediction, with periodic **probation**
+//!   re-probes so a transiently failing configuration can return;
+//! * runs a **watchdog** that detects estimate thrashing (too many
+//!   predictor-driven switches in a window) or an empty candidate set and
+//!   falls back to a designated **safe static configuration** instead of
+//!   oscillating or panicking.
+//!
+//! [`run_managed_queue_resilient`] and [`run_managed_cache_resilient`]
+//! add the runner half: transient reconfiguration failures are retried
+//! with bounded exponential backoff (charged as extra switch-penalty
+//! cycles at the conservative slower-of-two period), and exhausted or
+//! permanent failures are reported to the manager, which quarantines the
+//! target and keeps the run going on the current configuration.
 
 use crate::clock::DynamicClock;
 use crate::error::CapError;
+use crate::faults::{FaultInjector, SwitchFault};
 use crate::structure::{AdaptiveStructure, QueueStructure};
 use cap_ooo::interval::IntervalSample;
 use cap_timing::units::Ns;
 use cap_trace::inst::InstStream;
+use serde::Serialize;
 
 /// The manager's verdict for the next interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +102,94 @@ impl Default for ConfidencePolicy {
     }
 }
 
+/// Degradation-handling knobs for an [`IntervalManager`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResiliencePolicy {
+    /// Samples further than this factor from the configuration's current
+    /// estimate are clamped to the factor (values `<= 1.0` disable
+    /// clamping; non-finite and non-positive samples are always
+    /// rejected).
+    pub outlier_factor: f64,
+    /// Failed switches toward a configuration before it is quarantined
+    /// (must be at least 1).
+    pub quarantine_threshold: u32,
+    /// Intervals between probation re-probes of quarantined
+    /// configurations (0 disables probation; permanent failures are
+    /// never re-probed).
+    pub probation_period: u64,
+    /// Window, in intervals, over which the thrash watchdog counts
+    /// predictor-driven switches.
+    pub thrash_window: u64,
+    /// Predictor-driven switches tolerated inside the window before the
+    /// watchdog falls back to the safe configuration (0 disables the
+    /// watchdog).
+    pub thrash_limit: u32,
+    /// The designated safe static configuration for fallback.
+    pub safe_config: usize,
+}
+
+impl ResiliencePolicy {
+    /// The pre-hardening behaviour: reject invalid samples but never
+    /// clamp, quarantine after three failures, no probation, no
+    /// watchdog. This is the default, so fault-free runs behave exactly
+    /// as before.
+    pub fn legacy() -> Self {
+        ResiliencePolicy {
+            outlier_factor: 0.0,
+            quarantine_threshold: 3,
+            probation_period: 0,
+            thrash_window: 0,
+            thrash_limit: 0,
+            safe_config: 0,
+        }
+    }
+
+    /// The fault-campaign posture: clamp outliers, quarantine quickly,
+    /// re-probe periodically, and arm the thrash watchdog.
+    pub fn hardened() -> Self {
+        ResiliencePolicy {
+            outlier_factor: 16.0,
+            quarantine_threshold: 2,
+            probation_period: 40,
+            thrash_window: 30,
+            thrash_limit: 10,
+            safe_config: 0,
+        }
+    }
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        Self::legacy()
+    }
+}
+
+/// Counters for the manager's degradation handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub struct ResilienceStats {
+    /// Samples rejected outright (non-finite or non-positive TPI).
+    pub samples_rejected: u64,
+    /// Samples clamped to the outlier envelope.
+    pub samples_clamped: u64,
+    /// Configurations quarantined after repeated switch failures.
+    pub quarantines: u64,
+    /// Probation re-probes of quarantined configurations.
+    pub probations: u64,
+    /// Times the watchdog fell back to the safe configuration.
+    pub safe_mode_entries: u64,
+}
+
+/// How a requested reconfiguration ended, as reported by the runner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchOutcome {
+    /// The switch completed.
+    Succeeded,
+    /// The switch failed transiently and the retry budget ran out.
+    TransientFailure,
+    /// The switch can never complete (broken configuration).
+    PermanentFailure,
+}
+
 /// The Section 6 interval-based configuration manager.
 #[derive(Debug, Clone)]
 pub struct IntervalManager {
@@ -91,6 +206,21 @@ pub struct IntervalManager {
     pattern: Option<crate::pattern::PatternPredictor>,
     /// Confidence a pattern prediction needs before pre-switching.
     pattern_min_confidence: f64,
+    /// Degradation-handling knobs.
+    resilience: ResiliencePolicy,
+    /// Configurations masked out of exploration and prediction.
+    quarantined: Vec<bool>,
+    /// Quarantined configurations that must never be re-probed.
+    permanently_dead: Vec<bool>,
+    /// Consecutive failed switches toward each configuration.
+    fail_counts: Vec<u32>,
+    /// Round-robin cursor for probation re-probes.
+    probe_cursor: usize,
+    /// Interval stamps of recent predictor-driven switches (watchdog).
+    switch_times: Vec<u64>,
+    /// Once set, the manager holds the safe static configuration.
+    safe_mode: bool,
+    stats: ResilienceStats,
 }
 
 impl IntervalManager {
@@ -121,7 +251,36 @@ impl IntervalManager {
             sampling_home: None,
             pattern: None,
             pattern_min_confidence: 0.85,
+            resilience: ResiliencePolicy::legacy(),
+            quarantined: vec![false; num_configs],
+            permanently_dead: vec![false; num_configs],
+            fail_counts: vec![0; num_configs],
+            probe_cursor: 0,
+            switch_times: Vec::new(),
+            safe_mode: false,
+            stats: ResilienceStats::default(),
         })
+    }
+
+    /// Replaces the degradation-handling policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::InvalidParameter`] if the outlier factor is
+    /// not finite, the quarantine threshold is zero, or the safe
+    /// configuration is out of range.
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Result<Self, CapError> {
+        if !resilience.outlier_factor.is_finite() || resilience.outlier_factor < 0.0 {
+            return Err(CapError::InvalidParameter { what: "outlier factor must be non-negative and finite" });
+        }
+        if resilience.quarantine_threshold == 0 {
+            return Err(CapError::InvalidParameter { what: "quarantine threshold must be at least 1" });
+        }
+        if resilience.safe_config >= self.estimates.len() {
+            return Err(CapError::InvalidParameter { what: "safe configuration is out of range" });
+        }
+        self.resilience = resilience;
+        Ok(self)
     }
 
     /// Enables proactive phase prediction (paper §6: "regular patterns
@@ -150,24 +309,132 @@ impl IntervalManager {
         self.estimates
             .iter()
             .enumerate()
+            .filter(|(i, _)| !self.quarantined[*i])
             .filter_map(|(i, e)| e.map(|v| (i, v)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("estimates are finite"))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(i, _)| i)
+    }
+
+    /// Rejects invalid samples and clamps outliers toward the
+    /// configuration's current estimate. Returns `None` when the sample
+    /// must not touch the EWMA.
+    fn sanitize(&mut self, config: usize, tpi_ns: f64) -> Option<f64> {
+        if !tpi_ns.is_finite() || tpi_ns <= 0.0 {
+            self.stats.samples_rejected += 1;
+            return None;
+        }
+        let f = self.resilience.outlier_factor;
+        if f > 1.0 {
+            if let Some(est) = self.estimates[config] {
+                if tpi_ns > est * f {
+                    self.stats.samples_clamped += 1;
+                    return Some(est * f);
+                }
+                if tpi_ns < est / f {
+                    self.stats.samples_clamped += 1;
+                    return Some(est / f);
+                }
+            }
+        }
+        Some(tpi_ns)
+    }
+
+    /// The safe configuration, redirected past permanent failures.
+    fn effective_safe(&self) -> usize {
+        let safe = self.resilience.safe_config;
+        if !self.permanently_dead.get(safe).copied().unwrap_or(true) {
+            return safe;
+        }
+        (0..self.permanently_dead.len()).find(|&i| !self.permanently_dead[i]).unwrap_or(safe)
+    }
+
+    /// Locks the manager onto the safe static configuration.
+    fn enter_safe_mode(&mut self, config: usize) -> ManagerDecision {
+        self.safe_mode = true;
+        self.stats.safe_mode_entries += 1;
+        self.predicted = None;
+        self.confidence = 0;
+        self.sampling_home = None;
+        self.safe_mode_decision(config)
+    }
+
+    fn safe_mode_decision(&self, config: usize) -> ManagerDecision {
+        let safe = self.effective_safe();
+        if safe == config || self.permanently_dead[safe] {
+            ManagerDecision::Stay
+        } else {
+            ManagerDecision::SwitchTo(safe)
+        }
+    }
+
+    /// Stamps a predictor-driven switch for the thrash watchdog; trips to
+    /// safe mode when the window overflows.
+    fn issue_switch(&mut self, config: usize, to: usize) -> ManagerDecision {
+        let window = self.resilience.thrash_window;
+        let limit = self.resilience.thrash_limit;
+        if limit > 0 && window > 0 {
+            let cutoff = self.intervals_seen.saturating_sub(window);
+            self.switch_times.retain(|&t| t > cutoff);
+            self.switch_times.push(self.intervals_seen);
+            if self.switch_times.len() as u32 > limit {
+                return self.enter_safe_mode(config);
+            }
+        }
+        ManagerDecision::SwitchTo(to)
+    }
+
+    /// Periodically lifts one transient quarantine (round-robin) and
+    /// clears its estimate so the exploration phase re-probes it.
+    fn maybe_probation(&mut self) {
+        let period = self.resilience.probation_period;
+        if period == 0 || !self.intervals_seen.is_multiple_of(period) {
+            return;
+        }
+        let n = self.estimates.len();
+        for off in 0..n {
+            let i = (self.probe_cursor + off) % n;
+            if self.quarantined[i] && !self.permanently_dead[i] {
+                self.quarantined[i] = false;
+                // One more failure re-quarantines immediately.
+                self.fail_counts[i] = self.resilience.quarantine_threshold - 1;
+                self.estimates[i] = None;
+                self.stats.probations += 1;
+                self.probe_cursor = (i + 1) % n;
+                return;
+            }
+        }
     }
 
     /// Feeds the interval just finished (which ran at `config` with the
     /// given TPI) and returns the decision for the next interval.
+    ///
+    /// Invalid samples (non-finite or non-positive TPI) never reach the
+    /// EWMA; out-of-range `config` indices are ignored. This method
+    /// never panics.
     pub fn observe(&mut self, config: usize, tpi_ns: f64) -> ManagerDecision {
-        debug_assert!(config < self.estimates.len());
-        debug_assert!(tpi_ns.is_finite() && tpi_ns > 0.0);
+        if config >= self.estimates.len() {
+            return ManagerDecision::Stay;
+        }
         self.intervals_seen += 1;
-        self.estimates[config] = Some(match self.estimates[config] {
-            Some(prev) => prev + self.alpha * (tpi_ns - prev),
-            None => tpi_ns,
-        });
+        if let Some(v) = self.sanitize(config, tpi_ns) {
+            self.estimates[config] = Some(match self.estimates[config] {
+                Some(prev) => prev + self.alpha * (v - prev),
+                None => v,
+            });
+        }
 
-        // Phase 1: exploration — visit every configuration once.
-        if let Some(unseen) = self.estimates.iter().position(Option::is_none) {
+        // Safe mode is terminal: hold the safe static configuration.
+        if self.safe_mode {
+            return self.safe_mode_decision(config);
+        }
+
+        self.maybe_probation();
+
+        // Phase 1: exploration — visit every non-quarantined
+        // configuration once.
+        if let Some(unseen) =
+            (0..self.estimates.len()).find(|&i| self.estimates[i].is_none() && !self.quarantined[i])
+        {
             return ManagerDecision::SwitchTo(unseen);
         }
 
@@ -175,7 +442,11 @@ impl IntervalManager {
         // sample itself now looks best; the predictor below handles it).
         let home = self.sampling_home.take();
 
-        let best = self.best_estimate().expect("all configurations sampled");
+        let Some(best) = self.best_estimate() else {
+            // Every candidate is quarantined: fall back to the safe
+            // static configuration rather than oscillating or panicking.
+            return self.enter_safe_mode(config);
+        };
         let anchor = home.unwrap_or(config);
 
         // Proactive phase prediction: feed the estimated winner of the
@@ -184,10 +455,14 @@ impl IntervalManager {
         if let Some(p) = self.pattern.as_mut() {
             p.record(best);
             if let Some(pred) = p.predict() {
-                if pred.confidence >= self.pattern_min_confidence && pred.config != anchor && home.is_none() {
+                if pred.confidence >= self.pattern_min_confidence
+                    && pred.config != anchor
+                    && home.is_none()
+                    && !self.quarantined.get(pred.config).copied().unwrap_or(true)
+                {
                     self.confidence = 0;
                     self.predicted = None;
-                    return ManagerDecision::SwitchTo(pred.config);
+                    return self.issue_switch(config, pred.config);
                 }
             }
         }
@@ -199,9 +474,9 @@ impl IntervalManager {
                 .estimates
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| *i != config)
+                .filter(|(i, _)| *i != config && !self.quarantined[*i])
                 .filter_map(|(i, e)| e.map(|v| (i, v)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("estimates are finite"))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
                 .map(|(i, _)| i);
             if let Some(r) = runner_up {
                 self.sampling_home = Some(config);
@@ -210,8 +485,10 @@ impl IntervalManager {
         }
 
         // Phase 4: prediction with confidence.
-        let cur_est = self.estimates[anchor].expect("anchor was sampled");
-        let best_est = self.estimates[best].expect("best was sampled");
+        let cur_est = self.estimates[anchor].unwrap_or(f64::INFINITY);
+        let Some(best_est) = self.estimates[best] else {
+            return ManagerDecision::Stay;
+        };
         let wins = best != anchor && best_est < cur_est * (1.0 - self.policy.hysteresis);
         if wins {
             if self.predicted == Some(best) {
@@ -228,7 +505,7 @@ impl IntervalManager {
         if wins && self.confidence > self.policy.threshold {
             self.confidence = 0;
             self.predicted = None;
-            ManagerDecision::SwitchTo(best)
+            self.issue_switch(config, best)
         } else if let Some(h) = home {
             if h == config {
                 ManagerDecision::Stay
@@ -238,6 +515,95 @@ impl IntervalManager {
         } else {
             ManagerDecision::Stay
         }
+    }
+
+    /// Reports how a switch the manager requested actually ended. Runners
+    /// call this after every reconfiguration attempt; repeated failures
+    /// quarantine the target.
+    pub fn record_switch_outcome(&mut self, target: usize, outcome: SwitchOutcome) {
+        if target >= self.estimates.len() {
+            return;
+        }
+        match outcome {
+            SwitchOutcome::Succeeded => {
+                self.fail_counts[target] = 0;
+            }
+            SwitchOutcome::TransientFailure => {
+                self.fail_counts[target] = self.fail_counts[target].saturating_add(1);
+                if self.fail_counts[target] >= self.resilience.quarantine_threshold && !self.quarantined[target]
+                {
+                    self.quarantined[target] = true;
+                    self.stats.quarantines += 1;
+                }
+                self.switch_failed_bookkeeping(target);
+            }
+            SwitchOutcome::PermanentFailure => {
+                if !self.quarantined[target] {
+                    self.quarantined[target] = true;
+                    self.stats.quarantines += 1;
+                }
+                self.permanently_dead[target] = true;
+                self.switch_failed_bookkeeping(target);
+            }
+        }
+    }
+
+    fn switch_failed_bookkeeping(&mut self, target: usize) {
+        if self.predicted == Some(target) {
+            self.predicted = None;
+            self.confidence = 0;
+        }
+        if self.sampling_home == Some(target) {
+            self.sampling_home = None;
+        }
+    }
+
+    /// Permanently masks configurations the hardware can no longer
+    /// provide (e.g. cache boundaries reaching into retired increments).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::NoViableConfiguration`] if this would leave no
+    /// configuration available.
+    pub fn mask_unavailable(&mut self, configs: &[usize]) -> Result<(), CapError> {
+        for &i in configs {
+            if let Some(q) = self.quarantined.get_mut(i) {
+                *q = true;
+                self.permanently_dead[i] = true;
+            }
+        }
+        if self.permanently_dead.iter().all(|&d| d) {
+            return Err(CapError::NoViableConfiguration);
+        }
+        Ok(())
+    }
+
+    /// Whether a configuration is currently quarantined (out-of-range
+    /// indices report `true`).
+    pub fn is_quarantined(&self, config: usize) -> bool {
+        self.quarantined.get(config).copied().unwrap_or(true)
+    }
+
+    /// Number of currently quarantined configurations.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+
+    /// Whether the watchdog has locked the manager onto the safe
+    /// configuration.
+    pub fn in_safe_mode(&self) -> bool {
+        self.safe_mode
+    }
+
+    /// The designated safe static configuration (after redirection past
+    /// permanent failures).
+    pub fn safe_config(&self) -> usize {
+        self.effective_safe()
+    }
+
+    /// Degradation-handling counters accumulated so far.
+    pub fn resilience_stats(&self) -> ResilienceStats {
+        self.stats
     }
 }
 
@@ -292,6 +658,106 @@ impl ManagedRun {
     }
 }
 
+/// Retry policy for reconfigurations that fail transiently.
+///
+/// Attempt `k` (zero-based) that fails charges
+/// `backoff_base_cycles << k` extra switch-penalty cycles at the
+/// conservative slower-of-two period before the next try; after
+/// `max_retries` retries the switch is abandoned and reported to the
+/// manager as a [`SwitchOutcome::TransientFailure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchRetryPolicy {
+    /// Retries after the first failed attempt.
+    pub max_retries: u32,
+    /// Backoff charge for the first failed attempt, in cycles.
+    pub backoff_base_cycles: u64,
+}
+
+impl SwitchRetryPolicy {
+    /// Three retries starting at eight cycles (8, 16, 32, 64).
+    pub fn default_policy() -> Self {
+        SwitchRetryPolicy { max_retries: 3, backoff_base_cycles: 8 }
+    }
+}
+
+impl Default for SwitchRetryPolicy {
+    fn default() -> Self {
+        Self::default_policy()
+    }
+}
+
+/// A [`ManagedRun`] plus the fault-handling costs the runner accrued.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultedRun {
+    /// The managed run itself (switch penalties include retry backoff).
+    pub run: ManagedRun,
+    /// Transient switch failures that were retried.
+    pub retries: u64,
+    /// Wall-clock time charged to retry backoff.
+    pub retry_penalty: Ns,
+    /// Switch attempts abandoned (retry budget exhausted or permanent).
+    pub switch_failures: u64,
+}
+
+/// Executes one manager-requested switch, injecting faults and retrying
+/// transient failures with bounded exponential backoff. Returns the
+/// transition period when the switch completed, `None` when it was
+/// abandoned (the run continues on the current configuration).
+fn execute_switch(
+    structure: &mut dyn AdaptiveStructure,
+    clock: &mut DynamicClock,
+    manager: &mut IntervalManager,
+    next: usize,
+    injector: &mut Option<&mut FaultInjector>,
+    retry: SwitchRetryPolicy,
+    out: &mut FaultedRun,
+) -> Result<Option<Ns>, CapError> {
+    let mut attempt: u32 = 0;
+    loop {
+        let fault = match injector.as_deref_mut() {
+            Some(inj) => inj.on_switch_attempt(next),
+            None => None,
+        };
+        match fault {
+            None => {
+                let old_period = clock.period();
+                if structure.reconfigure(next).is_err() {
+                    // The hardware cannot provide this configuration
+                    // (e.g. retired cache increments): treat it as a
+                    // permanent failure and keep running.
+                    out.switch_failures += 1;
+                    manager.record_switch_outcome(next, SwitchOutcome::PermanentFailure);
+                    return Ok(None);
+                }
+                let penalty = clock.select(next)?;
+                out.run.switch_penalty += penalty;
+                out.run.switches += 1;
+                manager.record_switch_outcome(next, SwitchOutcome::Succeeded);
+                return Ok(Some(old_period.max(clock.period())));
+            }
+            Some(SwitchFault::Permanent) => {
+                out.switch_failures += 1;
+                manager.record_switch_outcome(next, SwitchOutcome::PermanentFailure);
+                return Ok(None);
+            }
+            Some(SwitchFault::Transient) => {
+                let cycles = retry.backoff_base_cycles << attempt.min(16);
+                let penalty = clock.penalty_at(next, cycles)?;
+                clock.charge_extra_penalty(penalty);
+                out.run.switch_penalty += penalty;
+                out.retry_penalty += penalty;
+                if attempt >= retry.max_retries {
+                    out.switch_failures += 1;
+                    manager.record_switch_outcome(next, SwitchOutcome::TransientFailure);
+                    return Ok(None);
+                }
+                attempt += 1;
+                out.retries += 1;
+            }
+        }
+    }
+}
+
 /// Runs an instruction stream on a managed queue structure for
 /// `intervals` intervals of `interval_len` committed instructions,
 /// letting `manager` pick configurations between intervals.
@@ -311,33 +777,66 @@ pub fn run_managed_queue<S: InstStream>(
     intervals: u64,
     interval_len: u64,
 ) -> Result<ManagedRun, CapError> {
+    run_managed_queue_resilient(structure, stream, manager, clock, intervals, interval_len, None, SwitchRetryPolicy::default())
+        .map(|f| f.run)
+}
+
+/// The fault-aware variant of [`run_managed_queue`]: an optional
+/// [`FaultInjector`] corrupts the monitoring path (the physical run is
+/// unaffected — only the TPI the manager sees) and fails switch
+/// attempts, which are retried per `retry` and reported to the manager.
+///
+/// With `injector` `None` this is exactly [`run_managed_queue`].
+///
+/// # Errors
+///
+/// Propagates configuration errors from the structure or clock.
+#[allow(clippy::too_many_arguments)]
+pub fn run_managed_queue_resilient<S: InstStream>(
+    structure: &mut QueueStructure,
+    stream: &mut S,
+    manager: &mut IntervalManager,
+    clock: &mut DynamicClock,
+    intervals: u64,
+    interval_len: u64,
+    mut injector: Option<&mut FaultInjector>,
+    retry: SwitchRetryPolicy,
+) -> Result<FaultedRun, CapError> {
     if interval_len == 0 {
         return Err(CapError::InvalidParameter { what: "interval length must be positive" });
     }
-    let mut out = ManagedRun { intervals: Vec::with_capacity(intervals as usize), switches: 0, switch_penalty: Ns(0.0) };
+    let mut out = FaultedRun {
+        run: ManagedRun { intervals: Vec::with_capacity(intervals as usize), switches: 0, switch_penalty: Ns(0.0) },
+        retries: 0,
+        retry_penalty: Ns(0.0),
+        switch_failures: 0,
+    };
     let mut transition_period: Option<Ns> = None;
     for _ in 0..intervals {
         let config = structure.current();
         let period = transition_period.take().unwrap_or(clock.period());
         let samples = {
             let core = structure.core_mut();
-            cap_ooo::interval::record_intervals(core, stream, 1, interval_len)
+            cap_ooo::interval::record_intervals(core, stream, 1, interval_len)?
         };
-        let sample = samples[0];
+        let Some(sample) = samples.first().copied() else {
+            continue;
+        };
         let record = ManagedInterval { config, sample, period };
         let tpi = record.tpi();
-        out.intervals.push(record);
+        out.run.intervals.push(record);
 
-        match manager.observe(config, tpi.value()) {
+        let observed = match injector.as_deref_mut() {
+            Some(inj) => inj.corrupt_tpi(tpi.value()),
+            None => tpi.value(),
+        };
+        match manager.observe(config, observed) {
             ManagerDecision::Stay => {}
             ManagerDecision::SwitchTo(next) if next == config => {}
             ManagerDecision::SwitchTo(next) => {
-                let old_period = clock.period();
-                structure.reconfigure(next)?;
-                let penalty = clock.select(next)?;
-                out.switch_penalty += penalty;
-                out.switches += 1;
-                transition_period = Some(old_period.max(clock.period()));
+                if let Some(p) = execute_switch(structure, clock, manager, next, &mut injector, retry, &mut out)? {
+                    transition_period = Some(p);
+                }
             }
         }
     }
@@ -367,13 +866,50 @@ pub fn run_managed_cache<S: cap_trace::mem::AddressStream>(
     refs_per_interval: u64,
     insts_per_ref: f64,
 ) -> Result<ManagedRun, CapError> {
+    run_managed_cache_resilient(
+        structure,
+        stream,
+        manager,
+        clock,
+        intervals,
+        refs_per_interval,
+        insts_per_ref,
+        None,
+        SwitchRetryPolicy::default(),
+    )
+    .map(|f| f.run)
+}
+
+/// The fault-aware variant of [`run_managed_cache`]; see
+/// [`run_managed_queue_resilient`] for the fault semantics.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the structure or clock.
+#[allow(clippy::too_many_arguments)]
+pub fn run_managed_cache_resilient<S: cap_trace::mem::AddressStream>(
+    structure: &mut crate::structure::CacheStructure,
+    stream: &mut S,
+    manager: &mut IntervalManager,
+    clock: &mut DynamicClock,
+    intervals: u64,
+    refs_per_interval: u64,
+    insts_per_ref: f64,
+    mut injector: Option<&mut FaultInjector>,
+    retry: SwitchRetryPolicy,
+) -> Result<FaultedRun, CapError> {
     use cap_cache::perf::{evaluate, PerfParams};
 
     if refs_per_interval == 0 {
         return Err(CapError::InvalidParameter { what: "interval length must be positive" });
     }
     let params = PerfParams::isca98(insts_per_ref);
-    let mut out = ManagedRun { intervals: Vec::with_capacity(intervals as usize), switches: 0, switch_penalty: Ns(0.0) };
+    let mut out = FaultedRun {
+        run: ManagedRun { intervals: Vec::with_capacity(intervals as usize), switches: 0, switch_penalty: Ns(0.0) },
+        retries: 0,
+        retry_penalty: Ns(0.0),
+        switch_failures: 0,
+    };
     let mut transition_period: Option<Ns> = None;
     for index in 0..intervals {
         let config = structure.current();
@@ -391,18 +927,19 @@ pub fn run_managed_cache<S: cap_trace::mem::AddressStream>(
         let sample = cap_ooo::interval::IntervalSample { index, cycles, insts };
         let record = ManagedInterval { config, sample, period };
         let observed = record.tpi();
-        out.intervals.push(record);
+        out.run.intervals.push(record);
 
-        match manager.observe(config, observed.value()) {
+        let observed = match injector.as_deref_mut() {
+            Some(inj) => inj.corrupt_tpi(observed.value()),
+            None => observed.value(),
+        };
+        match manager.observe(config, observed) {
             ManagerDecision::Stay => {}
             ManagerDecision::SwitchTo(next) if next == config => {}
             ManagerDecision::SwitchTo(next) => {
-                let old_period = clock.period();
-                structure.reconfigure(next)?;
-                let penalty = clock.select(next)?;
-                out.switch_penalty += penalty;
-                out.switches += 1;
-                transition_period = Some(old_period.max(clock.period()));
+                if let Some(p) = execute_switch(structure, clock, manager, next, &mut injector, retry, &mut out)? {
+                    transition_period = Some(p);
+                }
             }
         }
     }
@@ -494,6 +1031,129 @@ mod tests {
         assert!(IntervalManager::new(0, 0, ConfidencePolicy::default_policy()).is_err());
         assert!(IntervalManager::new(2, 0, ConfidencePolicy { threshold: 1, hysteresis: -1.0 }).is_err());
         assert!(IntervalManager::new(2, 0, ConfidencePolicy { threshold: 1, hysteresis: f64::NAN }).is_err());
+    }
+
+    #[test]
+    fn invalid_samples_are_rejected_not_fatal() {
+        let mut m = manager(2, ConfidencePolicy::none());
+        // NaN, infinite and non-positive samples never reach the EWMA.
+        assert_eq!(m.observe(0, f64::NAN), ManagerDecision::SwitchTo(0));
+        assert_eq!(m.observe(0, f64::INFINITY), ManagerDecision::SwitchTo(0));
+        assert_eq!(m.observe(0, -3.0), ManagerDecision::SwitchTo(0));
+        assert_eq!(m.estimates()[0], None);
+        assert_eq!(m.resilience_stats().samples_rejected, 3);
+        let _ = m.observe(0, 1.5);
+        assert_eq!(m.estimates()[0], Some(1.5));
+        // Out-of-range config indices are ignored entirely.
+        assert_eq!(m.observe(99, 1.0), ManagerDecision::Stay);
+    }
+
+    #[test]
+    fn outlier_samples_are_clamped_toward_estimate() {
+        let mut m = manager(1, ConfidencePolicy::none())
+            .with_resilience(ResiliencePolicy { outlier_factor: 4.0, ..ResiliencePolicy::hardened() })
+            .unwrap();
+        let _ = m.observe(0, 1.0);
+        let _ = m.observe(0, 1000.0); // clamped to 4.0, EWMA -> 2.5
+        let e = m.estimates()[0].unwrap();
+        assert!((e - 2.5).abs() < 1e-12, "got {e}");
+        assert_eq!(m.resilience_stats().samples_clamped, 1);
+        let _ = m.observe(0, 1e-9); // clamped to 2.5/4
+        assert_eq!(m.resilience_stats().samples_clamped, 2);
+    }
+
+    #[test]
+    fn repeated_switch_failures_quarantine_and_probation_reprobes() {
+        let mut m = IntervalManager::new(2, 0, ConfidencePolicy::none())
+            .unwrap()
+            .with_resilience(ResiliencePolicy {
+                quarantine_threshold: 1,
+                probation_period: 10,
+                ..ResiliencePolicy::hardened()
+            })
+            .unwrap();
+        assert_eq!(m.observe(0, 5.0), ManagerDecision::SwitchTo(1));
+        m.record_switch_outcome(1, SwitchOutcome::TransientFailure);
+        assert!(m.is_quarantined(1));
+        assert_eq!(m.resilience_stats().quarantines, 1);
+        // While quarantined, the unsampled config is never proposed.
+        for _ in 0..8 {
+            assert_eq!(m.observe(0, 5.0), ManagerDecision::Stay);
+        }
+        // The 10th interval lifts the quarantine and re-probes it.
+        assert_eq!(m.observe(0, 5.0), ManagerDecision::SwitchTo(1));
+        assert_eq!(m.resilience_stats().probations, 1);
+        assert!(!m.is_quarantined(1));
+        m.record_switch_outcome(1, SwitchOutcome::Succeeded);
+        let _ = m.observe(1, 1.0);
+        // Fully rehabilitated: predictions may target it again.
+        assert_eq!(m.observe(0, 5.0), ManagerDecision::SwitchTo(1));
+    }
+
+    #[test]
+    fn permanent_failures_are_never_reprobed() {
+        let mut m = IntervalManager::new(2, 0, ConfidencePolicy::none())
+            .unwrap()
+            .with_resilience(ResiliencePolicy { probation_period: 2, ..ResiliencePolicy::hardened() })
+            .unwrap();
+        let _ = m.observe(0, 5.0);
+        m.record_switch_outcome(1, SwitchOutcome::PermanentFailure);
+        for _ in 0..20 {
+            assert_eq!(m.observe(0, 5.0), ManagerDecision::Stay);
+        }
+        assert_eq!(m.resilience_stats().probations, 0);
+        assert!(m.is_quarantined(1));
+    }
+
+    #[test]
+    fn thrash_watchdog_falls_back_to_safe_config() {
+        let mut m = IntervalManager::new(2, 0, ConfidencePolicy::none())
+            .unwrap()
+            .with_resilience(ResiliencePolicy {
+                thrash_window: 20,
+                thrash_limit: 3,
+                outlier_factor: 0.0,
+                ..ResiliencePolicy::hardened()
+            })
+            .unwrap();
+        let _ = m.observe(0, 1.0);
+        let _ = m.observe(1, 1.0);
+        // Ever-worsening reports at the current configuration make the
+        // other one look better every interval: an eager policy thrashes.
+        let mut at = 1usize;
+        let mut v = 10.0;
+        for _ in 0..20 {
+            if let ManagerDecision::SwitchTo(c) = m.observe(at, v) {
+                at = c;
+            }
+            v *= 3.0;
+            if m.in_safe_mode() {
+                break;
+            }
+        }
+        assert!(m.in_safe_mode(), "watchdog must trip");
+        assert_eq!(m.resilience_stats().safe_mode_entries, 1);
+        assert_eq!(m.safe_config(), 0);
+        // Safe mode is terminal and static.
+        assert_eq!(m.observe(0, 1.0), ManagerDecision::Stay);
+        assert_eq!(m.observe(0, 99.0), ManagerDecision::Stay);
+    }
+
+    #[test]
+    fn masking_everything_is_an_error() {
+        let mut m = manager(3, ConfidencePolicy::default_policy());
+        assert!(m.mask_unavailable(&[1]).is_ok());
+        assert!(m.is_quarantined(1));
+        assert!(matches!(m.mask_unavailable(&[0, 2]), Err(CapError::NoViableConfiguration)));
+    }
+
+    #[test]
+    fn rejects_invalid_resilience() {
+        let m = || manager(2, ConfidencePolicy::default_policy());
+        assert!(m().with_resilience(ResiliencePolicy { outlier_factor: f64::NAN, ..ResiliencePolicy::legacy() }).is_err());
+        assert!(m().with_resilience(ResiliencePolicy { quarantine_threshold: 0, ..ResiliencePolicy::legacy() }).is_err());
+        assert!(m().with_resilience(ResiliencePolicy { safe_config: 2, ..ResiliencePolicy::legacy() }).is_err());
+        assert!(m().with_resilience(ResiliencePolicy::hardened()).is_ok());
     }
 
     #[test]

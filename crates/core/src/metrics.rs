@@ -17,6 +17,18 @@ pub fn reduction(conventional: f64, adaptive: f64) -> f64 {
     }
 }
 
+/// Fractional degradation from `clean` to `faulty`:
+/// `faulty/clean - 1` (0.08 = 8 % slower under faults; negative values
+/// mean the faulted run was accidentally faster). Zero when the clean
+/// value is zero.
+pub fn degradation(clean: f64, faulty: f64) -> f64 {
+    if clean == 0.0 {
+        0.0
+    } else {
+        faulty / clean - 1.0
+    }
+}
+
 /// One application's conventional-versus-adaptive pair (one bar pair of
 /// Figures 8/9/11).
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -77,9 +89,7 @@ impl BarChart {
     /// The largest per-application reduction (the paper highlights these:
     /// stereo −46 %, appcg −28 %, ...).
     pub fn best_improvement(&self) -> Option<&BarPair> {
-        self.bars.iter().max_by(|a, b| {
-            a.reduction().partial_cmp(&b.reduction()).expect("reductions are finite")
-        })
+        self.bars.iter().max_by(|a, b| a.reduction().total_cmp(&b.reduction()))
     }
 }
 
@@ -115,6 +125,13 @@ mod tests {
         assert!((reduction(1.0, 0.54) - 0.46).abs() < 1e-12);
         assert_eq!(reduction(0.0, 1.0), 0.0);
         assert!(reduction(1.0, 1.1) < 0.0, "regressions are negative reductions");
+    }
+
+    #[test]
+    fn degradation_basics() {
+        assert!((degradation(1.0, 1.08) - 0.08).abs() < 1e-12);
+        assert_eq!(degradation(0.0, 1.0), 0.0);
+        assert!(degradation(2.0, 1.0) < 0.0, "a faster faulted run is negative");
     }
 
     #[test]

@@ -131,12 +131,12 @@ pub fn queue_frontier(curve: &QueueCurve, model: PowerModel) -> Vec<FrontierPoin
 
 /// The lowest-power point of a frontier.
 pub fn lowest_power(frontier: &[FrontierPoint]) -> Option<&FrontierPoint> {
-    frontier.iter().min_by(|a, b| a.power.partial_cmp(&b.power).expect("power is finite"))
+    frontier.iter().min_by(|a, b| a.power.total_cmp(&b.power))
 }
 
 /// The best-performance (lowest-TPI) point of a frontier.
 pub fn best_performance(frontier: &[FrontierPoint]) -> Option<&FrontierPoint> {
-    frontier.iter().min_by(|a, b| a.tpi_ns.partial_cmp(&b.tpi_ns).expect("TPI is finite"))
+    frontier.iter().min_by(|a, b| a.tpi_ns.total_cmp(&b.tpi_ns))
 }
 
 #[cfg(test)]
@@ -192,7 +192,7 @@ mod tests {
         let frontier = queue_frontier(&curve, PowerModel::typical());
         let best_epi = frontier
             .iter()
-            .min_by(|a, b| a.epi.partial_cmp(&b.epi).expect("EPI is finite"))
+            .min_by(|a, b| a.epi.total_cmp(&b.epi))
             .unwrap();
         assert!(best_epi.entries < 128, "got {}", best_epi.entries);
     }

@@ -146,6 +146,43 @@ pub fn bar_chart_csv(chart: &BarChart) -> String {
     out
 }
 
+/// Renders a fault campaign's clean-vs-faulty comparison, one column per
+/// structure leg.
+pub fn degradation_table(report: &crate::faults::DegradationReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "fault campaign: {} (seed {:#x})", report.app, report.seed);
+    let _ = writeln!(out, "{:<28} {:>14} {:>14}", "", "queue", "cache");
+    let legs = [&report.queue, &report.cache];
+    let row = |out: &mut String, label: &str, f: &dyn Fn(&crate::faults::LegReport) -> String| {
+        let _ = writeln!(out, "{:<28} {:>14} {:>14}", label, f(legs[0]), f(legs[1]));
+    };
+    row(&mut out, "clean TPI (ns)", &|l| format!("{:.3}", l.clean_tpi_ns));
+    row(&mut out, "faulty TPI (ns)", &|l| format!("{:.3}", l.faulty_tpi_ns));
+    row(&mut out, "degradation", &|l| pct(l.tpi_degradation));
+    row(&mut out, "switches clean/faulty", &|l| format!("{}/{}", l.clean_switches, l.faulty_switches));
+    row(&mut out, "retries", &|l| l.retries.to_string());
+    row(&mut out, "retry penalty (ns)", &|l| format!("{:.1}", l.retry_penalty_ns));
+    row(&mut out, "switch failures", &|l| l.switch_failures.to_string());
+    row(&mut out, "transient faults", &|l| l.faults.transient_switch_faults.to_string());
+    row(&mut out, "permanent faults", &|l| l.faults.permanent_switch_faults.to_string());
+    row(&mut out, "broken configs", &|l| l.faults.broken_configs.to_string());
+    row(&mut out, "samples nan/drop/outlier", &|l| {
+        format!(
+            "{}/{}/{}",
+            l.faults.samples_corrupted_nan, l.faults.samples_dropped, l.faults.samples_corrupted_outlier
+        )
+    });
+    row(&mut out, "samples rejected/clamped", &|l| {
+        format!("{}/{}", l.resilience.samples_rejected, l.resilience.samples_clamped)
+    });
+    row(&mut out, "dead increments", &|l| l.faults.dead_increments.to_string());
+    row(&mut out, "quarantined configs", &|l| l.quarantined_configs.to_string());
+    row(&mut out, "probations", &|l| l.resilience.probations.to_string());
+    row(&mut out, "safe mode", &|l| l.safe_mode.to_string());
+    row(&mut out, "final config", &|l| format!("{} ({})", l.final_config, l.final_config_label));
+    out
+}
+
 /// Formats a fraction as a signed percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:+.1}%", x * 100.0)
@@ -264,5 +301,41 @@ mod tests {
     fn pct_formats_signed() {
         assert_eq!(pct(0.091), "+9.1%");
         assert_eq!(pct(-0.05), "-5.0%");
+    }
+
+    #[test]
+    fn degradation_table_lists_both_legs() {
+        use crate::faults::{DegradationReport, FaultSpec, FaultStats, LegReport};
+        use crate::manager::ResilienceStats;
+        let leg = |name: &str| LegReport {
+            structure: name.to_string(),
+            clean_tpi_ns: 1.0,
+            faulty_tpi_ns: 1.1,
+            tpi_degradation: 0.1,
+            clean_switches: 10,
+            faulty_switches: 8,
+            retries: 3,
+            retry_penalty_ns: 12.5,
+            switch_failures: 2,
+            faults: FaultStats::default(),
+            resilience: ResilienceStats::default(),
+            quarantined_configs: 1,
+            safe_mode: false,
+            final_config: 4,
+            final_config_label: "64-entry".into(),
+            final_config_quarantined: false,
+        };
+        let r = DegradationReport {
+            app: "radar".into(),
+            seed: 7,
+            spec: FaultSpec::standard(),
+            queue: leg("queue"),
+            cache: leg("cache"),
+        };
+        let t = degradation_table(&r);
+        assert!(t.contains("radar"));
+        assert!(t.contains("+10.0%"));
+        assert!(t.contains("64-entry"));
+        assert!(t.contains("quarantined configs"));
     }
 }

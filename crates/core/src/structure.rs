@@ -186,6 +186,34 @@ impl CacheStructure {
             .copied()
             .ok_or(CapError::UnknownConfiguration { index, available: self.boundaries.len() })
     }
+
+    /// Retires the last `n` increments of the underlying hierarchy
+    /// (degraded operation; see
+    /// [`AdaptiveCacheHierarchy::retire_increments`]) and returns the
+    /// configuration indices whose boundaries no longer fit the usable
+    /// range. If the active configuration is among them, the structure
+    /// drops to the largest boundary that still fits.
+    pub fn retire_increments(&mut self, n: usize) -> Vec<usize> {
+        let usable = self.cache.retire_increments(n);
+        let unavailable: Vec<usize> = self
+            .boundaries
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.increments() >= usable)
+            .map(|(i, _)| i)
+            .collect();
+        if unavailable.contains(&self.current) {
+            if let Some(fallback) = (0..self.boundaries.len())
+                .rev()
+                .find(|i| !unavailable.contains(i))
+            {
+                if self.cache.try_set_boundary(self.boundaries[fallback]).is_ok() {
+                    self.current = fallback;
+                }
+            }
+        }
+        unavailable
+    }
 }
 
 impl AdaptiveStructure for CacheStructure {
@@ -199,7 +227,7 @@ impl AdaptiveStructure for CacheStructure {
 
     fn reconfigure(&mut self, index: usize) -> Result<(), CapError> {
         let b = self.boundary_at(index)?;
-        self.cache.set_boundary(b);
+        self.cache.try_set_boundary(b)?;
         self.current = index;
         Ok(())
     }
@@ -281,6 +309,28 @@ mod tests {
         assert!(QueueStructure::isca98(QueueTimingModel::default(), 8).is_err());
         let t = CacheTimingModel::isca98(Technology::isca98_evaluation());
         assert!(CacheStructure::isca98(t, 8).is_err());
+    }
+
+    #[test]
+    fn retiring_increments_masks_large_boundaries() {
+        let mut c = cache();
+        // 16 increments total; retiring 10 leaves 6 usable, so boundaries
+        // of 6+ increments (configs 5..8) become unavailable.
+        let unavailable = c.retire_increments(10);
+        assert_eq!(unavailable, vec![5, 6, 7]);
+        assert!(c.reconfigure(5).is_err());
+        assert!(c.reconfigure(4).is_ok());
+        assert_eq!(c.current(), 4);
+    }
+
+    #[test]
+    fn retiring_under_active_boundary_falls_back() {
+        let mut c = cache();
+        c.reconfigure(7).unwrap();
+        let unavailable = c.retire_increments(10);
+        assert!(unavailable.contains(&7));
+        assert_eq!(c.current(), 4, "largest boundary that still fits");
+        assert_eq!(c.cache().boundary().increments(), 5);
     }
 
     #[test]

@@ -218,7 +218,7 @@ where
 /// the smaller table.
 pub fn best_point(points: &[BpredSweepPoint]) -> Option<&BpredSweepPoint> {
     points.iter().min_by(|a, b| {
-        a.tpi_ns.partial_cmp(&b.tpi_ns).expect("TPI is finite").then(a.config.cmp(&b.config))
+        a.tpi_ns.total_cmp(&b.tpi_ns).then(a.config.cmp(&b.config))
     })
 }
 

@@ -18,6 +18,8 @@ pub enum OooError {
         /// Which width was invalid.
         what: &'static str,
     },
+    /// An interval recording was requested with a zero interval length.
+    ZeroIntervalLength,
 }
 
 impl fmt::Display for OooError {
@@ -27,6 +29,7 @@ impl fmt::Display for OooError {
                 write!(f, "window size {entries} is not a positive multiple of 16 within 16..=256")
             }
             OooError::InvalidWidth { what } => write!(f, "pipeline width must be positive: {what}"),
+            OooError::ZeroIntervalLength => write!(f, "interval length must be positive"),
         }
     }
 }
@@ -41,5 +44,6 @@ mod tests {
     fn display_nonempty() {
         assert!(!OooError::InvalidWindow { entries: 5 }.to_string().is_empty());
         assert!(!OooError::InvalidWidth { what: "fetch" }.to_string().is_empty());
+        assert!(OooError::ZeroIntervalLength.to_string().contains("interval length"));
     }
 }

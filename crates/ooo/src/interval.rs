@@ -39,13 +39,19 @@ impl IntervalSample {
 /// Runs `core` over `stream` for `intervals` intervals of `interval_len`
 /// committed instructions each, recording the cycle cost of every
 /// interval.
+///
+/// # Errors
+///
+/// Returns [`OooError::ZeroIntervalLength`] if `interval_len` is zero.
 pub fn record_intervals<S: InstStream>(
     core: &mut OooCore,
     stream: &mut S,
     intervals: u64,
     interval_len: u64,
-) -> Vec<IntervalSample> {
-    assert!(interval_len > 0, "interval length must be positive");
+) -> Result<Vec<IntervalSample>, crate::error::OooError> {
+    if interval_len == 0 {
+        return Err(crate::error::OooError::ZeroIntervalLength);
+    }
     let mut out = Vec::with_capacity(intervals as usize);
     for index in 0..intervals {
         let start_cycles = core.cycles();
@@ -60,7 +66,7 @@ pub fn record_intervals<S: InstStream>(
             insts: core.committed() - start_insts,
         });
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -91,7 +97,7 @@ mod tests {
     fn intervals_cover_requested_span() {
         let mut core = OooCore::new(CoreConfig::isca98(64).unwrap());
         let mut s = SegmentIlp::new(IlpParams::balanced(), 1).unwrap();
-        let v = record_intervals(&mut core, &mut s, 10, PAPER_INTERVAL_INSTS);
+        let v = record_intervals(&mut core, &mut s, 10, PAPER_INTERVAL_INSTS).unwrap();
         assert_eq!(v.len(), 10);
         let total: u64 = v.iter().map(|i| i.insts).sum();
         // Commit width 8 can overshoot an interval boundary by < 8.
@@ -110,7 +116,7 @@ mod tests {
         let schedule = vec![Phase::new(serial(), 10_000), Phase::new(parallel(), 10_000)];
         let mut stream = PhasedIlp::new(schedule, 3).unwrap();
         let mut core = OooCore::new(CoreConfig::isca98(64).unwrap());
-        let v = record_intervals(&mut core, &mut stream, 10, 2000);
+        let v = record_intervals(&mut core, &mut stream, 10, 2000).unwrap();
         // Intervals 0-4 are serial (slow), 5-9 parallel (fast).
         let slow: u64 = v[1..4].iter().map(|i| i.cycles).sum();
         let fast: u64 = v[6..9].iter().map(|i| i.cycles).sum();
@@ -127,10 +133,12 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "interval length")]
     fn zero_interval_rejected() {
         let mut core = OooCore::new(CoreConfig::isca98(64).unwrap());
         let mut s = SegmentIlp::new(IlpParams::balanced(), 1).unwrap();
-        let _ = record_intervals(&mut core, &mut s, 1, 0);
+        assert_eq!(
+            record_intervals(&mut core, &mut s, 1, 0).unwrap_err(),
+            crate::error::OooError::ZeroIntervalLength
+        );
     }
 }

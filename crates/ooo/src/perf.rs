@@ -70,7 +70,7 @@ where
 /// for this application). Ties break toward the smaller window.
 pub fn best_point(points: &[QueueSweepPoint]) -> Option<&QueueSweepPoint> {
     points.iter().min_by(|a, b| {
-        a.tpi.partial_cmp(&b.tpi).expect("TPI values are comparable").then(a.window.cmp(&b.window))
+        a.tpi.value().total_cmp(&b.tpi.value()).then(a.window.cmp(&b.window))
     })
 }
 

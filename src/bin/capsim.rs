@@ -8,6 +8,7 @@
 //! capsim joint <app>               online joint cache+queue management
 //! capsim power <app>               §4.1 performance/power frontier
 //! capsim headline                  paper-vs-measured headline numbers
+//! capsim faults <app> [--seed N]   fault-injection degradation campaign
 //! ```
 //!
 //! Scale is taken from `CAP_SCALE` (`smoke`/`default`/`full`).
@@ -16,12 +17,14 @@ use cap::core::experiments::{
     CacheExperiment, ExperimentScale, IntervalExperiment, QueueExperiment,
 };
 use cap::core::extended::run_managed_combined;
+use cap::core::faults::FaultCampaign;
 use cap::core::manager::ConfidencePolicy;
 use cap::core::power::{queue_frontier, PowerModel};
+use cap::core::report::degradation_table;
 use cap::workloads::App;
 use std::fmt::Write as _;
 
-const USAGE: &str = "usage: capsim <list|cache|queue|managed|joint|power|headline> [app] [--eager]
+const USAGE: &str = "usage: capsim <list|cache|queue|managed|joint|power|headline|faults> [app] [options]
   list                 the 22 evaluation applications
   cache <app>          TPI vs L1/L2 boundary (Figure 7 row)
   queue <app>          TPI vs window size (Figure 10 row)
@@ -29,6 +32,7 @@ const USAGE: &str = "usage: capsim <list|cache|queue|managed|joint|power|headlin
   joint <app>          online joint cache+queue management
   power <app>          performance/power frontier
   headline             paper-vs-measured headline numbers
+  faults <app>         clean-vs-faulty degradation campaign (--seed N)
 scale via CAP_SCALE = smoke | default | full";
 
 fn find_app(name: &str) -> Result<App, String> {
@@ -117,6 +121,18 @@ fn run(args: &[&str]) -> Result<String, String> {
                 );
             }
         }
+        ["faults", name] | ["faults", name, "--seed", _] => {
+            let app = find_app(name)?;
+            let seed = match args {
+                [_, _, "--seed", s] => s
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed wants an unsigned integer, got `{s}`"))?,
+                _ => 0x15CA_1998,
+            };
+            let report = FaultCampaign::new(app, seed).run().map_err(|e| e.to_string())?;
+            let _ = write!(out, "{}", degradation_table(&report));
+            let _ = writeln!(out, "{}", report.to_json());
+        }
         ["headline"] => {
             let cache = CacheExperiment::new(scale)
                 .map_err(|e| e.to_string())?
@@ -198,6 +214,17 @@ mod tests {
         let out = run(&["joint", "radar"]).unwrap();
         assert!(out.contains("settled config"));
         assert!(out.contains("switches"));
+    }
+
+    #[test]
+    fn faults_report_is_complete_and_deterministic() {
+        let out = run(&["faults", "radar", "--seed", "11"]).unwrap();
+        assert!(out.contains("fault campaign: radar"));
+        assert!(out.contains("degradation"));
+        assert!(out.contains("\"queue\""), "JSON body present");
+        assert_eq!(out, run(&["faults", "radar", "--seed", "11"]).unwrap());
+        assert_ne!(out, run(&["faults", "radar", "--seed", "12"]).unwrap());
+        assert!(run(&["faults", "radar", "--seed", "nope"]).is_err());
     }
 
     #[test]

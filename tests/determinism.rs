@@ -43,3 +43,17 @@ fn seeds_actually_matter() {
     let b = QueueExperiment::new(ExperimentScale::Smoke).with_seed(99).sweep(App::Go).expect("valid sweep");
     assert_ne!(a, b);
 }
+
+#[test]
+fn fault_campaigns_reproduce_byte_for_byte() {
+    use cap::core::faults::FaultCampaign;
+    let run = |seed: u64| {
+        FaultCampaign::new(App::Radar, seed)
+            .with_lengths(60, 60)
+            .run()
+            .expect("campaign runs")
+            .to_json()
+    };
+    assert_eq!(run(7), run(7), "same seed, byte-identical report");
+    assert_ne!(run(7), run(8), "different seeds diverge");
+}

@@ -1,0 +1,193 @@
+//! Vendored minimal stand-in for `criterion`.
+//!
+//! Benchmarks compile and run with `cargo bench`, timing each closure
+//! with `std::time::Instant` and printing a single mean-time line per
+//! benchmark. There is no statistical analysis, warm-up tuning, or
+//! report output — just enough to keep the workspace's bench targets
+//! buildable and useful as smoke tests.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id naming only the parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Throughput annotation (accepted and ignored beyond display).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs and times one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call to warm caches and pull lazy work forward.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark iteration count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records a throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    fn run_one(&mut self, label: &str, body: impl FnOnce(&mut Bencher)) {
+        let mut b = Bencher { iters: self.sample_size as u64, mean_ns: 0.0 };
+        body(&mut b);
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if b.mean_ns > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / b.mean_ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if b.mean_ns > 0.0 => {
+                format!("  ({:.1} MB/s)", n as f64 / b.mean_ns * 1e3)
+            }
+            _ => String::new(),
+        };
+        println!("{}/{label}: {:.0} ns/iter{rate}", self.name, b.mean_ns);
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl fmt::Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let label = id.to_string();
+        self.run_one(&label, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = id.to_string();
+        self.run_one(&label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, _criterion: self }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { iters: 10, mean_ns: 0.0 };
+        f(&mut b);
+        println!("{name}: {:.0} ns/iter", b.mean_ns);
+        self
+    }
+}
+
+/// Declares a benchmark group function, upstream-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::new("f", 1), &2u64, |b, &x| {
+                b.iter(|| black_box(x * 2));
+            });
+            g.bench_function("plain", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).to_string(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter("eager").to_string(), "eager");
+    }
+}

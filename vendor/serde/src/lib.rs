@@ -1,0 +1,175 @@
+//! Vendored minimal stand-in for `serde`.
+//!
+//! Exposes a JSON-oriented [`Serialize`] trait plus the derive macro from
+//! the vendored `serde_derive`. The trait writes compact JSON directly —
+//! there is no data-model indirection — which is all the workspace needs
+//! (`serde_json::to_string` / `to_string_pretty` over result structs).
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+/// A type that can render itself as compact JSON.
+pub trait Serialize {
+    /// Appends this value's compact JSON encoding to `out`.
+    fn json_into(&self, out: &mut String);
+}
+
+/// Escapes and quotes `s` as a JSON string into `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_display_json {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn json_into(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_display_json!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+impl Serialize for f64 {
+    fn json_into(&self, out: &mut String) {
+        if self.is_finite() {
+            // `{}` on f64 is the shortest round-trippable decimal form,
+            // matching serde_json's output for typical values.
+            out.push_str(&format!("{self:?}"));
+        } else {
+            out.push_str("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn json_into(&self, out: &mut String) {
+        (f64::from(*self)).json_into(out);
+    }
+}
+
+impl Serialize for str {
+    fn json_into(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn json_into(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn json_into(&self, out: &mut String) {
+        (**self).json_into(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn json_into(&self, out: &mut String) {
+        match self {
+            Some(v) => v.json_into(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+fn seq_into<'a, T: Serialize + 'a>(items: impl Iterator<Item = &'a T>, out: &mut String) {
+    out.push('[');
+    for (i, v) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        v.json_into(out);
+    }
+    out.push(']');
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn json_into(&self, out: &mut String) {
+        seq_into(self.iter(), out);
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn json_into(&self, out: &mut String) {
+        seq_into(self.iter(), out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn json_into(&self, out: &mut String) {
+        seq_into(self.iter(), out);
+    }
+}
+
+macro_rules! impl_tuple_json {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn json_into(&self, out: &mut String) {
+                out.push('[');
+                let mut first = true;
+                $(
+                    if !first { out.push(','); }
+                    first = false;
+                    self.$n.json_into(out);
+                )+
+                let _ = first;
+                out.push(']');
+            }
+        }
+    )*};
+}
+
+impl_tuple_json! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: &T) -> String {
+        let mut s = String::new();
+        v.json_into(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(&3u64), "3");
+        assert_eq!(json(&true), "true");
+        assert_eq!(json(&1.5f64), "1.5");
+        assert_eq!(json(&f64::NAN), "null");
+        assert_eq!(json(&"a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(&vec![1u64, 2, 3]), "[1,2,3]");
+        assert_eq!(json(&Option::<u64>::None), "null");
+        assert_eq!(json(&Some(7u64)), "7");
+        assert_eq!(json(&(1u64, false)), "[1,false]");
+        assert_eq!(json(&Vec::<u64>::new()), "[]");
+    }
+}

@@ -1,0 +1,138 @@
+//! Vendored minimal `#[derive(Serialize)]`.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote`, which are unavailable in
+//! this build environment). Supports exactly what the workspace uses:
+//! non-generic structs with named fields. Anything else is a compile
+//! error with a pointer to this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` (compact-JSON) trait.
+///
+/// # Panics
+///
+/// Panics at macro-expansion time (a compile error) on enums, tuple
+/// structs, unit structs, or generic structs.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes (`#[...]`) and visibility.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => i += 1,
+        other => panic!(
+            "vendored derive(Serialize) supports only structs, got {other:?} \
+             (see vendor/serde_derive/src/lib.rs)"
+        ),
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, got {other:?}"),
+    };
+    i += 1;
+
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+            "vendored derive(Serialize) does not support generic structs \
+             (see vendor/serde_derive/src/lib.rs)"
+        ),
+        other => panic!(
+            "vendored derive(Serialize) supports only named-field structs, got {other:?}"
+        ),
+    };
+
+    let fields = parse_field_names(body);
+    assert!(
+        !fields.is_empty(),
+        "vendored derive(Serialize): struct {name} has no named fields"
+    );
+
+    let mut writes = String::new();
+    for (k, f) in fields.iter().enumerate() {
+        if k > 0 {
+            writes.push_str("out.push(',');");
+        }
+        writes.push_str(&format!(
+            "out.push_str(\"\\\"{f}\\\":\");\
+             ::serde::Serialize::json_into(&self.{f}, out);"
+        ));
+    }
+
+    let impl_src = format!(
+        "impl ::serde::Serialize for {name} {{\
+             fn json_into(&self, out: &mut ::std::string::String) {{\
+                 out.push('{{');\
+                 {writes}\
+                 out.push('}}');\
+             }}\
+         }}"
+    );
+    impl_src.parse().expect("generated impl parses")
+}
+
+/// Extracts field identifiers from a named-field struct body, splitting
+/// at top-level commas while tracking `<...>` nesting inside types.
+fn parse_field_names(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip field attributes and visibility.
+        loop {
+            match tokens.get(i) {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{}`, got {other:?}", fields.last().unwrap()),
+        }
+        // Skip the type: advance to the next comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}

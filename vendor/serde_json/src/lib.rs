@@ -1,0 +1,129 @@
+//! Vendored minimal stand-in for `serde_json`: compact and pretty JSON
+//! emission over the vendored `serde::Serialize` trait.
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+use std::fmt;
+
+/// Serialization error. The vendored encoder is infallible, so this type
+/// exists only to keep upstream-shaped `Result` signatures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails in the vendored implementation.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.json_into(&mut out);
+    Ok(out)
+}
+
+/// Renders `value` as pretty JSON (two-space indent, serde_json style).
+///
+/// # Errors
+///
+/// Never fails in the vendored implementation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Re-formats compact JSON with newlines and two-space indentation.
+/// Empty objects/arrays stay on one line.
+fn prettify(compact: &str) -> String {
+    let bytes = compact.as_bytes();
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut i = 0;
+    let push_indent = |out: &mut String, n: usize| {
+        out.push('\n');
+        for _ in 0..n {
+            out.push_str("  ");
+        }
+    };
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '"' => {
+                // Copy the string literal verbatim, honouring escapes.
+                let start = i;
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] as char {
+                        '\\' => i += 2,
+                        '"' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                out.push_str(&compact[start..i]);
+                continue;
+            }
+            '{' | '[' => {
+                let close = if c == '{' { b'}' } else { b']' };
+                if i + 1 < bytes.len() && bytes[i + 1] == close {
+                    out.push(c);
+                    out.push(close as char);
+                    i += 2;
+                    continue;
+                }
+                out.push(c);
+                indent += 1;
+                push_indent(&mut out, indent);
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                push_indent(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(',');
+                push_indent(&mut out, indent);
+            }
+            ':' => out.push_str(": "),
+            _ => out.push(c),
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip() {
+        assert_eq!(to_string(&vec![1u64, 2]).unwrap(), "[1,2]");
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let s = to_string_pretty(&vec![1u64, 2]).unwrap();
+        assert_eq!(s, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn pretty_keeps_empty_containers_compact() {
+        assert_eq!(to_string_pretty(&Vec::<u64>::new()).unwrap(), "[]");
+    }
+
+    #[test]
+    fn pretty_ignores_structure_chars_in_strings() {
+        let s = to_string_pretty(&vec!["a{b,c:d}".to_string()]).unwrap();
+        assert_eq!(s, "[\n  \"a{b,c:d}\"\n]");
+    }
+}
