@@ -2,12 +2,13 @@
 //! process-level choice and the per-interval oracle, with and without
 //! confidence gating — on the two phased applications.
 
-use cap_bench::{banner, emit_json};
+use cap_bench::{banner, emit_json, exec_from_args};
 use cap_core::experiments::IntervalExperiment;
 use cap_core::manager::ConfidencePolicy;
 use cap_workloads::App;
 
 fn main() {
+    let exec = exec_from_args();
     banner("Ablation", "interval-adaptive manager (Section 6 extension)");
     let exp = IntervalExperiment::new();
     let intervals = 600;
@@ -21,7 +22,9 @@ fn main() {
             ("confident", ConfidencePolicy::default_policy(), 50),
             ("eager", ConfidencePolicy::none(), 50),
         ] {
-            let r = exp.adaptive_comparison(app, intervals, policy, explore).expect("valid configuration");
+            let r = exp
+                .adaptive_comparison_with(app, intervals, policy, explore, &exec)
+                .expect("valid configuration");
             println!(
                 "{:>8} {:>12} {:>14.3} {:>12.3} {:>12.3} {:>9}",
                 r.app, name, r.process_level_tpi, r.managed_tpi, r.oracle_tpi, r.switches

@@ -8,6 +8,9 @@ use cap_core::extended::{asynchronous_study, run_managed_combined, bpred_study, 
 use cap_workloads::App;
 
 fn main() {
+    // The §7 studies are small one-off runs; `--jobs` is accepted for a
+    // uniform CLI across the figure binaries but execution stays serial.
+    let _ = cap_bench::exec_from_args();
     banner("Extended", "future-work studies: TLB, branch predictor, combined");
 
     let tlb = tlb_study(scale(), DEFAULT_SEED).expect("valid configuration");

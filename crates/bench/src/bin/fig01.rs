@@ -50,6 +50,9 @@ fn print_panel(label: &str, rows: &[Row]) {
 }
 
 fn main() {
+    // Pure timing-model evaluation — nothing to parallelize, but `--jobs`
+    // is accepted so every figure binary shares one CLI.
+    let _ = cap_bench::exec_from_args();
     banner("Figure 1", "cache wire delay vs number of subarrays (ns)");
     let a = panel(2048);
     let b = panel(4096);

@@ -17,6 +17,9 @@ struct Row {
 }
 
 fn main() {
+    // Pure timing-model evaluation — nothing to parallelize, but `--jobs`
+    // is accepted so every figure binary shares one CLI.
+    let _ = cap_bench::exec_from_args();
     banner("Figure 2", "integer queue wire delay vs entries (ns)");
     println!(
         "R10000 entry area: {:.1} bytes of single-ported RAM equivalent\n",

@@ -2,14 +2,15 @@
 //! for (a) integer and (b) floating-point benchmarks, boundary fixed
 //! throughout execution.
 
-use cap_bench::{banner, emit_json, scale};
+use cap_bench::{banner, emit_json, exec_from_args, scale};
 use cap_core::experiments::CacheExperiment;
 use cap_core::report::cache_curves_table;
 
 fn main() {
+    let exec = exec_from_args();
     banner("Figure 7", "average TPI vs L1 D-cache size (ns), fixed boundary");
     let exp = CacheExperiment::new(scale()).expect("evaluation geometry is valid");
-    let curves = exp.figure7().expect("paper sweep is valid");
+    let curves = exp.figure7_with(&exec).expect("paper sweep is valid");
     let (int, fp): (Vec<_>, Vec<_>) = curves.iter().partition(|c| c.integer_panel);
     println!("{}", cache_curves_table("(a) integer benchmarks", &int));
     println!("{}", cache_curves_table("(b) floating point / CMU / NAS benchmarks", &fp));

@@ -2,14 +2,15 @@
 //! instruction-queue entries for (a) integer and (b) floating-point
 //! benchmarks.
 
-use cap_bench::{banner, emit_json, scale};
+use cap_bench::{banner, emit_json, exec_from_args, scale};
 use cap_core::experiments::QueueExperiment;
 use cap_core::report::queue_curves_table;
 
 fn main() {
+    let exec = exec_from_args();
     banner("Figure 10", "average TPI vs instruction queue size (ns)");
     let exp = QueueExperiment::new(scale());
-    let curves = exp.figure10().expect("paper sweep is valid");
+    let curves = exp.figure10_with(&exec).expect("paper sweep is valid");
     let (int, fp): (Vec<_>, Vec<_>) = curves.iter().partition(|c| c.integer_panel);
     println!("{}", queue_curves_table("(a) integer benchmarks", &int));
     println!("{}", queue_curves_table("(b) floating point / CMU / NAS benchmarks", &fp));

@@ -3,13 +3,14 @@
 //! configuration alternates in a regular ~15-interval pattern; in (b)
 //! little predictability is observed.
 
-use cap_bench::{banner, emit_json};
+use cap_bench::{banner, emit_json, exec_from_args};
 use cap_core::experiments::IntervalExperiment;
 use cap_core::report::interval_figure_table;
 
 fn main() {
+    let exec = exec_from_args();
     banner("Figure 13", "vortex interval snapshots: 16 vs 64 entries");
-    let fig = IntervalExperiment::new().figure13().expect("valid configuration");
+    let fig = IntervalExperiment::new().figure13_with(&exec).expect("valid configuration");
     println!("{}", interval_figure_table("TPI (ns) per 2000-instruction interval", &fig));
     let winners: Vec<&str> =
         fig.snapshot_a.iter().map(|p| if p.tpi_small < p.tpi_large { "16" } else { "64" }).collect();

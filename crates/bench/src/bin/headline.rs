@@ -1,7 +1,7 @@
 //! Prints the paper's headline numbers (its §5.2.3 and §5.3 text) next
 //! to this reproduction's measurements.
 
-use cap_bench::{banner, emit_json, scale};
+use cap_bench::{banner, emit_json, exec_from_args, scale};
 use cap_core::experiments::{CacheExperiment, QueueExperiment};
 use serde::Serialize;
 
@@ -13,9 +13,11 @@ struct HeadlineRow {
 }
 
 fn main() {
+    let exec = exec_from_args();
     banner("Headline", "paper-reported vs measured reductions");
-    let cache = CacheExperiment::new(scale()).expect("valid geometry").headline().expect("valid sweep");
-    let queue = QueueExperiment::new(scale()).headline().expect("valid sweep");
+    let cache =
+        CacheExperiment::new(scale()).expect("valid geometry").headline_with(&exec).expect("valid sweep");
+    let queue = QueueExperiment::new(scale()).headline_with(&exec).expect("valid sweep");
     let rows = vec![
         HeadlineRow { metric: "cache: average TPImiss reduction".into(), paper: 0.26, measured: cache.tpimiss_reduction },
         HeadlineRow { metric: "cache: average TPI reduction".into(), paper: 0.09, measured: cache.tpi_reduction },

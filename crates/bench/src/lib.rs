@@ -9,13 +9,56 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cap_core::experiments::ExperimentScale;
+use cap_core::experiments::{ExecPolicy, ExperimentScale};
 use serde::Serialize;
 use std::path::PathBuf;
 
 /// The experiment scale selected by `CAP_SCALE` (default: `default`).
 pub fn scale() -> ExperimentScale {
     ExperimentScale::from_env()
+}
+
+/// The execution policy for a figure binary: `--jobs N` from the
+/// command line (falling back to `CAP_JOBS`, then the machine's
+/// parallelism), with result memoization only when `CAP_CACHE_DIR` is
+/// set. Neither knob changes the figure's bytes — only wall-clock.
+///
+/// Exits with status 2 and a usage message on any unrecognized or
+/// malformed argument.
+pub fn exec_from_args() -> ExecPolicy {
+    match parse_jobs(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(jobs) => ExecPolicy::from_env(jobs),
+        Err(msg) => {
+            eprintln!("{msg}");
+            eprintln!("usage: {} [--jobs N]", std::env::args().next().unwrap_or_default());
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses a figure binary's argument list (only `--jobs N` is accepted).
+///
+/// # Errors
+///
+/// Describes the offending argument.
+pub fn parse_jobs(args: &[String]) -> Result<Option<usize>, String> {
+    let mut jobs = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs wants a value")?;
+                jobs = Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| format!("--jobs wants a positive integer, got `{v}`"))?,
+                );
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(jobs)
 }
 
 /// Writes `value` as pretty JSON to `$CAP_JSON_DIR/<name>.json` when

@@ -1,0 +1,99 @@
+//! Golden-figure regression harness.
+//!
+//! Every figure binary's stdout at the default scale and default seed is
+//! locked byte-for-byte to its checked-in snapshot under `results/`.
+//! Any change to the simulators, timing models, workloads, or report
+//! formatting that moves a published number fails here first.
+//!
+//! To accept an intentional change, regenerate the snapshots:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p cap-bench --test goldens
+//! ```
+//!
+//! then re-run the JSON/CSV emission documented in `results/README.md`
+//! and commit the diff alongside the code that caused it.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results").join(format!("{name}.txt"))
+}
+
+/// Runs one figure binary under the golden environment (default scale,
+/// default seed, no side-channel emission, no result cache) and compares
+/// its stdout to the snapshot — or rewrites the snapshot when
+/// `UPDATE_GOLDENS` is set.
+fn check(name: &str, exe: &str) {
+    let out = Command::new(exe)
+        .env("CAP_SCALE", "default")
+        .env_remove("CAP_JSON_DIR")
+        .env_remove("CAP_CSV_DIR")
+        .env_remove("CAP_CACHE_DIR")
+        .env_remove("CAP_JOBS")
+        .output()
+        .expect("figure binary spawns");
+    assert!(out.status.success(), "{name} failed: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).expect("figure output is UTF-8");
+
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, &text).expect("golden must be writable");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    if text != want {
+        let line = text.lines().zip(want.lines()).position(|(a, b)| a != b);
+        let (got_line, want_line) = match line {
+            Some(i) => (text.lines().nth(i).unwrap_or(""), want.lines().nth(i).unwrap_or("")),
+            None => ("<line-count differs>", "<line-count differs>"),
+        };
+        panic!(
+            "{name} drifted from {} at line {}:\n  golden: {want_line}\n  now:    {got_line}\n\
+             If the change is intentional, regenerate with:\n  \
+             UPDATE_GOLDENS=1 cargo test -p cap-bench --test goldens",
+            path.display(),
+            line.map_or(0, |i| i + 1),
+        );
+    }
+}
+
+macro_rules! golden {
+    ($name:ident) => {
+        #[test]
+        fn $name() {
+            check(stringify!($name), env!(concat!("CARGO_BIN_EXE_", stringify!($name))));
+        }
+    };
+}
+
+golden!(fig01);
+golden!(fig02);
+golden!(fig07);
+golden!(fig08);
+golden!(fig09);
+golden!(fig10);
+golden!(fig11);
+golden!(fig12);
+golden!(fig13);
+golden!(headline);
+golden!(ablation);
+golden!(extended);
+
+#[test]
+fn figure_binaries_reject_malformed_jobs() {
+    let out = Command::new(env!("CARGO_BIN_EXE_fig01"))
+        .args(["--jobs", "0"])
+        .output()
+        .expect("figure binary spawns");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    let out = Command::new(env!("CARGO_BIN_EXE_fig07"))
+        .args(["--frobnicate"])
+        .env("CAP_SCALE", "smoke")
+        .output()
+        .expect("figure binary spawns");
+    assert!(!out.status.success());
+}

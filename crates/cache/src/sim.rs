@@ -65,14 +65,28 @@ where
     S: AddressStream,
     F: FnMut() -> S,
 {
-    let mut out = Vec::new();
-    for b in boundaries {
-        let mut cache = AdaptiveCacheHierarchy::with_geometry(*timing.geometry(), b);
-        let stats = run(make_stream(), refs, &mut cache);
-        let tpi = evaluate(&stats, b, timing, params)?;
-        out.push(SweepPoint { boundary: b, stats, tpi });
-    }
-    Ok(out)
+    boundaries.into_iter().map(|b| sweep_point(make_stream(), refs, b, timing, params)).collect()
+}
+
+/// Simulates one fixed boundary — a single leg of a sweep. This is the
+/// unit of work the parallel sweep engine fans out; [`sweep`] is exactly
+/// a serial fold over it, which is what makes `--jobs N` output
+/// byte-identical to `--jobs 1`.
+///
+/// # Errors
+///
+/// Propagates timing-model errors for out-of-range boundaries.
+pub fn sweep_point<S: AddressStream>(
+    stream: S,
+    refs: u64,
+    boundary: Boundary,
+    timing: &CacheTimingModel,
+    params: PerfParams,
+) -> Result<SweepPoint, CacheError> {
+    let mut cache = AdaptiveCacheHierarchy::with_geometry(*timing.geometry(), boundary);
+    let stats = run(stream, refs, &mut cache);
+    let tpi = evaluate(&stats, boundary, timing, params)?;
+    Ok(SweepPoint { boundary, stats, tpi })
 }
 
 /// The sweep point with the lowest total TPI (the process-level adaptive

@@ -27,11 +27,13 @@ use cap_ooo::config::{CoreConfig, WindowSize};
 use cap_ooo::core::OooCore;
 use cap_ooo::interval::{record_intervals, PAPER_INTERVAL_INSTS};
 use cap_ooo::perf as queue_perf;
+use cap_par::{CacheKey, Pool, ResultCache};
 use cap_timing::cacti::CacheTimingModel;
 use cap_timing::queue::QueueTimingModel;
 use cap_timing::Technology;
 use cap_workloads::App;
 use serde::Serialize;
+use serde_json::Value;
 
 /// How much work each experiment simulates.
 ///
@@ -76,10 +78,154 @@ impl ExperimentScale {
             _ => ExperimentScale::Default,
         }
     }
+
+    /// The tier's canonical name (used in result-cache keys).
+    pub fn name(self) -> &'static str {
+        match self {
+            ExperimentScale::Smoke => "smoke",
+            ExperimentScale::Default => "default",
+            ExperimentScale::Full => "full",
+        }
+    }
 }
 
 /// The deterministic root seed used by all experiments unless overridden.
 pub const DEFAULT_SEED: u64 = 0x15CA_1998;
+
+/// Bump whenever simulator, workload, or timing semantics change: it is
+/// baked into every result-cache key, so old cached sweeps stop
+/// replaying the moment the physics moves.
+pub const SWEEP_RESULTS_VERSION: u32 = 1;
+
+// ---------------------------------------------------------------------------
+// Execution policy: how many legs in flight, and whether results memoize
+// ---------------------------------------------------------------------------
+
+/// How an experiment executes: worker count for the leg pool and an
+/// optional persistent result cache.
+///
+/// Every sweep leg is a pure function of
+/// `(experiment kind, app, scale, seed, config range)`, so neither knob
+/// can change results — only wall-clock. The default (and the plain
+/// `sweep()` / `figureN()` entry points) is the serial policy.
+#[derive(Debug, Clone)]
+pub struct ExecPolicy {
+    jobs: usize,
+    cache: Option<ResultCache>,
+}
+
+impl ExecPolicy {
+    /// One leg at a time, no memoization — the reference path.
+    pub fn serial() -> Self {
+        ExecPolicy { jobs: 1, cache: None }
+    }
+
+    /// A policy with `jobs` workers and no memoization.
+    pub fn with_jobs(jobs: usize) -> Self {
+        ExecPolicy { jobs: jobs.max(1), cache: None }
+    }
+
+    /// Attaches a persistent result cache.
+    pub fn cached(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The policy selected by the environment: `jobs` (CLI `--jobs`)
+    /// falls back to `CAP_JOBS`, then to the machine's parallelism; the
+    /// cache comes from `CAP_CACHE_DIR` unless `CAP_NO_CACHE` is set.
+    pub fn from_env(jobs: Option<usize>) -> Self {
+        ExecPolicy { jobs: cap_par::effective_jobs(jobs), cache: ResultCache::from_env() }
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The attached result cache, if any.
+    pub fn cache(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    pub(crate) fn pool(&self) -> Pool {
+        Pool::new(self.jobs)
+    }
+
+    /// Curve-level memoization wrapper: decode a hit, or compute and
+    /// store. Cache failures (missing, corrupt, unwritable) silently
+    /// fall back to computing.
+    fn memo<T, D, C>(&self, key: &CacheKey, decode: D, compute: C) -> Result<T, CapError>
+    where
+        T: Serialize,
+        D: Fn(&Value) -> Option<T>,
+        C: FnOnce() -> Result<T, CapError>,
+    {
+        if let Some(hit) = self.cache.as_ref().and_then(|c| c.lookup(key)).as_ref().and_then(&decode) {
+            return Ok(hit);
+        }
+        let value = compute()?;
+        if let Some(cache) = &self.cache {
+            cache.store(key, &value);
+        }
+        Ok(value)
+    }
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        Self::serial()
+    }
+}
+
+// Decoders for cache replay. Each must invert the derived `Serialize`
+// impl exactly; the round-trip tests in `tests/parallel_equiv.rs` and
+// the in-module tests below hold them to that.
+
+fn f64_field(v: &Value, key: &str) -> Option<f64> {
+    v.get(key)?.as_f64()
+}
+
+fn cache_point_from_json(v: &Value) -> Option<CachePoint> {
+    Some(CachePoint {
+        l1_kb: v.get("l1_kb")?.as_usize()?,
+        l1_assoc: v.get("l1_assoc")?.as_usize()?,
+        cycle_ns: f64_field(v, "cycle_ns")?,
+        tpi_ns: f64_field(v, "tpi_ns")?,
+        tpi_miss_ns: f64_field(v, "tpi_miss_ns")?,
+        l1_miss_ratio: f64_field(v, "l1_miss_ratio")?,
+        global_miss_ratio: f64_field(v, "global_miss_ratio")?,
+    })
+}
+
+fn cache_curve_from_json(v: &Value) -> Option<CacheCurve> {
+    Some(CacheCurve {
+        app: v.get("app")?.as_str()?.to_string(),
+        integer_panel: v.get("integer_panel")?.as_bool()?,
+        points: v.get("points")?.as_array()?.iter().map(cache_point_from_json).collect::<Option<Vec<_>>>()?,
+    })
+}
+
+fn queue_point_from_json(v: &Value) -> Option<QueuePoint> {
+    Some(QueuePoint {
+        entries: v.get("entries")?.as_usize()?,
+        cycle_ns: f64_field(v, "cycle_ns")?,
+        ipc: f64_field(v, "ipc")?,
+        tpi_ns: f64_field(v, "tpi_ns")?,
+    })
+}
+
+fn queue_curve_from_json(v: &Value) -> Option<QueueCurve> {
+    Some(QueueCurve {
+        app: v.get("app")?.as_str()?.to_string(),
+        integer_panel: v.get("integer_panel")?.as_bool()?,
+        points: v.get("points")?.as_array()?.iter().map(queue_point_from_json).collect::<Option<Vec<_>>>()?,
+    })
+}
+
+fn series_from_json(v: &Value) -> Option<Vec<f64>> {
+    v.as_array()?.iter().map(Value::as_f64).collect()
+}
 
 // ---------------------------------------------------------------------------
 // Cache study (Figures 7, 8, 9)
@@ -184,36 +330,81 @@ impl CacheExperiment {
         &self.timing
     }
 
+    /// One leg of the cache study: one application at one fixed
+    /// boundary. Every sweep entry point — serial or parallel — funnels
+    /// through this function, which is what makes their outputs
+    /// identical.
+    fn leg(&self, app: App, boundary: Boundary) -> Result<CachePoint, CapError> {
+        let profile = app.memory_profile();
+        let stream = profile.build(self.seed ^ app.seed_salt());
+        let p = cache_sim::sweep_point(
+            stream,
+            self.scale.cache_refs(),
+            boundary,
+            &self.timing,
+            PerfParams::isca98(profile.insts_per_ref),
+        )?;
+        Ok(CachePoint {
+            l1_kb: p.boundary.l1_kb(),
+            l1_assoc: p.boundary.l1_assoc(),
+            cycle_ns: p.tpi.cycle.value(),
+            tpi_ns: p.tpi.total_tpi().value(),
+            tpi_miss_ns: p.tpi.miss_tpi.value(),
+            l1_miss_ratio: p.stats.l1_miss_ratio(),
+            global_miss_ratio: p.stats.global_miss_ratio(),
+        })
+    }
+
+    /// The result-cache identity of one application's curve.
+    fn curve_key(&self, app: App) -> CacheKey {
+        let boundaries: Vec<Boundary> = Boundary::paper_sweep().collect();
+        CacheKey {
+            kind: "cache-sweep".to_string(),
+            app: app.name().to_string(),
+            scale: self.scale.name().to_string(),
+            seed: self.seed,
+            config_range: format!(
+                "L1 {}..{}KB x{} @{}refs",
+                boundaries.first().map_or(0, |b| b.l1_kb()),
+                boundaries.last().map_or(0, |b| b.l1_kb()),
+                boundaries.len(),
+                self.scale.cache_refs()
+            ),
+            version: SWEEP_RESULTS_VERSION,
+        }
+    }
+
+    fn assemble_curve(app: App, points: Vec<CachePoint>) -> CacheCurve {
+        CacheCurve {
+            app: app.name().to_string(),
+            integer_panel: app.in_integer_panel(),
+            points,
+        }
+    }
+
     /// Sweeps every boundary for one application (one Figure 7 curve).
     ///
     /// # Errors
     ///
     /// Propagates timing-model errors.
     pub fn sweep(&self, app: App) -> Result<CacheCurve, CapError> {
-        let profile = app.memory_profile();
-        let pristine = profile.build(self.seed ^ app.seed_salt());
-        let points = cache_sim::sweep(
-            || pristine.clone(),
-            self.scale.cache_refs(),
-            Boundary::paper_sweep(),
-            &self.timing,
-            PerfParams::isca98(profile.insts_per_ref),
-        )?;
-        Ok(CacheCurve {
-            app: app.name().to_string(),
-            integer_panel: app.in_integer_panel(),
-            points: points
-                .iter()
-                .map(|p| CachePoint {
-                    l1_kb: p.boundary.l1_kb(),
-                    l1_assoc: p.boundary.l1_assoc(),
-                    cycle_ns: p.tpi.cycle.value(),
-                    tpi_ns: p.tpi.total_tpi().value(),
-                    tpi_miss_ns: p.tpi.miss_tpi.value(),
-                    l1_miss_ratio: p.stats.l1_miss_ratio(),
-                    global_miss_ratio: p.stats.global_miss_ratio(),
-                })
-                .collect(),
+        self.sweep_with(app, &ExecPolicy::serial())
+    }
+
+    /// [`CacheExperiment::sweep`] under an execution policy: boundary
+    /// legs fan out across the pool and merge in boundary order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn sweep_with(&self, app: App, exec: &ExecPolicy) -> Result<CacheCurve, CapError> {
+        exec.memo(&self.curve_key(app), cache_curve_from_json, || {
+            let points = exec
+                .pool()
+                .ordered_map(Boundary::paper_sweep().collect(), |_, b| self.leg(app, b))
+                .into_iter()
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Self::assemble_curve(app, points))
         })
     }
 
@@ -223,12 +414,57 @@ impl CacheExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn figure7(&self) -> Result<Vec<CacheCurve>, CapError> {
-        App::cache_suite().map(|a| self.sweep(a)).collect()
+        self.figure7_with(&ExecPolicy::serial())
     }
 
-    fn bar_chart(&self, metric: impl Fn(&CachePoint) -> f64) -> Result<BarChart, CapError> {
+    /// [`CacheExperiment::figure7`] under an execution policy. All
+    /// (app × boundary) legs of cache-missing curves are submitted to
+    /// the pool as one batch — 168 independent legs at full fan-out —
+    /// then merged back into per-app curves in suite order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure7_with(&self, exec: &ExecPolicy) -> Result<Vec<CacheCurve>, CapError> {
+        let apps: Vec<App> = App::cache_suite().collect();
+        let mut curves: Vec<Option<CacheCurve>> = apps
+            .iter()
+            .map(|&app| {
+                exec.cache()
+                    .and_then(|c| c.lookup(&self.curve_key(app)))
+                    .as_ref()
+                    .and_then(cache_curve_from_json)
+            })
+            .collect();
+
+        let boundaries: Vec<Boundary> = Boundary::paper_sweep().collect();
+        let legs: Vec<(usize, App, Boundary)> = apps
+            .iter()
+            .enumerate()
+            .filter(|(slot, _)| curves[*slot].is_none())
+            .flat_map(|(slot, &app)| boundaries.iter().map(move |&b| (slot, app, b)))
+            .collect();
+        let results = exec.pool().ordered_map(legs, |_, (slot, app, b)| (slot, self.leg(app, b)));
+
+        let mut fresh_points: Vec<Vec<CachePoint>> = vec![Vec::new(); apps.len()];
+        for (slot, point) in results {
+            fresh_points[slot].push(point?);
+        }
+        for (slot, points) in fresh_points.into_iter().enumerate() {
+            if curves[slot].is_none() {
+                let curve = Self::assemble_curve(apps[slot], points);
+                if let Some(cache) = exec.cache() {
+                    cache.store(&self.curve_key(apps[slot]), &curve);
+                }
+                curves[slot] = Some(curve);
+            }
+        }
+        Ok(curves.into_iter().map(|c| c.expect("every slot filled")).collect())
+    }
+
+    fn bar_chart(&self, exec: &ExecPolicy, metric: impl Fn(&CachePoint) -> f64) -> Result<BarChart, CapError> {
         let mut bars = Vec::new();
-        for curve in self.figure7()? {
+        for curve in self.figure7_with(exec)? {
             let best = curve.best();
             let conv = curve.conventional();
             bars.push(BarPair {
@@ -247,10 +483,19 @@ impl CacheExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn figure8(&self) -> Result<BarChart, CapError> {
+        self.figure8_with(&ExecPolicy::serial())
+    }
+
+    /// [`CacheExperiment::figure8`] under an execution policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure8_with(&self, exec: &ExecPolicy) -> Result<BarChart, CapError> {
         // The adaptive column fixes the *TPI-optimal* configuration per
         // app (the paper optimizes overall TPI, which is why adaptive
         // TPImiss is occasionally higher than conventional).
-        self.bar_chart(|p| p.tpi_miss_ns)
+        self.bar_chart(exec, |p| p.tpi_miss_ns)
     }
 
     /// Figure 9: TPI, best conventional versus process-level adaptive.
@@ -259,7 +504,16 @@ impl CacheExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn figure9(&self) -> Result<BarChart, CapError> {
-        self.bar_chart(|p| p.tpi_ns)
+        self.figure9_with(&ExecPolicy::serial())
+    }
+
+    /// [`CacheExperiment::figure9`] under an execution policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure9_with(&self, exec: &ExecPolicy) -> Result<BarChart, CapError> {
+        self.bar_chart(exec, |p| p.tpi_ns)
     }
 
     /// The §5.2.3 headline numbers.
@@ -268,8 +522,17 @@ impl CacheExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn headline(&self) -> Result<CacheHeadline, CapError> {
-        let f8 = self.figure8()?;
-        let f9 = self.figure9()?;
+        self.headline_with(&ExecPolicy::serial())
+    }
+
+    /// [`CacheExperiment::headline`] under an execution policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn headline_with(&self, exec: &ExecPolicy) -> Result<CacheHeadline, CapError> {
+        let f8 = self.figure8_with(exec)?;
+        let f9 = self.figure9_with(exec)?;
         let get = |c: &BarChart, app: &str| c.bar(app).map(|b| b.reduction()).unwrap_or(0.0);
         Ok(CacheHeadline {
             tpimiss_reduction: f8.average_reduction(),
@@ -372,6 +635,48 @@ impl QueueExperiment {
         &self.timing
     }
 
+    /// One leg of the queue study: one application at one fixed window
+    /// size. Every sweep entry point — serial or parallel — funnels
+    /// through this function, which is what makes their outputs
+    /// identical.
+    fn leg(&self, app: App, window: WindowSize) -> Result<QueuePoint, CapError> {
+        let stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
+        let p = queue_perf::sweep_point(stream, self.scale.queue_insts(), window, &self.timing)?;
+        Ok(QueuePoint {
+            entries: p.window.entries(),
+            cycle_ns: p.cycle.value(),
+            ipc: p.stats.ipc(),
+            tpi_ns: p.tpi.value(),
+        })
+    }
+
+    /// The result-cache identity of one application's curve.
+    fn curve_key(&self, app: App) -> CacheKey {
+        let windows: Vec<WindowSize> = WindowSize::paper_sweep().collect();
+        CacheKey {
+            kind: "queue-sweep".to_string(),
+            app: app.name().to_string(),
+            scale: self.scale.name().to_string(),
+            seed: self.seed,
+            config_range: format!(
+                "W {}..{} x{} @{}insts",
+                windows.first().map_or(0, |w| w.entries()),
+                windows.last().map_or(0, |w| w.entries()),
+                windows.len(),
+                self.scale.queue_insts()
+            ),
+            version: SWEEP_RESULTS_VERSION,
+        }
+    }
+
+    fn assemble_curve(app: App, points: Vec<QueuePoint>) -> QueueCurve {
+        QueueCurve {
+            app: app.name().to_string(),
+            integer_panel: app.in_integer_panel(),
+            points,
+        }
+    }
+
     /// Sweeps every window size for one application (one Figure 10
     /// curve).
     ///
@@ -379,25 +684,23 @@ impl QueueExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn sweep(&self, app: App) -> Result<QueueCurve, CapError> {
-        let profile = app.ilp_profile();
-        let points = queue_perf::sweep(
-            || profile.build(self.seed ^ app.seed_salt()),
-            self.scale.queue_insts(),
-            WindowSize::paper_sweep(),
-            &self.timing,
-        )?;
-        Ok(QueueCurve {
-            app: app.name().to_string(),
-            integer_panel: app.in_integer_panel(),
-            points: points
-                .iter()
-                .map(|p| QueuePoint {
-                    entries: p.window.entries(),
-                    cycle_ns: p.cycle.value(),
-                    ipc: p.stats.ipc(),
-                    tpi_ns: p.tpi.value(),
-                })
-                .collect(),
+        self.sweep_with(app, &ExecPolicy::serial())
+    }
+
+    /// [`QueueExperiment::sweep`] under an execution policy: window legs
+    /// fan out across the pool and merge in window order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn sweep_with(&self, app: App, exec: &ExecPolicy) -> Result<QueueCurve, CapError> {
+        exec.memo(&self.curve_key(app), queue_curve_from_json, || {
+            let points = exec
+                .pool()
+                .ordered_map(WindowSize::paper_sweep().collect(), |_, w| self.leg(app, w))
+                .into_iter()
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(Self::assemble_curve(app, points))
         })
     }
 
@@ -407,7 +710,52 @@ impl QueueExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn figure10(&self) -> Result<Vec<QueueCurve>, CapError> {
-        App::queue_suite().map(|a| self.sweep(a)).collect()
+        self.figure10_with(&ExecPolicy::serial())
+    }
+
+    /// [`QueueExperiment::figure10`] under an execution policy. All
+    /// (app × window) legs of cache-missing curves are submitted to the
+    /// pool as one batch — 176 independent legs at full fan-out — then
+    /// merged back into per-app curves in suite order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure10_with(&self, exec: &ExecPolicy) -> Result<Vec<QueueCurve>, CapError> {
+        let apps: Vec<App> = App::queue_suite().collect();
+        let mut curves: Vec<Option<QueueCurve>> = apps
+            .iter()
+            .map(|&app| {
+                exec.cache()
+                    .and_then(|c| c.lookup(&self.curve_key(app)))
+                    .as_ref()
+                    .and_then(queue_curve_from_json)
+            })
+            .collect();
+
+        let windows: Vec<WindowSize> = WindowSize::paper_sweep().collect();
+        let legs: Vec<(usize, App, WindowSize)> = apps
+            .iter()
+            .enumerate()
+            .filter(|(slot, _)| curves[*slot].is_none())
+            .flat_map(|(slot, &app)| windows.iter().map(move |&w| (slot, app, w)))
+            .collect();
+        let results = exec.pool().ordered_map(legs, |_, (slot, app, w)| (slot, self.leg(app, w)));
+
+        let mut fresh_points: Vec<Vec<QueuePoint>> = vec![Vec::new(); apps.len()];
+        for (slot, point) in results {
+            fresh_points[slot].push(point?);
+        }
+        for (slot, points) in fresh_points.into_iter().enumerate() {
+            if curves[slot].is_none() {
+                let curve = Self::assemble_curve(apps[slot], points);
+                if let Some(cache) = exec.cache() {
+                    cache.store(&self.curve_key(apps[slot]), &curve);
+                }
+                curves[slot] = Some(curve);
+            }
+        }
+        Ok(curves.into_iter().map(|c| c.expect("every slot filled")).collect())
     }
 
     /// Figure 11: TPI, best conventional (64-entry) versus process-level
@@ -417,8 +765,17 @@ impl QueueExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn figure11(&self) -> Result<BarChart, CapError> {
+        self.figure11_with(&ExecPolicy::serial())
+    }
+
+    /// [`QueueExperiment::figure11`] under an execution policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure11_with(&self, exec: &ExecPolicy) -> Result<BarChart, CapError> {
         let mut bars = Vec::new();
-        for curve in self.figure10()? {
+        for curve in self.figure10_with(exec)? {
             let best = curve.best();
             let conv = curve.conventional();
             bars.push(BarPair {
@@ -437,7 +794,16 @@ impl QueueExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn headline(&self) -> Result<QueueHeadline, CapError> {
-        let f11 = self.figure11()?;
+        self.headline_with(&ExecPolicy::serial())
+    }
+
+    /// [`QueueExperiment::headline`] under an execution policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn headline_with(&self, exec: &ExecPolicy) -> Result<QueueHeadline, CapError> {
+        let f11 = self.figure11_with(exec)?;
         let get = |app: &str| f11.bar(app).map(|b| b.reduction()).unwrap_or(0.0);
         Ok(QueueHeadline {
             tpi_reduction: f11.average_reduction(),
@@ -558,24 +924,59 @@ impl IntervalExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn interval_series(&self, app: App, window: usize, intervals: u64) -> Result<Vec<f64>, CapError> {
-        let cycle = self.timing.cycle_time(window)?;
-        let mut core = OooCore::new(CoreConfig::isca98(window)?);
-        let mut stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
-        let samples = record_intervals(&mut core, &mut stream, intervals, PAPER_INTERVAL_INSTS)?;
-        Ok(samples.iter().map(|s| s.tpi(cycle).value()).collect())
+        self.interval_series_with(app, window, intervals, &ExecPolicy::serial())
     }
 
-    fn snapshot(
+    /// [`IntervalExperiment::interval_series`] under an execution
+    /// policy. A series is one leg (a managed-clock trace cannot split),
+    /// so the policy contributes memoization, not fan-out — callers fan
+    /// out across windows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn interval_series_with(
+        &self,
+        app: App,
+        window: usize,
+        intervals: u64,
+        exec: &ExecPolicy,
+    ) -> Result<Vec<f64>, CapError> {
+        let key = CacheKey {
+            kind: "interval-series".to_string(),
+            app: app.name().to_string(),
+            scale: format!("{intervals}x{PAPER_INTERVAL_INSTS}insts"),
+            seed: self.seed,
+            config_range: format!("W {window}"),
+            version: SWEEP_RESULTS_VERSION,
+        };
+        exec.memo(&key, series_from_json, || {
+            let cycle = self.timing.cycle_time(window)?;
+            let mut core = OooCore::new(CoreConfig::isca98(window)?);
+            let mut stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
+            let samples = record_intervals(&mut core, &mut stream, intervals, PAPER_INTERVAL_INSTS)?;
+            Ok(samples.iter().map(|s| s.tpi(cycle).value()).collect())
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn snapshot_with(
         &self,
         app: App,
         small: usize,
         large: usize,
         range_a: std::ops::Range<u64>,
         range_b: std::ops::Range<u64>,
+        exec: &ExecPolicy,
     ) -> Result<IntervalFigure, CapError> {
         let total = range_a.end.max(range_b.end);
-        let s = self.interval_series(app, small, total)?;
-        let l = self.interval_series(app, large, total)?;
+        let mut series = exec
+            .pool()
+            .ordered_map(vec![small, large], |_, w| self.interval_series_with(app, w, total, exec))
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
+        let l = series.pop().expect("two series submitted");
+        let s = series.pop().expect("two series submitted");
         let slice = |r: std::ops::Range<u64>| {
             (r.start..r.end)
                 .map(|i| SnapshotPoint {
@@ -623,8 +1024,18 @@ impl IntervalExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn figure12(&self) -> Result<IntervalFigure, CapError> {
+        self.figure12_with(&ExecPolicy::serial())
+    }
+
+    /// [`IntervalExperiment::figure12`] under an execution policy (the
+    /// two window series run as parallel legs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure12_with(&self, exec: &ExecPolicy) -> Result<IntervalFigure, CapError> {
         // Phases are 760k + 440k instructions = 380 + 220 intervals.
-        self.snapshot(App::Turb3d, 64, 128, 60..260, 420..540)
+        self.snapshot_with(App::Turb3d, 64, 128, 60..260, 420..540, exec)
     }
 
     /// Figure 13: vortex under 16- and 64-entry windows. Snapshot (a)
@@ -635,10 +1046,20 @@ impl IntervalExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn figure13(&self) -> Result<IntervalFigure, CapError> {
+        self.figure13_with(&ExecPolicy::serial())
+    }
+
+    /// [`IntervalExperiment::figure13`] under an execution policy (the
+    /// two window series run as parallel legs).
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn figure13_with(&self, exec: &ExecPolicy) -> Result<IntervalFigure, CapError> {
         // Regular region: the first 3 alternations (90 intervals).
         // Irregular region: the micro-phase tail at 180k..220k
         // instructions = intervals 90..110.
-        self.snapshot(App::Vortex, 16, 64, 0..90, 90..110)
+        self.snapshot_with(App::Vortex, 16, 64, 0..90, 90..110, exec)
     }
 
     /// Runs the §6 interval-adaptive manager on an application and
@@ -655,12 +1076,32 @@ impl IntervalExperiment {
         policy: ConfidencePolicy,
         explore_period: u64,
     ) -> Result<AdaptiveComparison, CapError> {
+        self.adaptive_comparison_with(app, intervals, policy, explore_period, &ExecPolicy::serial())
+    }
+
+    /// [`IntervalExperiment::adaptive_comparison`] under an execution
+    /// policy: the fixed-configuration reference series (one per window
+    /// size) run as parallel legs; the managed run itself is inherently
+    /// serial — its clock and manager state are a chain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn adaptive_comparison_with(
+        &self,
+        app: App,
+        intervals: u64,
+        policy: ConfidencePolicy,
+        explore_period: u64,
+        exec: &ExecPolicy,
+    ) -> Result<AdaptiveComparison, CapError> {
         // Fixed runs at every configuration (for process level + oracle).
         let sizes: Vec<usize> = WindowSize::paper_sweep().map(|w| w.entries()).collect();
-        let mut series = Vec::new();
-        for &w in &sizes {
-            series.push(self.interval_series(app, w, intervals)?);
-        }
+        let series = exec
+            .pool()
+            .ordered_map(sizes, |_, w| self.interval_series_with(app, w, intervals, exec))
+            .into_iter()
+            .collect::<Result<Vec<_>, _>>()?;
         let totals: Vec<f64> = series.iter().map(|s| s.iter().sum::<f64>()).collect();
         let process_level = totals.iter().cloned().fold(f64::INFINITY, f64::min) / intervals as f64;
         let oracle = (0..intervals as usize)
@@ -786,5 +1227,69 @@ mod tests {
         let curve = exp.sweep(App::Radar).unwrap();
         let json = serde_json::to_string(&curve).unwrap();
         assert!(json.contains("radar"));
+    }
+
+    #[test]
+    fn parallel_sweeps_equal_serial_exactly() {
+        let q = QueueExperiment::new(ExperimentScale::Smoke);
+        assert_eq!(
+            q.sweep_with(App::Gcc, &ExecPolicy::serial()).unwrap(),
+            q.sweep_with(App::Gcc, &ExecPolicy::with_jobs(8)).unwrap()
+        );
+        let c = CacheExperiment::new(ExperimentScale::Smoke).unwrap();
+        assert_eq!(
+            c.sweep(App::Stereo).unwrap(),
+            c.sweep_with(App::Stereo, &ExecPolicy::with_jobs(4)).unwrap()
+        );
+    }
+
+    #[test]
+    fn parallel_figure_batches_equal_serial_exactly() {
+        let exp = IntervalExperiment::new();
+        assert_eq!(exp.figure13().unwrap(), exp.figure13_with(&ExecPolicy::with_jobs(2)).unwrap());
+        let cmp = |jobs| {
+            exp.adaptive_comparison_with(
+                App::Vortex,
+                60,
+                ConfidencePolicy::default_policy(),
+                30,
+                &ExecPolicy::with_jobs(jobs),
+            )
+            .unwrap()
+        };
+        assert_eq!(cmp(1), cmp(8));
+    }
+
+    #[test]
+    fn memoized_replay_is_bit_exact() {
+        let dir = std::env::temp_dir().join(format!("cap-exp-memo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = cap_par::ResultCache::at(&dir);
+
+        let q = QueueExperiment::new(ExperimentScale::Smoke);
+        let q_cold = q.sweep_with(App::Radar, &ExecPolicy::with_jobs(2).cached(cache.clone())).unwrap();
+        // A warm run must decode the stored curve to the identical bits
+        // (PartialEq on the f64 fields is exact equality).
+        let q_warm = q.sweep_with(App::Radar, &ExecPolicy::serial().cached(cache.clone())).unwrap();
+        assert_eq!(q_cold, q_warm);
+
+        let c = CacheExperiment::new(ExperimentScale::Smoke).unwrap();
+        let c_cold = c.sweep_with(App::Compress, &ExecPolicy::serial().cached(cache.clone())).unwrap();
+        let c_warm = c.sweep_with(App::Compress, &ExecPolicy::with_jobs(3).cached(cache.clone())).unwrap();
+        assert_eq!(c_cold, c_warm);
+
+        // A different seed must not hit the same entry.
+        let other = q.clone().with_seed(7).sweep_with(App::Radar, &ExecPolicy::serial().cached(cache)).unwrap();
+        assert_ne!(q_warm.points[0].tpi_ns, other.points[0].tpi_ns);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn exec_policy_defaults_are_serial() {
+        let exec = ExecPolicy::default();
+        assert_eq!(exec.jobs(), 1);
+        assert!(exec.cache().is_none());
+        assert!(ExecPolicy::with_jobs(0).jobs() == 1);
     }
 }

@@ -485,12 +485,37 @@ impl FaultCampaign {
     /// boundary at all (cannot happen with at least two increments
     /// alive).
     pub fn run(&self) -> Result<DegradationReport, CapError> {
+        self.run_with(&crate::experiments::ExecPolicy::serial())
+    }
+
+    /// [`FaultCampaign::run`] under an execution policy: the queue and
+    /// cache legs are independent (separate structures, managers and
+    /// streams; injector seeds derived per leg) and run as parallel
+    /// legs. Output is identical to the serial path — the report merges
+    /// in leg order.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FaultCampaign::run`].
+    pub fn run_with(&self, exec: &crate::experiments::ExecPolicy) -> Result<DegradationReport, CapError> {
+        let mut legs = exec
+            .pool()
+            .ordered_map(vec![true, false], |_, queue| {
+                if queue {
+                    self.queue_leg()
+                } else {
+                    self.cache_leg()
+                }
+            })
+            .into_iter();
+        let queue = legs.next().expect("two legs submitted")?;
+        let cache = legs.next().expect("two legs submitted")?;
         Ok(DegradationReport {
             app: self.app.name().to_string(),
             seed: self.seed,
             spec: self.spec,
-            queue: self.queue_leg()?,
-            cache: self.cache_leg()?,
+            queue,
+            cache,
         })
     }
 }

@@ -1208,7 +1208,7 @@ mod tests {
         // The reactive manager needs the EWMA to cross + confidence; the
         // pattern manager, once trained, switches exactly at the flips.
         let tpi = |cfg: usize, t: u64| {
-            let phase = (t / 6) % 2 == 0;
+            let phase = (t / 6).is_multiple_of(2);
             match (cfg, phase) {
                 (0, true) | (1, false) => 1.0,
                 _ => 2.0,

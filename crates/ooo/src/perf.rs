@@ -55,15 +55,27 @@ where
     S: InstStream,
     F: FnMut() -> S,
 {
-    let mut out = Vec::new();
-    for w in windows {
-        let mut core = OooCore::new(CoreConfig::isca98(w.entries())?);
-        let mut stream = make_stream();
-        let stats = core.run(&mut stream, insts);
-        let (cycle, t) = tpi(w, stats, timing)?;
-        out.push(QueueSweepPoint { window: w, stats, cycle, tpi: t });
-    }
-    Ok(out)
+    windows.into_iter().map(|w| sweep_point(make_stream(), insts, w, timing)).collect()
+}
+
+/// Simulates one fixed window size — a single leg of a sweep. This is
+/// the unit of work the parallel sweep engine fans out; [`sweep`] is
+/// exactly a serial fold over it, which is what makes `--jobs N` output
+/// byte-identical to `--jobs 1`.
+///
+/// # Errors
+///
+/// Propagates timing-model errors.
+pub fn sweep_point<S: InstStream>(
+    mut stream: S,
+    insts: u64,
+    window: WindowSize,
+    timing: &QueueTimingModel,
+) -> Result<QueueSweepPoint, OooError> {
+    let mut core = OooCore::new(CoreConfig::isca98(window.entries())?);
+    let stats = core.run(&mut stream, insts);
+    let (cycle, t) = tpi(window, stats, timing)?;
+    Ok(QueueSweepPoint { window, stats, cycle, tpi: t })
 }
 
 /// The sweep point with the lowest TPI (the process-level adaptive choice

@@ -1,0 +1,214 @@
+//! A versioned, content-addressed result cache for sweep memoization.
+//!
+//! Every sweep leg in the workspace is a pure function of
+//! `(experiment kind, app, scale, seed, config range)` — a [`CacheKey`].
+//! The cache persists each result as one JSON file under
+//! `<root>/v<FORMAT>/<kind>/<fnv64(key)>.json`, containing the full
+//! canonical key (hash collisions are detected by string comparison, not
+//! assumed away) next to the serialized value.
+//!
+//! **Invalidation is versioned, twice over.** The directory layer is
+//! [`CACHE_FORMAT_VERSION`] — bumped when the file layout changes, so a
+//! new binary never misreads an old tree. The key itself carries the
+//! caller's semantic version ([`CacheKey::version`], e.g.
+//! `cap-core`'s `SWEEP_RESULTS_VERSION`) — bumped whenever simulator or
+//! timing semantics change, so stale physics can never replay. Unknown,
+//! corrupt, or mismatched entries are ignored and recomputed; the cache
+//! can always be deleted wholesale (`rm -rf results/cache`).
+//!
+//! Replay fidelity: the vendored emitter writes `f64` in Rust's shortest
+//! round-trippable form and the reader parses it back to identical bits,
+//! so a cache-hit report is byte-for-byte equal to a cold run.
+
+use serde::Serialize;
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+/// Bump when the on-disk layout (paths or envelope) changes.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// The identity of one memoizable experiment leg.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheKey {
+    /// Experiment kind, e.g. `"cache-sweep"` — becomes a subdirectory.
+    pub kind: String,
+    /// Application name.
+    pub app: String,
+    /// Experiment scale name (`smoke` / `default` / `full`).
+    pub scale: String,
+    /// The root seed of the run.
+    pub seed: u64,
+    /// A canonical description of the swept configuration range,
+    /// e.g. `"L1 8..64KB x8"`.
+    pub config_range: String,
+    /// The caller's semantic version; bump to invalidate after any
+    /// change to simulator or timing behaviour.
+    pub version: u32,
+}
+
+impl CacheKey {
+    /// The canonical key string stored inside each cache file.
+    pub fn canonical(&self) -> String {
+        format!(
+            "{}|{}|{}|seed={:#018x}|{}|v{}",
+            self.kind, self.app, self.scale, self.seed, self.config_range, self.version
+        )
+    }
+}
+
+/// FNV-1a, the classic dependency-free 64-bit content hash.
+fn fnv64(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// A directory-backed result cache. Cheap to clone (it is only a path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultCache {
+    root: PathBuf,
+}
+
+impl ResultCache {
+    /// A cache rooted at `root` (conventionally `results/cache/`). The
+    /// directory is created lazily on first store.
+    pub fn at(root: impl Into<PathBuf>) -> Self {
+        ResultCache { root: root.into() }
+    }
+
+    /// The cache selected by the environment: `None` when `CAP_NO_CACHE`
+    /// is set, else the `CAP_CACHE_DIR` directory when set, else `None`.
+    pub fn from_env() -> Option<Self> {
+        if std::env::var_os("CAP_NO_CACHE").is_some() {
+            return None;
+        }
+        std::env::var_os("CAP_CACHE_DIR").map(Self::at)
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, key: &CacheKey) -> PathBuf {
+        self.root
+            .join(format!("v{CACHE_FORMAT_VERSION}"))
+            .join(&key.kind)
+            .join(format!("{:016x}.json", fnv64(&key.canonical())))
+    }
+
+    /// Looks up a stored value. Returns `None` — never an error — on
+    /// miss, unreadable file, parse failure, or key mismatch; the caller
+    /// simply recomputes.
+    pub fn lookup(&self, key: &CacheKey) -> Option<Value> {
+        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
+        let doc = serde_json::from_str(&text).ok()?;
+        if doc.get("key")?.as_str()? != key.canonical() {
+            return None; // hash collision or stale envelope
+        }
+        doc.get("value").cloned()
+    }
+
+    /// Persists a value. Best-effort: an unwritable cache must not fail
+    /// the experiment, so errors are reported as `false` and otherwise
+    /// swallowed. The write goes through a temp file + rename so
+    /// concurrent writers (CI matrix legs) never interleave bytes.
+    pub fn store<T: Serialize>(&self, key: &CacheKey, value: &T) -> bool {
+        let path = self.path_for(key);
+        let Some(dir) = path.parent() else { return false };
+        if std::fs::create_dir_all(dir).is_err() {
+            return false;
+        }
+        let mut doc = String::from("{\"key\":");
+        serde::write_json_string(&mut doc, &key.canonical());
+        doc.push_str(",\"value\":");
+        value.json_into(&mut doc);
+        doc.push('}');
+        let tmp = dir.join(format!(".tmp-{:016x}-{}", fnv64(&key.canonical()), std::process::id()));
+        if std::fs::write(&tmp, &doc).is_err() {
+            return false;
+        }
+        std::fs::rename(&tmp, &path).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cap-par-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn key() -> CacheKey {
+        CacheKey {
+            kind: "queue-sweep".into(),
+            app: "vortex".into(),
+            scale: "smoke".into(),
+            seed: 0x15CA_1998,
+            config_range: "W 16..128 x8".into(),
+            version: 1,
+        }
+    }
+
+    #[test]
+    fn store_then_lookup_roundtrips() {
+        let cache = ResultCache::at(tmp_root("roundtrip"));
+        let values = vec![0.1f64, 1.0 / 3.0, -2.25];
+        assert!(cache.store(&key(), &values));
+        let got = cache.lookup(&key()).expect("hit");
+        let xs = got.as_array().expect("array");
+        for (v, x) in values.iter().zip(xs) {
+            assert_eq!(x.as_f64().unwrap().to_bits(), v.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn miss_on_different_key_fields() {
+        let cache = ResultCache::at(tmp_root("miss"));
+        assert!(cache.store(&key(), &vec![1u64]));
+        for k in [
+            CacheKey { seed: 99, ..key() },
+            CacheKey { version: 2, ..key() },
+            CacheKey { scale: "full".into(), ..key() },
+            CacheKey { app: "gcc".into(), ..key() },
+            CacheKey { config_range: "W 16..64 x4".into(), ..key() },
+        ] {
+            assert!(cache.lookup(&k).is_none(), "{}", k.canonical());
+        }
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn corrupt_file_is_a_miss() {
+        let cache = ResultCache::at(tmp_root("corrupt"));
+        assert!(cache.store(&key(), &vec![1u64]));
+        let path = cache.path_for(&key());
+        std::fs::write(&path, "{ not json").unwrap();
+        assert!(cache.lookup(&key()).is_none());
+        // And a mismatched embedded key (simulated collision) too.
+        std::fs::write(&path, "{\"key\":\"someone-else\",\"value\":[1]}").unwrap();
+        assert!(cache.lookup(&key()).is_none());
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn lookup_without_store_is_a_clean_miss() {
+        let cache = ResultCache::at(tmp_root("cold"));
+        assert!(cache.lookup(&key()).is_none());
+    }
+
+    #[test]
+    fn canonical_key_mentions_every_field() {
+        let c = key().canonical();
+        for part in ["queue-sweep", "vortex", "smoke", "0x0000000015ca1998", "W 16..128 x8", "v1"] {
+            assert!(c.contains(part), "{c} missing {part}");
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! `cap-par` — the execution layer of the CAP reproduction.
+//!
+//! The paper's studies are embarrassingly parallel: every
+//! (application × configuration) leg of the cache and queue sweeps is an
+//! independent simulation. This crate supplies the two pieces that let
+//! the experiment drivers fan those legs out without giving up
+//! reproducibility:
+//!
+//! * [`pool`] — a small work-stealing thread pool built on scoped
+//!   spawning. Results are collected **in submission order**, so a
+//!   parallel run merges to exactly the bytes a serial run produces.
+//! * [`cache`] — a versioned, content-addressed result cache persisted
+//!   under `results/cache/`. Sweep legs are pure functions of
+//!   `(experiment kind, app, scale, seed, config range)`; replaying a
+//!   cached result is byte-identical to recomputing it because the
+//!   vendored JSON emitter writes `f64` in shortest round-trip form.
+//!
+//! Like everything under `vendor/`, the crate is dependency-free (std
+//! only) — the build environment has no crates registry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod pool;
+
+pub use cache::{CacheKey, ResultCache, CACHE_FORMAT_VERSION};
+pub use pool::{effective_jobs, Pool};

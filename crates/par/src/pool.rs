@@ -1,0 +1,175 @@
+//! A work-stealing thread pool with deterministic ordered collection.
+//!
+//! The design is the classic per-worker-deque scheme scaled down to what
+//! the sweep engine needs: tasks are known up front, so there is no
+//! injector churn — items are dealt round-robin into per-worker deques,
+//! each worker pops from the *front* of its own deque and, when empty,
+//! steals from the *back* of a sibling's. Every task carries its
+//! submission index and writes its result into a dedicated slot, so
+//! [`Pool::ordered_map`] returns results in input order no matter which
+//! worker ran what — the property the parallel/serial equivalence tests
+//! lock down.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A fixed-width thread pool. `jobs == 1` runs everything inline on the
+/// caller's thread (the serial reference path — same code, no spawns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    jobs: usize,
+}
+
+impl Pool {
+    /// A pool of `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        Pool { jobs: jobs.max(1) }
+    }
+
+    /// The worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Applies `f` to every item, in parallel across the pool's workers,
+    /// and returns the results **in input order**.
+    ///
+    /// `f` receives `(index, item)` and must be a pure function of them
+    /// for parallel runs to equal serial runs (every caller in this
+    /// workspace passes seeded, self-contained simulation legs).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any worker.
+    pub fn ordered_map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        let n = items.len();
+        let workers = self.jobs.min(n);
+        if workers <= 1 {
+            return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        }
+
+        // Deal tasks round-robin into per-worker deques.
+        let mut queues: Vec<VecDeque<(usize, I)>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            queues[i % workers].push_back((i, item));
+        }
+        let queues: Vec<Mutex<VecDeque<(usize, I)>>> = queues.into_iter().map(Mutex::new).collect();
+        let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for me in 0..workers {
+                let queues = &queues;
+                let slots = &slots;
+                let f = &f;
+                scope.spawn(move || loop {
+                    // Own work first (front of own deque)...
+                    let task = queues[me].lock().expect("pool queue poisoned").pop_front();
+                    let (index, item) = match task {
+                        Some(t) => t,
+                        // ...then steal from the back of a sibling's.
+                        None => {
+                            let stolen = (1..workers).find_map(|d| {
+                                queues[(me + d) % workers]
+                                    .lock()
+                                    .expect("pool queue poisoned")
+                                    .pop_back()
+                            });
+                            match stolen {
+                                Some(t) => t,
+                                None => return,
+                            }
+                        }
+                    };
+                    let result = f(index, item);
+                    *slots[index].lock().expect("pool slot poisoned") = Some(result);
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("pool slot poisoned")
+                    .expect("every submitted task completes")
+            })
+            .collect()
+    }
+}
+
+/// Resolves a worker count: an explicit request (CLI `--jobs`) wins,
+/// then the `CAP_JOBS` environment variable, then the machine's
+/// available parallelism.
+pub fn effective_jobs(requested: Option<usize>) -> usize {
+    requested
+        .or_else(|| std::env::var("CAP_JOBS").ok().and_then(|s| s.parse().ok()))
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_map_preserves_input_order() {
+        for jobs in [1, 2, 3, 8, 33] {
+            let out = Pool::new(jobs).ordered_map((0..100u64).collect(), |i, x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out, (0..100u64).map(|x| x * x).collect::<Vec<_>>(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let work = |i: usize, x: u64| -> u64 {
+            // A little CPU burn so workers genuinely interleave.
+            (0..1000).fold(x, |acc, k| acc.wrapping_mul(6364136223846793005).wrapping_add(k + i as u64))
+        };
+        let serial = Pool::new(1).ordered_map((0..64u64).collect(), work);
+        let parallel = Pool::new(8).ordered_map((0..64u64).collect(), work);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn handles_empty_and_single_inputs() {
+        let empty: Vec<u64> = Pool::new(4).ordered_map(Vec::<u64>::new(), |_, x| x);
+        assert!(empty.is_empty());
+        assert_eq!(Pool::new(4).ordered_map(vec![7u64], |_, x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_workers_than_items_is_fine() {
+        let out = Pool::new(64).ordered_map(vec![1u64, 2, 3], |_, x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn zero_jobs_clamps_to_one() {
+        assert_eq!(Pool::new(0).jobs(), 1);
+    }
+
+    // `thread::scope` re-panics with its own payload, so only the fact
+    // of the panic (not the message) crosses the join.
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        Pool::new(4).ordered_map((0..8usize).collect(), |_, x| {
+            assert!(x != 3, "leg 3 exploded");
+            x
+        });
+    }
+
+    #[test]
+    fn effective_jobs_prefers_explicit_request() {
+        assert_eq!(effective_jobs(Some(3)), 3);
+        assert_eq!(effective_jobs(Some(0)), 1);
+    }
+}

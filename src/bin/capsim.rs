@@ -4,42 +4,101 @@
 //! capsim list                      the 22 evaluation applications
 //! capsim cache <app>               TPI vs L1/L2 boundary (Figure 7 row)
 //! capsim queue <app>               TPI vs window size (Figure 10 row)
+//! capsim sweep <cache|queue|all>   full-suite sweep on the parallel engine
+//!                                  [--jobs N] [--seed S]
 //! capsim managed <app> [--eager]   §6 interval-adaptive run
 //! capsim joint <app>               online joint cache+queue management
 //! capsim power <app>               §4.1 performance/power frontier
 //! capsim headline                  paper-vs-measured headline numbers
-//! capsim faults <app> [--seed N]   fault-injection degradation campaign
+//! capsim faults <app> [--seed N] [--jobs N]
+//!                                  fault-injection degradation campaign
 //! ```
 //!
-//! Scale is taken from `CAP_SCALE` (`smoke`/`default`/`full`).
+//! Scale is taken from `CAP_SCALE` (`smoke`/`default`/`full`). Sweeps
+//! memoize per-curve results under `results/cache/` (override with
+//! `CAP_CACHE_DIR`, disable with `CAP_NO_CACHE=1`); `--jobs` defaults to
+//! `CAP_JOBS`, then to the machine's parallelism. Neither knob changes
+//! output bytes — only wall-clock.
 
 use cap::core::experiments::{
-    CacheExperiment, ExperimentScale, IntervalExperiment, QueueExperiment,
+    CacheExperiment, ExecPolicy, ExperimentScale, IntervalExperiment, QueueExperiment,
+    DEFAULT_SEED,
 };
 use cap::core::extended::run_managed_combined;
 use cap::core::faults::FaultCampaign;
 use cap::core::manager::ConfidencePolicy;
 use cap::core::power::{queue_frontier, PowerModel};
-use cap::core::report::degradation_table;
+use cap::core::report::{cache_curves_table, degradation_table, queue_curves_table};
+use cap::par::ResultCache;
 use cap::workloads::App;
 use std::fmt::Write as _;
 
-const USAGE: &str = "usage: capsim <list|cache|queue|managed|joint|power|headline|faults> [app] [options]
+const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|joint|power|headline|faults> [app] [options]
   list                 the 22 evaluation applications
   cache <app>          TPI vs L1/L2 boundary (Figure 7 row)
   queue <app>          TPI vs window size (Figure 10 row)
+  sweep <cache|queue|all>  full-suite sweep on the parallel engine
+                       (--jobs N: worker count, --seed S: root seed)
   managed <app>        Section 6 interval-adaptive run (--eager: no confidence)
   joint <app>          online joint cache+queue management
   power <app>          performance/power frontier
   headline             paper-vs-measured headline numbers
-  faults <app>         clean-vs-faulty degradation campaign (--seed N)
-scale via CAP_SCALE = smoke | default | full";
+  faults <app>         clean-vs-faulty degradation campaign (--seed N, --jobs N)
+scale via CAP_SCALE = smoke | default | full
+sweep memoization under results/cache (CAP_CACHE_DIR overrides, CAP_NO_CACHE=1 disables)";
 
 fn find_app(name: &str) -> Result<App, String> {
     App::ALL
         .into_iter()
         .find(|a| a.name() == name.to_lowercase())
         .ok_or_else(|| format!("unknown application `{name}` (try `capsim list`)"))
+}
+
+/// Parsed `--jobs N` / `--seed S` trailing flags.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+struct Flags {
+    jobs: Option<usize>,
+    seed: Option<u64>,
+}
+
+fn parse_flags(rest: &[&str]) -> Result<Flags, String> {
+    let mut flags = Flags::default();
+    let mut it = rest.iter();
+    while let Some(&flag) = it.next() {
+        match flag {
+            "--jobs" => {
+                let v = it.next().ok_or_else(|| format!("--jobs wants a value\n{USAGE}"))?;
+                let n: usize = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--jobs wants a positive integer, got `{v}`\n{USAGE}"))?;
+                flags.jobs = Some(n);
+            }
+            "--seed" => {
+                let v = it.next().ok_or_else(|| format!("--seed wants a value\n{USAGE}"))?;
+                let s: u64 = v
+                    .parse()
+                    .map_err(|_| format!("--seed wants an unsigned integer, got `{v}`\n{USAGE}"))?;
+                flags.seed = Some(s);
+            }
+            _ => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
+        }
+    }
+    Ok(flags)
+}
+
+/// The execution policy for `capsim sweep` / `capsim faults`: `--jobs`
+/// (then `CAP_JOBS`, then machine parallelism) workers, memoizing under
+/// `results/cache` unless `CAP_CACHE_DIR` redirects or `CAP_NO_CACHE`
+/// disables it.
+fn exec_policy(jobs: Option<usize>) -> ExecPolicy {
+    let exec = ExecPolicy::from_env(jobs);
+    if exec.cache().is_none() && std::env::var_os("CAP_NO_CACHE").is_none() {
+        exec.cached(ResultCache::at("results/cache"))
+    } else {
+        exec
+    }
 }
 
 /// Executes a parsed command line and renders the report.
@@ -87,6 +146,49 @@ fn run(args: &[&str]) -> Result<String, String> {
             let b = curve.best();
             let _ = writeln!(out, "best: {} entries, TPI {:.3} ns (IPC {:.2})", b.entries, b.tpi_ns, b.ipc);
         }
+        ["sweep", kind, rest @ ..] => {
+            let flags = parse_flags(rest)?;
+            let exec = exec_policy(flags.jobs);
+            let seed = flags.seed.unwrap_or(DEFAULT_SEED);
+            let (do_cache, do_queue) = match *kind {
+                "cache" => (true, false),
+                "queue" => (false, true),
+                "all" => (true, true),
+                other => return Err(format!("unknown sweep kind `{other}`\n{USAGE}")),
+            };
+            if do_cache {
+                let exp = CacheExperiment::new(scale).map_err(|e| e.to_string())?.with_seed(seed);
+                let curves = exp.figure7_with(&exec).map_err(|e| e.to_string())?;
+                let _ = writeln!(out, "== cache sweep: TPI vs L1 boundary, seed {seed:#x}");
+                let (int, fp): (Vec<_>, Vec<_>) = curves.iter().partition(|c| c.integer_panel);
+                let _ = writeln!(out, "{}", cache_curves_table("(a) integer benchmarks", &int));
+                let _ = writeln!(out, "{}", cache_curves_table("(b) floating point / CMU / NAS benchmarks", &fp));
+                for c in &curves {
+                    let b = c.best();
+                    let _ = writeln!(
+                        out,
+                        "  {:>9}: best L1 {:>2} KB ({}-way), TPI {:.3} ns",
+                        c.app, b.l1_kb, b.l1_assoc, b.tpi_ns
+                    );
+                }
+            }
+            if do_queue {
+                let exp = QueueExperiment::new(scale).with_seed(seed);
+                let curves = exp.figure10_with(&exec).map_err(|e| e.to_string())?;
+                let _ = writeln!(out, "== queue sweep: TPI vs window size, seed {seed:#x}");
+                let (int, fp): (Vec<_>, Vec<_>) = curves.iter().partition(|c| c.integer_panel);
+                let _ = writeln!(out, "{}", queue_curves_table("(a) integer benchmarks", &int));
+                let _ = writeln!(out, "{}", queue_curves_table("(b) floating point / CMU / NAS benchmarks", &fp));
+                for c in &curves {
+                    let b = c.best();
+                    let _ = writeln!(
+                        out,
+                        "  {:>9}: best window {:>3} entries, TPI {:.3} ns (IPC {:.2})",
+                        c.app, b.entries, b.tpi_ns, b.ipc
+                    );
+                }
+            }
+        }
         ["managed", name] | ["managed", name, "--eager"] => {
             let app = find_app(name)?;
             let eager = args.last() == Some(&"--eager");
@@ -121,15 +223,12 @@ fn run(args: &[&str]) -> Result<String, String> {
                 );
             }
         }
-        ["faults", name] | ["faults", name, "--seed", _] => {
+        ["faults", name, rest @ ..] => {
             let app = find_app(name)?;
-            let seed = match args {
-                [_, _, "--seed", s] => s
-                    .parse::<u64>()
-                    .map_err(|_| format!("--seed wants an unsigned integer, got `{s}`"))?,
-                _ => 0x15CA_1998,
-            };
-            let report = FaultCampaign::new(app, seed).run().map_err(|e| e.to_string())?;
+            let flags = parse_flags(rest)?;
+            let exec = exec_policy(flags.jobs);
+            let seed = flags.seed.unwrap_or(DEFAULT_SEED);
+            let report = FaultCampaign::new(app, seed).run_with(&exec).map_err(|e| e.to_string())?;
             let _ = write!(out, "{}", degradation_table(&report));
             let _ = writeln!(out, "{}", report.to_json());
         }
@@ -231,5 +330,36 @@ mod tests {
     fn app_lookup_is_case_insensitive() {
         assert_eq!(find_app("Stereo").unwrap(), App::Stereo);
         assert_eq!(find_app("APPCG").unwrap(), App::Appcg);
+    }
+
+    #[test]
+    fn flags_parse_and_reject() {
+        let f = parse_flags(&["--jobs", "4", "--seed", "99"]).unwrap();
+        assert_eq!(f.jobs, Some(4));
+        assert_eq!(f.seed, Some(99));
+        assert_eq!(parse_flags(&[]).unwrap().jobs, None);
+        assert!(parse_flags(&["--jobs"]).unwrap_err().contains("usage:"));
+        assert!(parse_flags(&["--jobs", "0"]).unwrap_err().contains("usage:"));
+        assert!(parse_flags(&["--jobs", "many"]).unwrap_err().contains("usage:"));
+        assert!(parse_flags(&["--seed", "-1"]).unwrap_err().contains("usage:"));
+        assert!(parse_flags(&["--frobnicate"]).unwrap_err().contains("usage:"));
+    }
+
+    #[test]
+    fn sweep_rejects_bad_input() {
+        assert!(run(&["sweep"]).is_err());
+        assert!(run(&["sweep", "frobnicate"]).unwrap_err().contains("usage:"));
+        assert!(run(&["sweep", "cache", "--jobs", "zero"]).unwrap_err().contains("usage:"));
+        assert!(run(&["sweep", "queue", "--seed", "-7"]).unwrap_err().contains("usage:"));
+    }
+
+    #[test]
+    fn sweep_cache_report_is_deterministic_across_jobs() {
+        std::env::set_var("CAP_SCALE", "smoke");
+        std::env::set_var("CAP_NO_CACHE", "1");
+        let serial = run(&["sweep", "cache", "--jobs", "1"]).unwrap();
+        assert!(serial.contains("cache sweep"), "{serial}");
+        assert!(serial.contains("best"), "{serial}");
+        assert_eq!(serial, run(&["sweep", "cache", "--jobs", "3"]).unwrap());
     }
 }

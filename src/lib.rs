@@ -20,6 +20,9 @@
 //!   complexity-adaptive instruction queue.
 //! * [`core`] — the CAP framework: dynamic clock, configuration managers,
 //!   TPI metrics, and the paper's experiment drivers.
+//! * [`par`] — the execution layer: a work-stealing thread pool with
+//!   deterministic ordered collection and the persistent result cache
+//!   behind `capsim sweep --jobs`.
 //!
 //! # Quickstart
 //!
@@ -39,6 +42,7 @@
 pub use cap_cache as cache;
 pub use cap_core as core;
 pub use cap_ooo as ooo;
+pub use cap_par as par;
 pub use cap_timing as timing;
 pub use cap_trace as trace;
 pub use cap_workloads as workloads;

@@ -1,0 +1,68 @@
+//! Process-level CLI contract tests for `capsim`: bad input exits
+//! non-zero with usage text, and the documented happy paths run.
+
+use std::process::{Command, Output};
+
+fn capsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_capsim"))
+        .args(args)
+        .env("CAP_SCALE", "smoke")
+        .env("CAP_NO_CACHE", "1")
+        .env_remove("CAP_JOBS")
+        .env_remove("CAP_CACHE_DIR")
+        .output()
+        .expect("capsim spawns")
+}
+
+fn assert_usage_failure(args: &[&str]) {
+    let out = capsim(args);
+    assert!(!out.status.success(), "capsim {args:?} should fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "capsim {args:?} stderr lacks usage text:\n{stderr}");
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    assert_usage_failure(&[]);
+    assert_usage_failure(&["frobnicate"]);
+    assert_usage_failure(&["sweep", "frobnicate"]);
+}
+
+#[test]
+fn malformed_jobs_flag_fails_with_usage() {
+    assert_usage_failure(&["sweep", "cache", "--jobs"]);
+    assert_usage_failure(&["sweep", "cache", "--jobs", "0"]);
+    assert_usage_failure(&["sweep", "cache", "--jobs", "many"]);
+    assert_usage_failure(&["faults", "radar", "--jobs", "-2"]);
+}
+
+#[test]
+fn malformed_seed_flag_fails_with_usage() {
+    assert_usage_failure(&["sweep", "queue", "--seed"]);
+    assert_usage_failure(&["sweep", "queue", "--seed", "-1"]);
+    assert_usage_failure(&["faults", "radar", "--seed", "nope"]);
+}
+
+#[test]
+fn sweep_happy_path_prints_both_panels_and_bests() {
+    let out = capsim(&["sweep", "all", "--jobs", "2", "--seed", "7"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cache sweep"), "{text}");
+    assert!(text.contains("queue sweep"), "{text}");
+    assert!(text.contains("(a) integer benchmarks"), "{text}");
+    assert!(text.contains("(b) floating point"), "{text}");
+    assert!(text.contains("best"), "{text}");
+    assert!(text.contains("seed 0x7"), "the banner names the seed:\n{text}");
+}
+
+#[test]
+fn figure_binary_rejects_malformed_jobs() {
+    // The bench figure binaries share the same `--jobs` contract.
+    let out = Command::new(env!("CARGO_BIN_EXE_capsim"))
+        .args(["sweep", "cache", "--jobs", "1", "--jobs", "bad"])
+        .env("CAP_SCALE", "smoke")
+        .output()
+        .expect("capsim spawns");
+    assert!(!out.status.success(), "later malformed --jobs must still be rejected");
+}

@@ -1,0 +1,76 @@
+//! Property tests on the sweep-curve invariants the figures and the
+//! adaptive managers rely on: `best()` really minimizes TPI, TPI is
+//! exactly cycle-time over IPC, and the paper's best conventional
+//! configuration is always a member of the sweep.
+
+use cap::core::experiments::{CacheExperiment, ExperimentScale, QueueExperiment};
+use cap::workloads::App;
+use proptest::prelude::*;
+
+/// Bit-distance equality: `a` and `b` are the same f64 up to 1 ulp.
+fn within_one_ulp(a: f64, b: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if a.is_nan() || b.is_nan() || (a < 0.0) != (b < 0.0) {
+        return false;
+    }
+    a.to_bits().abs_diff(b.to_bits()) <= 1
+}
+
+fn arb_app() -> impl Strategy<Value = App> {
+    (0..App::ALL.len()).prop_map(|i| App::ALL[i])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `CacheCurve::best` minimizes TPI; every point's TPI is bounded
+    /// below by its miss component; the 16 KB conventional boundary is a
+    /// member of the sweep.
+    #[test]
+    fn cache_curve_invariants(app in arb_app(), seed in 1u64..1_000_000) {
+        let exp = CacheExperiment::new(ExperimentScale::Smoke).unwrap().with_seed(seed);
+        let curve = exp.sweep(app).unwrap();
+        prop_assert!(!curve.points.is_empty());
+
+        let best = curve.best();
+        for p in &curve.points {
+            prop_assert!(best.tpi_ns <= p.tpi_ns, "best {} > point {}", best.tpi_ns, p.tpi_ns);
+            prop_assert!(p.tpi_ns >= p.tpi_miss_ns, "TPI below its own miss component");
+            prop_assert!(p.cycle_ns > 0.0 && p.tpi_ns.is_finite());
+        }
+
+        // `conventional()` must return an actual member of the curve.
+        let conv = curve.conventional();
+        prop_assert_eq!(conv.l1_kb, 16);
+        prop_assert!(curve.points.iter().any(|p| p == conv));
+    }
+
+    /// `QueueCurve::best` minimizes TPI; TPI == cycle_time / IPC within
+    /// 1 ulp at every point; the 64-entry conventional window is a member
+    /// of the sweep.
+    #[test]
+    fn queue_curve_invariants(app in arb_app(), seed in 1u64..1_000_000) {
+        let exp = QueueExperiment::new(ExperimentScale::Smoke).with_seed(seed);
+        let curve = exp.sweep(app).unwrap();
+        prop_assert!(!curve.points.is_empty());
+
+        let best = curve.best();
+        for p in &curve.points {
+            prop_assert!(best.tpi_ns <= p.tpi_ns, "best {} > point {}", best.tpi_ns, p.tpi_ns);
+            prop_assert!(p.ipc > 0.0, "smoke runs retire instructions");
+            prop_assert!(
+                within_one_ulp(p.tpi_ns, p.cycle_ns / p.ipc),
+                "TPI {} != cycle {} / IPC {}",
+                p.tpi_ns,
+                p.cycle_ns,
+                p.ipc
+            );
+        }
+
+        let conv = curve.conventional();
+        prop_assert_eq!(conv.entries, 64);
+        prop_assert!(curve.points.iter().any(|p| p == conv));
+    }
+}

@@ -1,0 +1,112 @@
+//! Parallel/serial equivalence: the sweep engine must produce
+//! byte-identical reports no matter how many workers run the legs, and a
+//! memoized (cache-hit) replay must be byte-identical to the cold run.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Runs the `capsim` binary with a controlled environment and returns
+/// its stdout. Panics (with stderr attached) if the run fails.
+fn capsim(args: &[&str], cache_dir: Option<&std::path::Path>) -> String {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_capsim"));
+    cmd.args(args)
+        .env("CAP_SCALE", "smoke")
+        .env_remove("CAP_JOBS")
+        .env_remove("CAP_NO_CACHE")
+        .env_remove("CAP_CACHE_DIR");
+    match cache_dir {
+        Some(dir) => {
+            cmd.env("CAP_CACHE_DIR", dir);
+        }
+        None => {
+            cmd.env("CAP_NO_CACHE", "1");
+        }
+    }
+    let out = cmd.output().expect("capsim spawns");
+    assert!(
+        out.status.success(),
+        "capsim {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("capsim output is UTF-8")
+}
+
+/// A unique scratch directory for one test's result cache.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cap-equiv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cache_sweep_is_jobs_invariant_across_seeds() {
+    for seed in ["17", "9009", "281474976710655"] {
+        let serial = capsim(&["sweep", "cache", "--jobs", "1", "--seed", seed], None);
+        let parallel = capsim(&["sweep", "cache", "--jobs", "8", "--seed", seed], None);
+        assert_eq!(serial, parallel, "seed {seed}: --jobs 8 drifted from --jobs 1");
+        assert!(serial.contains("cache sweep"), "{serial}");
+    }
+}
+
+#[test]
+fn queue_sweep_is_jobs_invariant_across_seeds() {
+    for seed in ["17", "9009"] {
+        let serial = capsim(&["sweep", "queue", "--jobs", "1", "--seed", seed], None);
+        let parallel = capsim(&["sweep", "queue", "--jobs", "8", "--seed", seed], None);
+        assert_eq!(serial, parallel, "seed {seed}: --jobs 8 drifted from --jobs 1");
+        assert!(serial.contains("queue sweep"), "{serial}");
+    }
+}
+
+#[test]
+fn fault_campaign_is_jobs_invariant() {
+    for seed in ["11", "4242"] {
+        let serial = capsim(&["faults", "radar", "--jobs", "1", "--seed", seed], None);
+        let parallel = capsim(&["faults", "radar", "--jobs", "4", "--seed", seed], None);
+        assert_eq!(serial, parallel, "seed {seed}: --jobs 4 drifted from --jobs 1");
+        assert!(serial.contains("fault campaign"), "{serial}");
+    }
+}
+
+#[test]
+fn memoized_replay_is_byte_identical_to_cold_run() {
+    let dir = scratch("replay");
+    let cold = capsim(&["sweep", "all", "--jobs", "2", "--seed", "33"], Some(&dir));
+    // The cold run must have populated the persistent cache...
+    let entries: Vec<_> = walk(&dir);
+    assert!(!entries.is_empty(), "cold run stored no cache entries under {}", dir.display());
+    // ...and the warm run must replay from it byte-for-byte, even at a
+    // different worker count.
+    let warm = capsim(&["sweep", "all", "--jobs", "5", "--seed", "33"], Some(&dir));
+    assert_eq!(cold, warm, "cache-hit replay drifted from the cold run");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cache_results_are_keyed_by_seed() {
+    let dir = scratch("keyed");
+    let a = capsim(&["sweep", "cache", "--seed", "1"], Some(&dir));
+    let b = capsim(&["sweep", "cache", "--seed", "2"], Some(&dir));
+    assert_ne!(a, b, "different seeds must not collide in the result cache");
+    // Replays of both seeds still match their own cold runs.
+    assert_eq!(a, capsim(&["sweep", "cache", "--seed", "1"], Some(&dir)));
+    assert_eq!(b, capsim(&["sweep", "cache", "--seed", "2"], Some(&dir)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// All file paths under `dir`, recursively.
+fn walk(dir: &std::path::Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in rd.flatten() {
+        let p = entry.path();
+        if p.is_dir() {
+            out.extend(walk(&p));
+        } else {
+            out.push(p);
+        }
+    }
+    out
+}
