@@ -21,16 +21,25 @@ pub fn scale() -> ExperimentScale {
 /// The execution policy for a figure binary: `--jobs N` from the
 /// command line (falling back to `CAP_JOBS`, then the machine's
 /// parallelism), with result memoization only when `CAP_CACHE_DIR` is
-/// set. Neither knob changes the figure's bytes — only wall-clock.
+/// set and tracing only when `CAP_TRACE` is set. None of these knobs
+/// change the figure's bytes — only wall-clock (and the trace file).
 ///
 /// Exits with status 2 and a usage message on any unrecognized or
-/// malformed argument.
+/// malformed argument, or on a malformed environment (`CAP_JOBS` that
+/// is not a positive integer, `CAP_TRACE` path that cannot be created).
 pub fn exec_from_args() -> ExecPolicy {
-    match parse_jobs(&std::env::args().skip(1).collect::<Vec<_>>()) {
-        Ok(jobs) => ExecPolicy::from_env(jobs),
+    let jobs = match parse_jobs(&std::env::args().skip(1).collect::<Vec<_>>()) {
+        Ok(jobs) => jobs,
         Err(msg) => {
             eprintln!("{msg}");
             eprintln!("usage: {} [--jobs N]", std::env::args().next().unwrap_or_default());
+            std::process::exit(2);
+        }
+    };
+    match ExecPolicy::from_env(jobs) {
+        Ok(exec) => exec,
+        Err(e) => {
+            eprintln!("{e}");
             std::process::exit(2);
         }
     }
@@ -64,35 +73,47 @@ pub fn parse_jobs(args: &[String]) -> Result<Option<usize>, String> {
 /// Writes `value` as pretty JSON to `$CAP_JSON_DIR/<name>.json` when
 /// `CAP_JSON_DIR` is set; silently does nothing otherwise.
 ///
-/// # Panics
-///
-/// Panics if the directory is set but unwritable — the harness treats a
-/// half-written result set as worse than a loud failure.
+/// Exits with status 1 and a message naming `CAP_JSON_DIR` if the
+/// directory is set but cannot be created or written — the harness
+/// treats a half-written result set as worse than a loud failure, and a
+/// clean error beats a panic backtrace.
 pub fn emit_json<T: Serialize>(name: &str, value: &T) {
     let Ok(dir) = std::env::var("CAP_JSON_DIR") else {
         return;
     };
     let mut path = PathBuf::from(dir);
-    std::fs::create_dir_all(&path).expect("CAP_JSON_DIR must be creatable");
+    if let Err(e) = std::fs::create_dir_all(&path) {
+        fail_emit("CAP_JSON_DIR", &path, &e);
+    }
     path.push(format!("{name}.json"));
     let data = serde_json::to_string_pretty(value).expect("results serialize");
-    std::fs::write(&path, data).expect("CAP_JSON_DIR must be writable");
+    if let Err(e) = std::fs::write(&path, data) {
+        fail_emit("CAP_JSON_DIR", &path, &e);
+    }
 }
 
 /// Writes CSV text to `$CAP_CSV_DIR/<name>.csv` when `CAP_CSV_DIR` is
 /// set; silently does nothing otherwise.
 ///
-/// # Panics
-///
-/// Panics if the directory is set but unwritable.
+/// Exits with status 1 and a message naming `CAP_CSV_DIR` if the
+/// directory is set but cannot be created or written.
 pub fn emit_csv(name: &str, csv: &str) {
     let Ok(dir) = std::env::var("CAP_CSV_DIR") else {
         return;
     };
     let mut path = PathBuf::from(dir);
-    std::fs::create_dir_all(&path).expect("CAP_CSV_DIR must be creatable");
+    if let Err(e) = std::fs::create_dir_all(&path) {
+        fail_emit("CAP_CSV_DIR", &path, &e);
+    }
     path.push(format!("{name}.csv"));
-    std::fs::write(&path, csv).expect("CAP_CSV_DIR must be writable");
+    if let Err(e) = std::fs::write(&path, csv) {
+        fail_emit("CAP_CSV_DIR", &path, &e);
+    }
+}
+
+fn fail_emit(var: &str, path: &std::path::Path, e: &std::io::Error) -> ! {
+    eprintln!("error: {var} points at `{}` which cannot be written: {e}", path.display());
+    std::process::exit(1);
 }
 
 /// Prints a standard header naming the paper artifact being regenerated.

@@ -1,0 +1,41 @@
+//! Emission failures must be loud but clean: a figure binary pointed at
+//! an unwritable `CAP_JSON_DIR` / `CAP_CSV_DIR` exits with status 1 and
+//! an error naming the variable — not a panic backtrace.
+
+use std::process::Command;
+
+fn run_with_blocked(bin: &str, var: &str) -> (std::process::ExitStatus, String) {
+    // A path *under a regular file* can never be created as a directory.
+    let dir = std::env::temp_dir().join(format!("cap-emit-err-{var}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let blocker = dir.join("not-a-dir");
+    std::fs::write(&blocker, "x").unwrap();
+    let target = blocker.join("out");
+    let out = Command::new(bin)
+        .env("CAP_SCALE", "smoke")
+        .env_remove("CAP_JOBS")
+        .env_remove("CAP_JSON_DIR")
+        .env_remove("CAP_CSV_DIR")
+        .env(var, &target)
+        .output()
+        .expect("figure binary spawns");
+    let _ = std::fs::remove_dir_all(&dir);
+    (out.status, String::from_utf8_lossy(&out.stderr).to_string())
+}
+
+#[test]
+fn unwritable_json_dir_exits_one_with_named_error() {
+    let (status, stderr) = run_with_blocked(env!("CARGO_BIN_EXE_fig01"), "CAP_JSON_DIR");
+    assert_eq!(status.code(), Some(1), "{stderr}");
+    assert!(stderr.contains("CAP_JSON_DIR"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+#[test]
+fn unwritable_csv_dir_exits_one_with_named_error() {
+    // fig09 is the smallest binary that writes CSV.
+    let (status, stderr) = run_with_blocked(env!("CARGO_BIN_EXE_fig09"), "CAP_CSV_DIR");
+    assert_eq!(status.code(), Some(1), "{stderr}");
+    assert!(stderr.contains("CAP_CSV_DIR"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}

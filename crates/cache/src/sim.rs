@@ -12,6 +12,7 @@ use crate::error::CacheError;
 use crate::hierarchy::AdaptiveCacheHierarchy;
 use crate::perf::{evaluate, PerfParams, TpiBreakdown};
 use crate::stats::CacheStats;
+use cap_obs::{CacheSimEvent, Event, Recorder};
 use cap_timing::cacti::CacheTimingModel;
 use cap_trace::mem::AddressStream;
 
@@ -32,6 +33,31 @@ pub fn run<S: AddressStream>(mut stream: S, refs: u64, cache: &mut AdaptiveCache
         misses: after.misses - before.misses,
         writebacks: after.writebacks - before.writebacks,
     }
+}
+
+/// [`run`] with trace emission: the interval's hit/miss counters are also
+/// recorded as one [`cap_obs::CacheSimEvent`], numbered so a managed
+/// cache run's simulator events line up with its decision events.
+pub fn run_observed<S: AddressStream>(
+    stream: S,
+    refs: u64,
+    cache: &mut AdaptiveCacheHierarchy,
+    recorder: &dyn Recorder,
+    label: Option<&str>,
+    interval: u64,
+) -> CacheStats {
+    let stats = run(stream, refs, cache);
+    if recorder.enabled() {
+        recorder.record(&Event::CacheSim(CacheSimEvent {
+            app: label.map(str::to_string),
+            interval,
+            refs: stats.refs,
+            l1_hits: stats.l1_hits,
+            l2_hits: stats.l2_hits,
+            misses: stats.misses,
+        }));
+    }
+    stats
 }
 
 /// One point of a boundary sweep.

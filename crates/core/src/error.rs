@@ -34,6 +34,14 @@ pub enum CapError {
     /// Every configuration is quarantined or unavailable, including the
     /// designated safe fallback — the managed run cannot proceed.
     NoViableConfiguration,
+    /// The process environment is unusable: a malformed control variable
+    /// (e.g. `CAP_JOBS=abc`) or an uncreatable trace path. Reported
+    /// instead of silently falling back so a typo cannot change a run's
+    /// meaning.
+    Environment {
+        /// Human-readable description naming the variable and value.
+        message: String,
+    },
 }
 
 impl fmt::Display for CapError {
@@ -50,6 +58,7 @@ impl fmt::Display for CapError {
             CapError::NoViableConfiguration => {
                 write!(f, "no viable configuration remains (all quarantined or unavailable)")
             }
+            CapError::Environment { message } => write!(f, "{message}"),
         }
     }
 }
@@ -105,6 +114,9 @@ mod tests {
         assert!(fi.to_string().contains("clock switch"));
         assert!(fi.source().is_none());
         assert!(CapError::NoViableConfiguration.to_string().contains("no viable"));
+        let env = CapError::Environment { message: "CAP_JOBS must be a positive integer, got `abc`".into() };
+        assert!(env.to_string().contains("CAP_JOBS"));
+        assert!(env.source().is_none());
     }
 
     #[test]

@@ -27,6 +27,7 @@ use cap_ooo::config::{CoreConfig, WindowSize};
 use cap_ooo::core::OooCore;
 use cap_ooo::interval::{record_intervals, PAPER_INTERVAL_INSTS};
 use cap_ooo::perf as queue_perf;
+use cap_obs::{CacheProbeEvent, CacheStoreEvent, Event, Recorder};
 use cap_par::{CacheKey, Pool, ResultCache};
 use cap_timing::cacti::CacheTimingModel;
 use cap_timing::queue::QueueTimingModel;
@@ -34,6 +35,7 @@ use cap_timing::Technology;
 use cap_workloads::App;
 use serde::Serialize;
 use serde_json::Value;
+use std::sync::Arc;
 
 /// How much work each experiment simulates.
 ///
@@ -112,17 +114,18 @@ pub const SWEEP_RESULTS_VERSION: u32 = 1;
 pub struct ExecPolicy {
     jobs: usize,
     cache: Option<ResultCache>,
+    recorder: Arc<dyn Recorder>,
 }
 
 impl ExecPolicy {
     /// One leg at a time, no memoization — the reference path.
     pub fn serial() -> Self {
-        ExecPolicy { jobs: 1, cache: None }
+        ExecPolicy { jobs: 1, cache: None, recorder: cap_obs::noop() }
     }
 
     /// A policy with `jobs` workers and no memoization.
     pub fn with_jobs(jobs: usize) -> Self {
-        ExecPolicy { jobs: jobs.max(1), cache: None }
+        ExecPolicy { jobs: jobs.max(1), ..Self::serial() }
     }
 
     /// Attaches a persistent result cache.
@@ -131,11 +134,31 @@ impl ExecPolicy {
         self
     }
 
+    /// Attaches a trace recorder. The pool, the result cache and every
+    /// managed run driven under this policy report into it.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// The policy selected by the environment: `jobs` (CLI `--jobs`)
     /// falls back to `CAP_JOBS`, then to the machine's parallelism; the
-    /// cache comes from `CAP_CACHE_DIR` unless `CAP_NO_CACHE` is set.
-    pub fn from_env(jobs: Option<usize>) -> Self {
-        ExecPolicy { jobs: cap_par::effective_jobs(jobs), cache: ResultCache::from_env() }
+    /// cache comes from `CAP_CACHE_DIR` unless `CAP_NO_CACHE` is set;
+    /// tracing comes from `CAP_TRACE` (a JSONL output path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::Environment`] for a malformed `CAP_JOBS` value
+    /// or an uncreatable `CAP_TRACE` path — loud failure instead of a
+    /// silent fallback that would change what the run means.
+    pub fn from_env(jobs: Option<usize>) -> Result<Self, CapError> {
+        let jobs = cap_par::effective_jobs(jobs)
+            .map_err(|message| CapError::Environment { message })?;
+        let recorder = cap_obs::recorder_from_env()
+            .map_err(|message| CapError::Environment { message })?
+            .unwrap_or_else(cap_obs::noop);
+        Ok(ExecPolicy { jobs, cache: ResultCache::from_env(), recorder })
     }
 
     /// The worker count.
@@ -148,8 +171,42 @@ impl ExecPolicy {
         self.cache.as_ref()
     }
 
+    /// The attached trace recorder (the no-op recorder by default).
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+
     pub(crate) fn pool(&self) -> Pool {
-        Pool::new(self.jobs)
+        Pool::new(self.jobs).with_recorder(self.recorder.clone())
+    }
+
+    /// Result-cache lookup with probe classification emitted to the
+    /// recorder. Returns the decoded value on a clean hit.
+    fn probe_cache(&self, key: &CacheKey) -> Option<Value> {
+        let cache = self.cache.as_ref()?;
+        let (value, outcome) = cache.probe(key);
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::CacheProbe(CacheProbeEvent {
+                kind: key.kind.clone(),
+                app: key.app.clone(),
+                outcome: outcome.tag(),
+            }));
+        }
+        value
+    }
+
+    /// Result-cache store with the write result emitted to the recorder.
+    fn store_cache<T: Serialize>(&self, key: &CacheKey, value: &T) {
+        if let Some(cache) = &self.cache {
+            let ok = cache.store(key, value);
+            if self.recorder.enabled() {
+                self.recorder.record(&Event::CacheStore(CacheStoreEvent {
+                    kind: key.kind.clone(),
+                    app: key.app.clone(),
+                    ok,
+                }));
+            }
+        }
     }
 
     /// Curve-level memoization wrapper: decode a hit, or compute and
@@ -161,13 +218,11 @@ impl ExecPolicy {
         D: Fn(&Value) -> Option<T>,
         C: FnOnce() -> Result<T, CapError>,
     {
-        if let Some(hit) = self.cache.as_ref().and_then(|c| c.lookup(key)).as_ref().and_then(&decode) {
+        if let Some(hit) = self.probe_cache(key).as_ref().and_then(&decode) {
             return Ok(hit);
         }
         let value = compute()?;
-        if let Some(cache) = &self.cache {
-            cache.store(key, &value);
-        }
+        self.store_cache(key, &value);
         Ok(value)
     }
 }
@@ -430,8 +485,7 @@ impl CacheExperiment {
         let mut curves: Vec<Option<CacheCurve>> = apps
             .iter()
             .map(|&app| {
-                exec.cache()
-                    .and_then(|c| c.lookup(&self.curve_key(app)))
+                exec.probe_cache(&self.curve_key(app))
                     .as_ref()
                     .and_then(cache_curve_from_json)
             })
@@ -453,9 +507,7 @@ impl CacheExperiment {
         for (slot, points) in fresh_points.into_iter().enumerate() {
             if curves[slot].is_none() {
                 let curve = Self::assemble_curve(apps[slot], points);
-                if let Some(cache) = exec.cache() {
-                    cache.store(&self.curve_key(apps[slot]), &curve);
-                }
+                exec.store_cache(&self.curve_key(apps[slot]), &curve);
                 curves[slot] = Some(curve);
             }
         }
@@ -726,8 +778,7 @@ impl QueueExperiment {
         let mut curves: Vec<Option<QueueCurve>> = apps
             .iter()
             .map(|&app| {
-                exec.cache()
-                    .and_then(|c| c.lookup(&self.curve_key(app)))
+                exec.probe_cache(&self.curve_key(app))
                     .as_ref()
                     .and_then(queue_curve_from_json)
             })
@@ -749,9 +800,7 @@ impl QueueExperiment {
         for (slot, points) in fresh_points.into_iter().enumerate() {
             if curves[slot].is_none() {
                 let curve = Self::assemble_curve(apps[slot], points);
-                if let Some(cache) = exec.cache() {
-                    cache.store(&self.curve_key(apps[slot]), &curve);
-                }
+                exec.store_cache(&self.curve_key(apps[slot]), &curve);
                 curves[slot] = Some(curve);
             }
         }
@@ -1113,7 +1162,8 @@ impl IntervalExperiment {
         let mut structure = QueueStructure::isca98(self.timing, 0)?;
         let table = structure.period_table()?;
         let mut clock = DynamicClock::new(table, DEFAULT_SWITCH_PENALTY_CYCLES)?;
-        let mut manager = IntervalManager::new(structure.num_configs(), explore_period, policy)?;
+        let mut manager = IntervalManager::new(structure.num_configs(), explore_period, policy)?
+            .with_recorder(exec.recorder().clone(), Some(app.name().to_string()));
         let mut stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
         let run: ManagedRun = run_managed_queue(
             &mut structure,

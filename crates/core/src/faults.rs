@@ -28,12 +28,14 @@ use crate::manager::{
     IntervalManager, ResiliencePolicy, ResilienceStats, SwitchRetryPolicy,
 };
 use crate::structure::{AdaptiveStructure, CacheStructure, QueueStructure};
+use cap_obs::{DecisionCounts, Recorder};
 use cap_timing::cacti::CacheTimingModel;
 use cap_timing::queue::QueueTimingModel;
 use cap_timing::Technology;
 use cap_trace::TraceRng;
 use cap_workloads::App;
 use serde::Serialize;
+use std::sync::Arc;
 
 /// What an injected switch fault did to a reconfiguration attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -264,6 +266,10 @@ pub struct LegReport {
     pub faults: FaultStats,
     /// The manager's degradation-handling counters.
     pub resilience: ResilienceStats,
+    /// Per-reason decision tally of the faulted run's manager. Derived
+    /// from the deterministic decision stream only, so it is identical
+    /// across `--jobs` settings.
+    pub decisions: DecisionCounts,
     /// Configurations quarantined at the end of the run.
     pub quarantined_configs: usize,
     /// Whether the watchdog fell back to the safe configuration.
@@ -350,9 +356,15 @@ impl FaultCampaign {
         self
     }
 
-    fn manager(&self, num_configs: usize) -> Result<IntervalManager, CapError> {
-        IntervalManager::new(num_configs, 25, ConfidencePolicy::default_policy())?
-            .with_resilience(ResiliencePolicy::hardened())
+    fn manager(
+        &self,
+        num_configs: usize,
+        recorder: &Arc<dyn Recorder>,
+        leg: &str,
+    ) -> Result<IntervalManager, CapError> {
+        Ok(IntervalManager::new(num_configs, 25, ConfidencePolicy::default_policy())?
+            .with_resilience(ResiliencePolicy::hardened())?
+            .with_recorder(recorder.clone(), Some(format!("{}:{leg}", self.app.name()))))
     }
 
     fn leg_report(
@@ -378,6 +390,7 @@ impl FaultCampaign {
             switch_failures: faulty.switch_failures,
             faults,
             resilience: manager.resilience_stats(),
+            decisions: manager.decision_counts(),
             quarantined_configs: manager.quarantined_count(),
             safe_mode: manager.in_safe_mode(),
             final_config,
@@ -386,14 +399,14 @@ impl FaultCampaign {
         }
     }
 
-    fn queue_leg(&self) -> Result<LegReport, CapError> {
+    fn queue_leg(&self, recorder: &Arc<dyn Recorder>) -> Result<LegReport, CapError> {
         let timing = QueueTimingModel::new(Technology::isca98_evaluation());
         let retry = SwitchRetryPolicy::default_policy();
         let stream_seed = self.seed ^ self.app.seed_salt();
 
         let mut clean_structure = QueueStructure::isca98(timing, 0)?;
         let mut clock = DynamicClock::new(clean_structure.period_table()?, DEFAULT_SWITCH_PENALTY_CYCLES)?;
-        let mut manager = self.manager(clean_structure.num_configs())?;
+        let mut manager = self.manager(clean_structure.num_configs(), recorder, "queue:clean")?;
         let mut stream = self.app.ilp_profile().build(stream_seed);
         let clean = run_managed_queue_resilient(
             &mut clean_structure,
@@ -408,7 +421,7 @@ impl FaultCampaign {
 
         let mut structure = QueueStructure::isca98(timing, 0)?;
         let mut clock = DynamicClock::new(structure.period_table()?, DEFAULT_SWITCH_PENALTY_CYCLES)?;
-        let mut manager = self.manager(structure.num_configs())?;
+        let mut manager = self.manager(structure.num_configs(), recorder, "queue:faulty")?;
         let mut injector = FaultInjector::new(self.spec, self.seed ^ 0xFA17_0001, structure.num_configs())?;
         let mut stream = self.app.ilp_profile().build(stream_seed);
         let faulty = run_managed_queue_resilient(
@@ -425,7 +438,7 @@ impl FaultCampaign {
         Ok(Self::leg_report("queue", &clean, &faulty, injector.stats(), &manager, &structure))
     }
 
-    fn cache_leg(&self) -> Result<LegReport, CapError> {
+    fn cache_leg(&self, recorder: &Arc<dyn Recorder>) -> Result<LegReport, CapError> {
         let timing = CacheTimingModel::isca98(Technology::isca98_evaluation());
         let retry = SwitchRetryPolicy::default_policy();
         let profile = self.app.memory_profile();
@@ -433,7 +446,7 @@ impl FaultCampaign {
 
         let mut clean_structure = CacheStructure::isca98(timing, 0)?;
         let mut clock = DynamicClock::new(clean_structure.period_table()?, DEFAULT_SWITCH_PENALTY_CYCLES)?;
-        let mut manager = self.manager(clean_structure.num_configs())?;
+        let mut manager = self.manager(clean_structure.num_configs(), recorder, "cache:clean")?;
         let mut stream = profile.build(stream_seed);
         let clean = run_managed_cache_resilient(
             &mut clean_structure,
@@ -449,7 +462,7 @@ impl FaultCampaign {
 
         let mut structure = CacheStructure::isca98(timing, 0)?;
         let mut clock = DynamicClock::new(structure.period_table()?, DEFAULT_SWITCH_PENALTY_CYCLES)?;
-        let mut manager = self.manager(structure.num_configs())?;
+        let mut manager = self.manager(structure.num_configs(), recorder, "cache:faulty")?;
         let mut injector = FaultInjector::new(self.spec, self.seed ^ 0xFA17_0002, structure.num_configs())?;
         // Dead increments shrink the usable boundary range up front; the
         // manager learns which boundaries the hardware can no longer
@@ -498,13 +511,14 @@ impl FaultCampaign {
     ///
     /// Same as [`FaultCampaign::run`].
     pub fn run_with(&self, exec: &crate::experiments::ExecPolicy) -> Result<DegradationReport, CapError> {
+        let recorder = exec.recorder().clone();
         let mut legs = exec
             .pool()
             .ordered_map(vec![true, false], |_, queue| {
                 if queue {
-                    self.queue_leg()
+                    self.queue_leg(&recorder)
                 } else {
-                    self.cache_leg()
+                    self.cache_leg(&recorder)
                 }
             })
             .into_iter();

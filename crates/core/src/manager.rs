@@ -58,10 +58,15 @@ use crate::clock::DynamicClock;
 use crate::error::CapError;
 use crate::faults::{FaultInjector, SwitchFault};
 use crate::structure::{AdaptiveStructure, QueueStructure};
+use cap_obs::{
+    ClockSwitchEvent, DecisionCounts, DecisionEvent, Event, ProbationEvent, QuarantineEvent,
+    Recorder, SafeModeEvent, SwitchResultEvent,
+};
 use cap_ooo::interval::IntervalSample;
 use cap_timing::units::Ns;
 use cap_trace::inst::InstStream;
 use serde::Serialize;
+use std::sync::Arc;
 
 /// The manager's verdict for the next interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -221,6 +226,12 @@ pub struct IntervalManager {
     /// Once set, the manager holds the safe static configuration.
     safe_mode: bool,
     stats: ResilienceStats,
+    /// Trace sink; the no-op recorder by default (zero cost when off).
+    recorder: Arc<dyn Recorder>,
+    /// Run label attached to every emitted event (usually the app name).
+    label: Option<String>,
+    /// Per-reason decision tally, maintained even with tracing off.
+    counts: DecisionCounts,
 }
 
 impl IntervalManager {
@@ -259,7 +270,28 @@ impl IntervalManager {
             switch_times: Vec::new(),
             safe_mode: false,
             stats: ResilienceStats::default(),
+            recorder: cap_obs::noop(),
+            label: None,
+            counts: DecisionCounts::default(),
         })
+    }
+
+    /// Attaches a trace recorder and an optional run label (conventionally
+    /// the application name). Every subsequent decision, switch outcome,
+    /// quarantine, probation and safe-mode transition is emitted as a
+    /// structured [`cap_obs::Event`].
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>, label: Option<String>) -> Self {
+        self.recorder = recorder;
+        self.label = label;
+        self
+    }
+
+    /// The per-reason decision tally accumulated so far. Derived solely
+    /// from the deterministic decision stream, so it is identical across
+    /// worker counts and safe to embed in reports.
+    pub fn decision_counts(&self) -> DecisionCounts {
+        self.counts
     }
 
     /// Replaces the degradation-handling policy.
@@ -355,6 +387,13 @@ impl IntervalManager {
         self.predicted = None;
         self.confidence = 0;
         self.sampling_home = None;
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::SafeMode(SafeModeEvent {
+                app: self.label.clone(),
+                interval: self.intervals_seen,
+                safe_config: self.effective_safe(),
+            }));
+        }
         self.safe_mode_decision(config)
     }
 
@@ -400,6 +439,13 @@ impl IntervalManager {
                 self.estimates[i] = None;
                 self.stats.probations += 1;
                 self.probe_cursor = (i + 1) % n;
+                if self.recorder.enabled() {
+                    self.recorder.record(&Event::Probation(ProbationEvent {
+                        app: self.label.clone(),
+                        interval: self.intervals_seen,
+                        config: i,
+                    }));
+                }
                 return;
             }
         }
@@ -416,16 +462,57 @@ impl IntervalManager {
             return ManagerDecision::Stay;
         }
         self.intervals_seen += 1;
-        if let Some(v) = self.sanitize(config, tpi_ns) {
+        let sanitized = self.sanitize(config, tpi_ns);
+        if let Some(v) = sanitized {
             self.estimates[config] = Some(match self.estimates[config] {
                 Some(prev) => prev + self.alpha * (v - prev),
                 None => v,
             });
         }
 
+        let (decision, reason) = self.decide(config);
+
+        self.counts.intervals += 1;
+        match reason {
+            "hold" => self.counts.stays += 1,
+            "explore" => self.counts.explore_switches += 1,
+            "resample" => self.counts.resample_switches += 1,
+            "predicted" => self.counts.predicted_switches += 1,
+            "pattern" => self.counts.pattern_switches += 1,
+            "return-home" => self.counts.home_returns += 1,
+            // "safe-mode-hold", "all-quarantined", "watchdog": every
+            // interval spent parked in (or falling into) safe mode.
+            _ => self.counts.safe_mode_holds += 1,
+        }
+
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::Decision(DecisionEvent {
+                app: self.label.clone(),
+                interval: self.intervals_seen,
+                config,
+                raw_tpi_ns: tpi_ns,
+                sanitized_tpi_ns: sanitized,
+                estimate_ns: self.estimates[config],
+                predicted: self.predicted,
+                confidence: self.confidence,
+                reason,
+                target: match decision {
+                    ManagerDecision::SwitchTo(t) => Some(t),
+                    ManagerDecision::Stay => None,
+                },
+            }));
+        }
+
+        decision
+    }
+
+    /// The decision logic of [`IntervalManager::observe`], after sample
+    /// sanitation and the EWMA update. Returns the decision plus the
+    /// stable lowercase reason tag used in trace events and counters.
+    fn decide(&mut self, config: usize) -> (ManagerDecision, &'static str) {
         // Safe mode is terminal: hold the safe static configuration.
         if self.safe_mode {
-            return self.safe_mode_decision(config);
+            return (self.safe_mode_decision(config), "safe-mode-hold");
         }
 
         self.maybe_probation();
@@ -435,7 +522,7 @@ impl IntervalManager {
         if let Some(unseen) =
             (0..self.estimates.len()).find(|&i| self.estimates[i].is_none() && !self.quarantined[i])
         {
-            return ManagerDecision::SwitchTo(unseen);
+            return (ManagerDecision::SwitchTo(unseen), "explore");
         }
 
         // Returning from a one-interval re-sample: go home (unless the
@@ -445,7 +532,7 @@ impl IntervalManager {
         let Some(best) = self.best_estimate() else {
             // Every candidate is quarantined: fall back to the safe
             // static configuration rather than oscillating or panicking.
-            return self.enter_safe_mode(config);
+            return (self.enter_safe_mode(config), "all-quarantined");
         };
         let anchor = home.unwrap_or(config);
 
@@ -462,7 +549,8 @@ impl IntervalManager {
                 {
                     self.confidence = 0;
                     self.predicted = None;
-                    return self.issue_switch(config, pred.config);
+                    let decision = self.issue_switch(config, pred.config);
+                    return (decision, if self.safe_mode { "watchdog" } else { "pattern" });
                 }
             }
         }
@@ -480,14 +568,14 @@ impl IntervalManager {
                 .map(|(i, _)| i);
             if let Some(r) = runner_up {
                 self.sampling_home = Some(config);
-                return ManagerDecision::SwitchTo(r);
+                return (ManagerDecision::SwitchTo(r), "resample");
             }
         }
 
         // Phase 4: prediction with confidence.
         let cur_est = self.estimates[anchor].unwrap_or(f64::INFINITY);
         let Some(best_est) = self.estimates[best] else {
-            return ManagerDecision::Stay;
+            return (ManagerDecision::Stay, "hold");
         };
         let wins = best != anchor && best_est < cur_est * (1.0 - self.policy.hysteresis);
         if wins {
@@ -505,15 +593,16 @@ impl IntervalManager {
         if wins && self.confidence > self.policy.threshold {
             self.confidence = 0;
             self.predicted = None;
-            self.issue_switch(config, best)
+            let decision = self.issue_switch(config, best);
+            (decision, if self.safe_mode { "watchdog" } else { "predicted" })
         } else if let Some(h) = home {
             if h == config {
-                ManagerDecision::Stay
+                (ManagerDecision::Stay, "return-home")
             } else {
-                ManagerDecision::SwitchTo(h)
+                (ManagerDecision::SwitchTo(h), "return-home")
             }
         } else {
-            ManagerDecision::Stay
+            (ManagerDecision::Stay, "hold")
         }
     }
 
@@ -523,6 +612,18 @@ impl IntervalManager {
     pub fn record_switch_outcome(&mut self, target: usize, outcome: SwitchOutcome) {
         if target >= self.estimates.len() {
             return;
+        }
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::SwitchResult(SwitchResultEvent {
+                app: self.label.clone(),
+                interval: self.intervals_seen,
+                target,
+                outcome: match outcome {
+                    SwitchOutcome::Succeeded => "succeeded",
+                    SwitchOutcome::TransientFailure => "transient-failure",
+                    SwitchOutcome::PermanentFailure => "permanent-failure",
+                },
+            }));
         }
         match outcome {
             SwitchOutcome::Succeeded => {
@@ -534,6 +635,7 @@ impl IntervalManager {
                 {
                     self.quarantined[target] = true;
                     self.stats.quarantines += 1;
+                    self.emit_quarantine(target, false);
                 }
                 self.switch_failed_bookkeeping(target);
             }
@@ -541,10 +643,22 @@ impl IntervalManager {
                 if !self.quarantined[target] {
                     self.quarantined[target] = true;
                     self.stats.quarantines += 1;
+                    self.emit_quarantine(target, true);
                 }
                 self.permanently_dead[target] = true;
                 self.switch_failed_bookkeeping(target);
             }
+        }
+    }
+
+    fn emit_quarantine(&self, config: usize, permanent: bool) {
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::Quarantine(QuarantineEvent {
+                app: self.label.clone(),
+                interval: self.intervals_seen,
+                config,
+                permanent,
+            }));
         }
     }
 
@@ -721,6 +835,7 @@ fn execute_switch(
         match fault {
             None => {
                 let old_period = clock.period();
+                let from = structure.current();
                 if structure.reconfigure(next).is_err() {
                     // The hardware cannot provide this configuration
                     // (e.g. retired cache increments): treat it as a
@@ -732,6 +847,16 @@ fn execute_switch(
                 let penalty = clock.select(next)?;
                 out.run.switch_penalty += penalty;
                 out.run.switches += 1;
+                if manager.recorder.enabled() {
+                    manager.recorder.record(&Event::ClockSwitch(ClockSwitchEvent {
+                        app: manager.label.clone(),
+                        interval: manager.intervals_seen,
+                        from,
+                        to: next,
+                        penalty_ns: penalty.value(),
+                        period_ns: clock.period().value(),
+                    }));
+                }
                 manager.record_switch_outcome(next, SwitchOutcome::Succeeded);
                 return Ok(Some(old_period.max(clock.period())));
             }
@@ -811,13 +936,23 @@ pub fn run_managed_queue_resilient<S: InstStream>(
         retry_penalty: Ns(0.0),
         switch_failures: 0,
     };
+    let recorder = manager.recorder.clone();
+    let label = manager.label.clone();
     let mut transition_period: Option<Ns> = None;
-    for _ in 0..intervals {
+    for index in 0..intervals {
         let config = structure.current();
         let period = transition_period.take().unwrap_or(clock.period());
         let samples = {
             let core = structure.core_mut();
-            cap_ooo::interval::record_intervals(core, stream, 1, interval_len)?
+            cap_ooo::interval::record_intervals_observed(
+                core,
+                stream,
+                1,
+                interval_len,
+                index,
+                &*recorder,
+                label.as_deref(),
+            )?
         };
         let Some(sample) = samples.first().copied() else {
             continue;
@@ -910,6 +1045,8 @@ pub fn run_managed_cache_resilient<S: cap_trace::mem::AddressStream>(
         retry_penalty: Ns(0.0),
         switch_failures: 0,
     };
+    let recorder = manager.recorder.clone();
+    let label = manager.label.clone();
     let mut transition_period: Option<Ns> = None;
     for index in 0..intervals {
         let config = structure.current();
@@ -918,7 +1055,14 @@ pub fn run_managed_cache_resilient<S: cap_trace::mem::AddressStream>(
         let timing = *structure.timing();
         let stats = {
             let cache = structure.cache_mut();
-            cap_cache::sim::run(&mut *stream, refs_per_interval, cache)
+            cap_cache::sim::run_observed(
+                &mut *stream,
+                refs_per_interval,
+                cache,
+                &*recorder,
+                label.as_deref(),
+                index + 1,
+            )
         };
         let tpi = evaluate(&stats, boundary, &timing, params)?;
         // Express the interval as (cycles, insts) at the charged period.

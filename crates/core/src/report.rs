@@ -319,6 +319,7 @@ mod tests {
             switch_failures: 2,
             faults: FaultStats::default(),
             resilience: ResilienceStats::default(),
+            decisions: cap_obs::DecisionCounts::default(),
             quarantined_configs: 1,
             safe_mode: false,
             final_config: 4,

@@ -6,6 +6,7 @@
 //! retires.
 
 use crate::core::OooCore;
+use cap_obs::{Event, Recorder, SampleEvent};
 use cap_timing::units::Ns;
 use cap_trace::inst::InstStream;
 
@@ -49,6 +50,26 @@ pub fn record_intervals<S: InstStream>(
     intervals: u64,
     interval_len: u64,
 ) -> Result<Vec<IntervalSample>, crate::error::OooError> {
+    record_intervals_observed(core, stream, intervals, interval_len, 0, &cap_obs::NoopRecorder, None)
+}
+
+/// [`record_intervals`] with trace emission: each recorded interval also
+/// produces one [`cap_obs::SampleEvent`] carrying the raw cycle/instruction
+/// counters, numbered `base_index + 1 ..` so a managed run's samples line
+/// up with its decision events.
+///
+/// # Errors
+///
+/// Returns [`OooError::ZeroIntervalLength`] if `interval_len` is zero.
+pub fn record_intervals_observed<S: InstStream>(
+    core: &mut OooCore,
+    stream: &mut S,
+    intervals: u64,
+    interval_len: u64,
+    base_index: u64,
+    recorder: &dyn Recorder,
+    label: Option<&str>,
+) -> Result<Vec<IntervalSample>, crate::error::OooError> {
     if interval_len == 0 {
         return Err(crate::error::OooError::ZeroIntervalLength);
     }
@@ -60,11 +81,20 @@ pub fn record_intervals<S: InstStream>(
         while core.committed() < target {
             core.step(stream);
         }
-        out.push(IntervalSample {
+        let sample = IntervalSample {
             index,
             cycles: core.cycles() - start_cycles,
             insts: core.committed() - start_insts,
-        });
+        };
+        if recorder.enabled() {
+            recorder.record(&Event::Sample(SampleEvent {
+                app: label.map(str::to_string),
+                interval: base_index + index + 1,
+                cycles: sample.cycles,
+                insts: sample.insts,
+            }));
+        }
+        out.push(sample);
     }
     Ok(out)
 }

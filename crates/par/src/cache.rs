@@ -66,6 +66,33 @@ fn fnv64(s: &str) -> u64 {
     h
 }
 
+/// What a [`ResultCache::probe`] found, for observability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// A valid entry with a matching canonical key.
+    Hit,
+    /// No entry on disk (or an unreadable file).
+    Miss,
+    /// An entry that exists but cannot be parsed or lacks its envelope.
+    Invalid,
+    /// An entry whose embedded canonical key belongs to a different leg
+    /// (an FNV-64 hash collision or a stale envelope).
+    Collision,
+}
+
+impl CacheOutcome {
+    /// Stable lowercase tag used in trace events.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+            CacheOutcome::Invalid => "invalid",
+            CacheOutcome::Collision => "collision",
+        }
+    }
+}
+
 /// A directory-backed result cache. Cheap to clone (it is only a path).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResultCache {
@@ -104,12 +131,30 @@ impl ResultCache {
     /// miss, unreadable file, parse failure, or key mismatch; the caller
     /// simply recomputes.
     pub fn lookup(&self, key: &CacheKey) -> Option<Value> {
-        let text = std::fs::read_to_string(self.path_for(key)).ok()?;
-        let doc = serde_json::from_str(&text).ok()?;
-        if doc.get("key")?.as_str()? != key.canonical() {
-            return None; // hash collision or stale envelope
+        self.probe(key).0
+    }
+
+    /// Like [`ResultCache::lookup`], but also classifies what happened —
+    /// the distinction between a cold miss, a corrupt entry and a hash
+    /// collision feeds the `result-cache-probe` trace events.
+    pub fn probe(&self, key: &CacheKey) -> (Option<Value>, CacheOutcome) {
+        let Ok(text) = std::fs::read_to_string(self.path_for(key)) else {
+            return (None, CacheOutcome::Miss);
+        };
+        let Ok(doc) = serde_json::from_str(&text) else {
+            return (None, CacheOutcome::Invalid);
+        };
+        let doc: Value = doc;
+        let Some(stored) = doc.get("key").and_then(Value::as_str) else {
+            return (None, CacheOutcome::Invalid);
+        };
+        if stored != key.canonical() {
+            return (None, CacheOutcome::Collision);
         }
-        doc.get("value").cloned()
+        match doc.get("value").cloned() {
+            Some(value) => (Some(value), CacheOutcome::Hit),
+            None => (None, CacheOutcome::Invalid),
+        }
     }
 
     /// Persists a value. Best-effort: an unwritable cache must not fail
@@ -195,6 +240,20 @@ mod tests {
         // And a mismatched embedded key (simulated collision) too.
         std::fs::write(&path, "{\"key\":\"someone-else\",\"value\":[1]}").unwrap();
         assert!(cache.lookup(&key()).is_none());
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn probe_classifies_hit_miss_invalid_and_collision() {
+        let cache = ResultCache::at(tmp_root("probe"));
+        assert_eq!(cache.probe(&key()).1, CacheOutcome::Miss);
+        assert!(cache.store(&key(), &vec![1u64]));
+        assert_eq!(cache.probe(&key()).1, CacheOutcome::Hit);
+        let path = cache.path_for(&key());
+        std::fs::write(&path, "{ not json").unwrap();
+        assert_eq!(cache.probe(&key()).1, CacheOutcome::Invalid);
+        std::fs::write(&path, "{\"key\":\"someone-else\",\"value\":[1]}").unwrap();
+        assert_eq!(cache.probe(&key()).1, CacheOutcome::Collision);
         let _ = std::fs::remove_dir_all(cache.root());
     }
 

@@ -15,8 +15,11 @@
 //!   cached result is byte-identical to recomputing it because the
 //!   vendored JSON emitter writes `f64` in shortest round-trip form.
 //!
-//! Like everything under `vendor/`, the crate is dependency-free (std
-//! only) — the build environment has no crates registry.
+//! Both pieces report into the [`cap_obs`] observability layer when a
+//! recorder is attached: the pool emits per-batch execution/steal
+//! counters, and [`cache::ResultCache::probe`] classifies every lookup
+//! (hit / miss / invalid / collision) for the `result-cache-probe`
+//! trace events. With the default no-op recorder neither path allocates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,5 +27,5 @@
 pub mod cache;
 pub mod pool;
 
-pub use cache::{CacheKey, ResultCache, CACHE_FORMAT_VERSION};
-pub use pool::{effective_jobs, Pool};
+pub use cache::{CacheKey, CacheOutcome, ResultCache, CACHE_FORMAT_VERSION};
+pub use pool::{effective_jobs, jobs_from_env, Pool};

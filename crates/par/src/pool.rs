@@ -9,21 +9,53 @@
 //! [`Pool::ordered_map`] returns results in input order no matter which
 //! worker ran what — the property the parallel/serial equivalence tests
 //! lock down.
+//!
+//! Panics inside a task are contained per task: the first failing task's
+//! index and message are captured, dispatch stops cleanly, and the batch
+//! re-panics with `pool task <index> panicked: <message>` instead of a
+//! generic scope-join payload that hides which leg failed.
 
+use cap_obs::{Event, PoolBatchEvent, Recorder};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A fixed-width thread pool. `jobs == 1` runs everything inline on the
 /// caller's thread (the serial reference path — same code, no spawns).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct Pool {
     jobs: usize,
+    recorder: Arc<dyn Recorder>,
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("non-string panic payload")
+    }
 }
 
 impl Pool {
     /// A pool of `jobs` workers (clamped to at least 1).
     pub fn new(jobs: usize) -> Self {
-        Pool { jobs: jobs.max(1) }
+        Pool {
+            jobs: jobs.max(1),
+            recorder: cap_obs::noop(),
+        }
+    }
+
+    /// Attach a trace recorder; each `ordered_map` batch then emits one
+    /// [`cap_obs::PoolBatchEvent`] with per-worker execution and steal
+    /// counters.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<dyn Recorder>) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The worker count.
@@ -40,7 +72,9 @@ impl Pool {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any worker.
+    /// If a task panics, dispatch stops and the call re-panics with
+    /// `pool task <index> panicked: <message>` naming the first failing
+    /// task (in completion order).
     pub fn ordered_map<I, T, F>(&self, items: Vec<I>, f: F) -> Vec<T>
     where
         I: Send,
@@ -50,7 +84,24 @@ impl Pool {
         let n = items.len();
         let workers = self.jobs.min(n);
         if workers <= 1 {
-            return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+            let mut out = Vec::with_capacity(n);
+            for (i, item) in items.into_iter().enumerate() {
+                match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
+                    Ok(v) => out.push(v),
+                    Err(payload) => {
+                        panic!("pool task {i} panicked: {}", panic_message(payload.as_ref()))
+                    }
+                }
+            }
+            if self.recorder.enabled() {
+                self.recorder.record(&Event::PoolBatch(PoolBatchEvent {
+                    jobs: 1,
+                    tasks: n as u64,
+                    executed: vec![n as u64],
+                    steals: 0,
+                }));
+            }
+            return out;
         }
 
         // Deal tasks round-robin into per-worker deques.
@@ -60,13 +111,26 @@ impl Pool {
         }
         let queues: Vec<Mutex<VecDeque<(usize, I)>>> = queues.into_iter().map(Mutex::new).collect();
         let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let executed: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let steals = AtomicU64::new(0);
+        let abort = AtomicBool::new(false);
+        let failure: Mutex<Option<(usize, String)>> = Mutex::new(None);
 
         std::thread::scope(|scope| {
             for me in 0..workers {
                 let queues = &queues;
                 let slots = &slots;
+                let executed = &executed;
+                let steals = &steals;
+                let abort = &abort;
+                let failure = &failure;
                 let f = &f;
                 scope.spawn(move || loop {
+                    // A failed sibling means the batch result is already
+                    // forfeit: stop pulling work instead of burning CPU.
+                    if abort.load(Ordering::Relaxed) {
+                        return;
+                    }
                     // Own work first (front of own deque)...
                     let task = queues[me].lock().expect("pool queue poisoned").pop_front();
                     let (index, item) = match task {
@@ -80,16 +144,45 @@ impl Pool {
                                     .pop_back()
                             });
                             match stolen {
-                                Some(t) => t,
+                                Some(t) => {
+                                    steals.fetch_add(1, Ordering::Relaxed);
+                                    t
+                                }
                                 None => return,
                             }
                         }
                     };
-                    let result = f(index, item);
-                    *slots[index].lock().expect("pool slot poisoned") = Some(result);
+                    match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
+                        Ok(result) => {
+                            *slots[index].lock().expect("pool slot poisoned") = Some(result);
+                            executed[me].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(payload) => {
+                            let mut first = failure.lock().expect("pool failure slot poisoned");
+                            if first.is_none() {
+                                *first = Some((index, panic_message(payload.as_ref())));
+                            }
+                            drop(first);
+                            abort.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
                 });
             }
         });
+
+        if let Some((index, message)) = failure.into_inner().expect("pool failure slot poisoned") {
+            panic!("pool task {index} panicked: {message}");
+        }
+
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::PoolBatch(PoolBatchEvent {
+                jobs: workers,
+                tasks: n as u64,
+                executed: executed.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                steals: steals.load(Ordering::Relaxed),
+            }));
+        }
 
         slots
             .into_iter()
@@ -102,19 +195,47 @@ impl Pool {
     }
 }
 
+/// Reads the `CAP_JOBS` environment variable.
+///
+/// Unset means "no opinion" (`Ok(None)`). A set value must be a positive
+/// integer; anything else — `abc`, `0`, `-3` — is a hard error instead of
+/// being silently ignored, so a typo cannot quietly change how a sweep runs.
+///
+/// # Errors
+/// Returns a human-readable message naming the variable and the rejected
+/// value.
+pub fn jobs_from_env() -> Result<Option<usize>, String> {
+    let Some(raw) = std::env::var_os("CAP_JOBS") else {
+        return Ok(None);
+    };
+    let text = raw.to_string_lossy();
+    match text.parse::<usize>() {
+        Ok(n) if n > 0 => Ok(Some(n)),
+        _ => Err(format!(
+            "CAP_JOBS must be a positive integer, got `{text}`"
+        )),
+    }
+}
+
 /// Resolves a worker count: an explicit request (CLI `--jobs`) wins,
 /// then the `CAP_JOBS` environment variable, then the machine's
 /// available parallelism.
-pub fn effective_jobs(requested: Option<usize>) -> usize {
-    requested
-        .or_else(|| std::env::var("CAP_JOBS").ok().and_then(|s| s.parse().ok()))
+///
+/// # Errors
+/// Propagates the [`jobs_from_env`] error for an invalid `CAP_JOBS`.
+pub fn effective_jobs(requested: Option<usize>) -> Result<usize, String> {
+    if let Some(n) = requested {
+        return Ok(n.max(1));
+    }
+    Ok(jobs_from_env()?
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from))
-        .max(1)
+        .max(1))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cap_obs::RingRecorder;
 
     #[test]
     fn ordered_map_preserves_input_order() {
@@ -156,11 +277,9 @@ mod tests {
         assert_eq!(Pool::new(0).jobs(), 1);
     }
 
-    // `thread::scope` re-panics with its own payload, so only the fact
-    // of the panic (not the message) crosses the join.
     #[test]
-    #[should_panic]
-    fn worker_panics_propagate() {
+    #[should_panic(expected = "pool task 3 panicked: leg 3 exploded")]
+    fn worker_panic_names_the_failing_task() {
         Pool::new(4).ordered_map((0..8usize).collect(), |_, x| {
             assert!(x != 3, "leg 3 exploded");
             x
@@ -168,8 +287,73 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "pool task 2 panicked: leg 2 exploded")]
+    fn serial_panic_names_the_failing_task_too() {
+        Pool::new(1).ordered_map((0..4usize).collect(), |_, x| {
+            assert!(x != 2, "leg 2 exploded");
+            x
+        });
+    }
+
+    #[test]
+    fn panic_stops_dispatch_cleanly() {
+        // The panic must not cascade into "pool queue poisoned" or
+        // "every submitted task completes" — the reported failure is the
+        // real one, whichever task hits it first on this schedule.
+        let err = std::panic::catch_unwind(|| {
+            Pool::new(2).ordered_map((0..100usize).collect(), |_, x| {
+                assert!(x % 7 != 3, "leg {x} exploded");
+                x
+            });
+        })
+        .expect_err("a leg must fail");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("panicked: leg"), "unexpected message: {msg}");
+        assert!(!msg.contains("poisoned"), "poisoning leaked: {msg}");
+    }
+
+    #[test]
+    fn batches_emit_pool_counters_when_traced() {
+        let ring = Arc::new(RingRecorder::new());
+        let pool = Pool::new(3).with_recorder(ring.clone());
+        let out = pool.ordered_map((0..20u64).collect(), |_, x| x + 1);
+        assert_eq!(out.len(), 20);
+        let events = ring.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::PoolBatch(b) => {
+                assert_eq!(b.tasks, 20);
+                assert_eq!(b.executed.len(), b.jobs);
+                assert_eq!(b.executed.iter().sum::<u64>(), 20);
+            }
+            other => panic!("expected a pool-batch event, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn effective_jobs_prefers_explicit_request() {
-        assert_eq!(effective_jobs(Some(3)), 3);
-        assert_eq!(effective_jobs(Some(0)), 1);
+        assert_eq!(effective_jobs(Some(3)), Ok(3));
+        assert_eq!(effective_jobs(Some(0)), Ok(1));
+    }
+
+    // One test mutates CAP_JOBS for the whole process, so every scenario
+    // lives in this single #[test] to avoid races with its siblings.
+    #[test]
+    fn cap_jobs_env_is_validated_strictly() {
+        std::env::set_var("CAP_JOBS", "5");
+        assert_eq!(jobs_from_env(), Ok(Some(5)));
+        assert_eq!(effective_jobs(None), Ok(5));
+        // An explicit request still wins over the environment.
+        assert_eq!(effective_jobs(Some(2)), Ok(2));
+        for bad in ["abc", "0", "-3", "1.5", ""] {
+            std::env::set_var("CAP_JOBS", bad);
+            let err = jobs_from_env().expect_err(bad);
+            assert!(err.contains("CAP_JOBS"), "{err}");
+            assert!(err.contains(bad) || bad.is_empty(), "{err}");
+            assert!(effective_jobs(None).is_err(), "CAP_JOBS={bad}");
+        }
+        std::env::remove_var("CAP_JOBS");
+        assert_eq!(jobs_from_env(), Ok(None));
+        assert!(effective_jobs(None).expect("falls back") >= 1);
     }
 }

@@ -5,20 +5,25 @@
 //! capsim cache <app>               TPI vs L1/L2 boundary (Figure 7 row)
 //! capsim queue <app>               TPI vs window size (Figure 10 row)
 //! capsim sweep <cache|queue|all>   full-suite sweep on the parallel engine
-//!                                  [--jobs N] [--seed S]
-//! capsim managed <app> [--eager]   §6 interval-adaptive run
+//!                                  [--jobs N] [--seed S] [--trace FILE]
+//! capsim managed <app> [--eager] [--trace FILE]
+//!                                  §6 interval-adaptive run
 //! capsim joint <app>               online joint cache+queue management
 //! capsim power <app>               §4.1 performance/power frontier
 //! capsim headline                  paper-vs-measured headline numbers
-//! capsim faults <app> [--seed N] [--jobs N]
+//! capsim faults <app> [--seed N] [--jobs N] [--trace FILE]
 //!                                  fault-injection degradation campaign
+//! capsim trace-summary <file>      reduce a JSONL trace to counters
 //! ```
 //!
 //! Scale is taken from `CAP_SCALE` (`smoke`/`default`/`full`). Sweeps
 //! memoize per-curve results under `results/cache/` (override with
 //! `CAP_CACHE_DIR`, disable with `CAP_NO_CACHE=1`); `--jobs` defaults to
-//! `CAP_JOBS`, then to the machine's parallelism. Neither knob changes
-//! output bytes — only wall-clock.
+//! `CAP_JOBS`, then to the machine's parallelism. `--trace FILE` (or the
+//! `CAP_TRACE` environment variable) streams structured decision events
+//! as JSON Lines; `capsim trace-summary` reduces such a file. None of
+//! these knobs change report bytes — only wall-clock (and the trace
+//! file).
 
 use cap::core::experiments::{
     CacheExperiment, ExecPolicy, ExperimentScale, IntervalExperiment, QueueExperiment,
@@ -29,11 +34,13 @@ use cap::core::faults::FaultCampaign;
 use cap::core::manager::ConfidencePolicy;
 use cap::core::power::{queue_frontier, PowerModel};
 use cap::core::report::{cache_curves_table, degradation_table, queue_curves_table};
+use cap::obs::{recorder_from_env, summary::TraceSummary, JsonlRecorder, Recorder};
 use cap::par::ResultCache;
 use cap::workloads::App;
 use std::fmt::Write as _;
+use std::sync::Arc;
 
-const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|joint|power|headline|faults> [app] [options]
+const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|joint|power|headline|faults|trace-summary> [app] [options]
   list                 the 22 evaluation applications
   cache <app>          TPI vs L1/L2 boundary (Figure 7 row)
   queue <app>          TPI vs window size (Figure 10 row)
@@ -44,8 +51,10 @@ const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|joint|power|h
   power <app>          performance/power frontier
   headline             paper-vs-measured headline numbers
   faults <app>         clean-vs-faulty degradation campaign (--seed N, --jobs N)
+  trace-summary <file> reduce a JSONL decision trace to per-app counters
 scale via CAP_SCALE = smoke | default | full
-sweep memoization under results/cache (CAP_CACHE_DIR overrides, CAP_NO_CACHE=1 disables)";
+sweep memoization under results/cache (CAP_CACHE_DIR overrides, CAP_NO_CACHE=1 disables)
+decision tracing via --trace FILE (sweep/managed/faults) or CAP_TRACE=FILE";
 
 fn find_app(name: &str) -> Result<App, String> {
     App::ALL
@@ -54,11 +63,12 @@ fn find_app(name: &str) -> Result<App, String> {
         .ok_or_else(|| format!("unknown application `{name}` (try `capsim list`)"))
 }
 
-/// Parsed `--jobs N` / `--seed S` trailing flags.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+/// Parsed `--jobs N` / `--seed S` / `--trace FILE` trailing flags.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct Flags {
     jobs: Option<usize>,
     seed: Option<u64>,
+    trace: Option<String>,
 }
 
 fn parse_flags(rest: &[&str]) -> Result<Flags, String> {
@@ -82,22 +92,42 @@ fn parse_flags(rest: &[&str]) -> Result<Flags, String> {
                     .map_err(|_| format!("--seed wants an unsigned integer, got `{v}`\n{USAGE}"))?;
                 flags.seed = Some(s);
             }
+            "--trace" => {
+                let v = it.next().ok_or_else(|| format!("--trace wants a file path\n{USAGE}"))?;
+                flags.trace = Some((*v).to_string());
+            }
             _ => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
         }
     }
     Ok(flags)
 }
 
+/// The trace recorder selected by the command line, falling back to
+/// `CAP_TRACE`. `None` means tracing is off (the zero-cost default).
+fn flag_recorder(flags: &Flags) -> Result<Option<Arc<dyn Recorder>>, String> {
+    match &flags.trace {
+        Some(path) => {
+            let recorder = JsonlRecorder::create(path)
+                .map_err(|e| format!("--trace: `{path}` cannot be created: {e}"))?;
+            Ok(Some(Arc::new(recorder)))
+        }
+        None => recorder_from_env(),
+    }
+}
+
 /// The execution policy for `capsim sweep` / `capsim faults`: `--jobs`
 /// (then `CAP_JOBS`, then machine parallelism) workers, memoizing under
 /// `results/cache` unless `CAP_CACHE_DIR` redirects or `CAP_NO_CACHE`
-/// disables it.
-fn exec_policy(jobs: Option<usize>) -> ExecPolicy {
-    let exec = ExecPolicy::from_env(jobs);
+/// disables it, tracing to `--trace` (then `CAP_TRACE`) when given.
+fn exec_policy(flags: &Flags) -> Result<ExecPolicy, String> {
+    let mut exec = ExecPolicy::from_env(flags.jobs).map_err(|e| e.to_string())?;
+    if let Some(recorder) = flag_recorder(flags)? {
+        exec = exec.with_recorder(recorder);
+    }
     if exec.cache().is_none() && std::env::var_os("CAP_NO_CACHE").is_none() {
-        exec.cached(ResultCache::at("results/cache"))
+        Ok(exec.cached(ResultCache::at("results/cache")))
     } else {
-        exec
+        Ok(exec)
     }
 }
 
@@ -148,7 +178,7 @@ fn run(args: &[&str]) -> Result<String, String> {
         }
         ["sweep", kind, rest @ ..] => {
             let flags = parse_flags(rest)?;
-            let exec = exec_policy(flags.jobs);
+            let exec = exec_policy(&flags)?;
             let seed = flags.seed.unwrap_or(DEFAULT_SEED);
             let (do_cache, do_queue) = match *kind {
                 "cache" => (true, false),
@@ -189,12 +219,20 @@ fn run(args: &[&str]) -> Result<String, String> {
                 }
             }
         }
-        ["managed", name] | ["managed", name, "--eager"] => {
+        ["managed", name, rest @ ..] => {
             let app = find_app(name)?;
-            let eager = args.last() == Some(&"--eager");
+            let eager = rest.contains(&"--eager");
+            let rest: Vec<&str> = rest.iter().copied().filter(|&a| a != "--eager").collect();
+            let flags = parse_flags(&rest)?;
             let policy = if eager { ConfidencePolicy::none() } else { ConfidencePolicy::default_policy() };
+            // The managed run is a serial chain (clock and manager state
+            // carry across intervals); only the recorder is attached.
+            let exec = match flag_recorder(&flags)? {
+                Some(recorder) => ExecPolicy::serial().with_recorder(recorder),
+                None => ExecPolicy::serial(),
+            };
             let cmp = IntervalExperiment::new()
-                .adaptive_comparison(app, 400, policy, 40)
+                .adaptive_comparison_with(app, 400, policy, 40, &exec)
                 .map_err(|e| e.to_string())?;
             let _ = writeln!(out, "policy:        {}", if eager { "eager (no confidence)" } else { "confident" });
             let _ = writeln!(out, "process level: {:.3} ns", cmp.process_level_tpi);
@@ -226,7 +264,7 @@ fn run(args: &[&str]) -> Result<String, String> {
         ["faults", name, rest @ ..] => {
             let app = find_app(name)?;
             let flags = parse_flags(rest)?;
-            let exec = exec_policy(flags.jobs);
+            let exec = exec_policy(&flags)?;
             let seed = flags.seed.unwrap_or(DEFAULT_SEED);
             let report = FaultCampaign::new(app, seed).run_with(&exec).map_err(|e| e.to_string())?;
             let _ = write!(out, "{}", degradation_table(&report));
@@ -249,6 +287,12 @@ fn run(args: &[&str]) -> Result<String, String> {
             for (m, p, v) in rows {
                 let _ = writeln!(out, "{m:<34} {:>6.0}% {:>8.1}%", p * 100.0, v * 100.0);
             }
+        }
+        ["trace-summary", path] => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read trace `{path}`: {e}"))?;
+            let summary = TraceSummary::from_jsonl(&text)?;
+            let _ = write!(out, "{}", summary.render());
         }
         _ => return Err(USAGE.to_string()),
     }
@@ -338,6 +382,9 @@ mod tests {
         assert_eq!(f.jobs, Some(4));
         assert_eq!(f.seed, Some(99));
         assert_eq!(parse_flags(&[]).unwrap().jobs, None);
+        let t = parse_flags(&["--trace", "out.jsonl"]).unwrap();
+        assert_eq!(t.trace.as_deref(), Some("out.jsonl"));
+        assert!(parse_flags(&["--trace"]).unwrap_err().contains("usage:"));
         assert!(parse_flags(&["--jobs"]).unwrap_err().contains("usage:"));
         assert!(parse_flags(&["--jobs", "0"]).unwrap_err().contains("usage:"));
         assert!(parse_flags(&["--jobs", "many"]).unwrap_err().contains("usage:"));

@@ -23,6 +23,9 @@
 //! * [`par`] — the execution layer: a work-stealing thread pool with
 //!   deterministic ordered collection and the persistent result cache
 //!   behind `capsim sweep --jobs`.
+//! * [`obs`] — the observability layer: structured decision/switch/sweep
+//!   trace events, a zero-cost `Recorder` with JSONL and ring-buffer
+//!   sinks, and the `capsim trace-summary` reducer.
 //!
 //! # Quickstart
 //!
@@ -41,6 +44,7 @@
 
 pub use cap_cache as cache;
 pub use cap_core as core;
+pub use cap_obs as obs;
 pub use cap_ooo as ooo;
 pub use cap_par as par;
 pub use cap_timing as timing;

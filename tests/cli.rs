@@ -66,3 +66,81 @@ fn figure_binary_rejects_malformed_jobs() {
         .expect("capsim spawns");
     assert!(!out.status.success(), "later malformed --jobs must still be rejected");
 }
+
+#[test]
+fn malformed_cap_jobs_env_is_rejected_with_a_clear_error() {
+    for bad in ["abc", "0", "-3", "1.5"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_capsim"))
+            .args(["sweep", "cache"])
+            .env("CAP_SCALE", "smoke")
+            .env("CAP_NO_CACHE", "1")
+            .env("CAP_JOBS", bad)
+            .output()
+            .expect("capsim spawns");
+        assert!(!out.status.success(), "CAP_JOBS={bad} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("CAP_JOBS"), "CAP_JOBS={bad} stderr names the variable:\n{stderr}");
+        assert!(stderr.contains(bad), "CAP_JOBS={bad} stderr echoes the value:\n{stderr}");
+        assert!(!stderr.contains("panicked"), "CAP_JOBS={bad} must not panic:\n{stderr}");
+    }
+}
+
+#[test]
+fn trace_flag_round_trips_through_trace_summary() {
+    let dir = std::env::temp_dir().join(format!("capsim-trace-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("managed.jsonl");
+    let trace_arg = trace.to_str().unwrap();
+
+    let out = capsim(&["managed", "radar", "--trace", trace_arg]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8_lossy(&out.stdout).to_string();
+    // "managed:       1.234 ns (N switches)"
+    let switches: u64 = report
+        .lines()
+        .find(|l| l.starts_with("managed:"))
+        .and_then(|l| l.split('(').nth(1))
+        .and_then(|tail| tail.split_whitespace().next())
+        .and_then(|n| n.parse().ok())
+        .expect("managed report names its switch count");
+
+    let raw = std::fs::read_to_string(&trace).unwrap();
+    assert!(!raw.is_empty(), "--trace writes events");
+    assert!(raw.lines().all(|l| l.starts_with('{')), "trace is JSON Lines");
+
+    let out = capsim(&["trace-summary", trace_arg]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let summary = String::from_utf8_lossy(&out.stdout).to_string();
+    assert!(summary.contains("app radar"), "{summary}");
+    assert!(
+        summary.contains(&format!("clock switches: {switches}  (")),
+        "summary switch count must equal the run's:\n{summary}\nwant {switches}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn trace_summary_rejects_missing_and_malformed_input() {
+    let out = capsim(&["trace-summary", "/nonexistent/trace.jsonl"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+
+    let dir = std::env::temp_dir().join(format!("capsim-badtrace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("bad.jsonl");
+    std::fs::write(&bad, "{\"ev\":\"future-event-kind\"}\nnot json\n").unwrap();
+    let out = capsim(&["trace-summary", bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "error names the offending line:\n{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unwritable_trace_path_fails_cleanly() {
+    let out = capsim(&["managed", "radar", "--trace", "/nonexistent/dir/trace.jsonl"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--trace"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
