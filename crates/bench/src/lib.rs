@@ -14,8 +14,18 @@ use serde::Serialize;
 use std::path::PathBuf;
 
 /// The experiment scale selected by `CAP_SCALE` (default: `default`).
+///
+/// Exits with status 2 and a message naming `CAP_SCALE` when the
+/// variable holds anything but a known tier name — a figure silently
+/// regenerated at the wrong scale is worse than a loud failure.
 pub fn scale() -> ExperimentScale {
-    ExperimentScale::from_env()
+    match ExperimentScale::from_env() {
+        Ok(scale) => scale,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// The execution policy for a figure binary: `--jobs N` from the

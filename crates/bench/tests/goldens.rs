@@ -81,6 +81,7 @@ golden!(fig13);
 golden!(headline);
 golden!(ablation);
 golden!(extended);
+golden!(policies);
 
 #[test]
 fn figure_binaries_reject_malformed_jobs() {

@@ -66,6 +66,17 @@ impl TpiBreakdown {
     pub fn ipc(&self) -> f64 {
         self.cycle / self.total_tpi()
     }
+
+    /// Quantizes the breakdown of one interval (`refs` references at
+    /// `insts_per_ref` instructions each) into the whole-cycle
+    /// `(cycles, insts)` counters an interval recorder would have seen —
+    /// the bridge between the analytic cache model and the
+    /// sample-oriented managed-run bookkeeping.
+    pub fn interval_counts(&self, refs: u64, insts_per_ref: f64) -> (u64, u64) {
+        let insts = (refs as f64 * insts_per_ref).round() as u64;
+        let cycles = (self.total_tpi().value() * insts as f64 / self.cycle.value()).round() as u64;
+        (cycles, insts)
+    }
 }
 
 /// Evaluates the TPI of a finished simulation at a given boundary.
@@ -204,6 +215,16 @@ mod tests {
     #[should_panic(expected = "reference is itself")]
     fn rejects_sub_unit_density() {
         let _ = PerfParams::isca98(0.5);
+    }
+
+    #[test]
+    fn interval_counts_quantize_to_whole_cycles() {
+        let t = evaluate(&stats(1000, 10, 1), Boundary::new(2).unwrap(), &timing(), PerfParams::isca98(3.0)).unwrap();
+        let (cycles, insts) = t.interval_counts(1000, 3.0);
+        assert_eq!(insts, 3000);
+        let want = (t.total_tpi().value() * 3000.0 / t.cycle.value()).round() as u64;
+        assert_eq!(cycles, want);
+        assert!(cycles > 1000, "a 3000-instruction interval takes >1000 cycles at IPC<3: {cycles}");
     }
 
     #[test]

@@ -17,8 +17,9 @@
 
 use crate::clock::{DynamicClock, DEFAULT_SWITCH_PENALTY_CYCLES};
 use crate::error::CapError;
-use crate::manager::{run_managed_queue, ConfidencePolicy, IntervalManager, ManagedRun};
+use crate::manager::{run_managed_queue, ConfidencePolicy, ManagedRun};
 use crate::metrics::{BarChart, BarPair};
+use crate::policy::{PolicyConfig, PolicyKind};
 use crate::structure::{AdaptiveStructure, QueueStructure};
 use cap_cache::config::Boundary;
 use cap_cache::perf::PerfParams;
@@ -71,13 +72,32 @@ impl ExperimentScale {
         }
     }
 
-    /// Reads `CAP_SCALE` (`smoke` / `default` / `full`), defaulting to
-    /// `Default`.
-    pub fn from_env() -> Self {
-        match std::env::var("CAP_SCALE").as_deref() {
-            Ok("smoke") => ExperimentScale::Smoke,
-            Ok("full") => ExperimentScale::Full,
-            _ => ExperimentScale::Default,
+    /// Reads `CAP_SCALE` (`smoke` / `default` / `full`). Unset means
+    /// `Default`; anything else is rejected loudly — a typo like
+    /// `CAP_SCALE=ful` silently falling back to the default tier would
+    /// change what a run means without saying so.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::Environment`] naming `CAP_SCALE` for any
+    /// value that is not exactly one of the three tier names.
+    pub fn from_env() -> Result<Self, CapError> {
+        match std::env::var("CAP_SCALE") {
+            Err(std::env::VarError::NotPresent) => Ok(ExperimentScale::Default),
+            Err(std::env::VarError::NotUnicode(_)) => Err(CapError::Environment {
+                message: "CAP_SCALE is not valid UTF-8 (expected smoke, default or full)"
+                    .to_string(),
+            }),
+            Ok(value) => match value.as_str() {
+                "smoke" => Ok(ExperimentScale::Smoke),
+                "default" => Ok(ExperimentScale::Default),
+                "full" => Ok(ExperimentScale::Full),
+                other => Err(CapError::Environment {
+                    message: format!(
+                        "CAP_SCALE={other:?} is not a known scale (expected smoke, default or full)"
+                    ),
+                }),
+            },
         }
     }
 
@@ -233,53 +253,111 @@ impl Default for ExecPolicy {
     }
 }
 
-// Decoders for cache replay. Each must invert the derived `Serialize`
-// impl exactly; the round-trip tests in `tests/parallel_equiv.rs` and
-// the in-module tests below hold them to that.
+// Decoders for cache replay. Each result type decodes through one
+// generic `FromJson` trait whose impl must invert the derived
+// `Serialize` impl exactly; the round-trip tests in
+// `tests/parallel_equiv.rs` and the in-module tests below hold them to
+// that. Any shape mismatch decodes to `None`, which the memo layer
+// treats as a miss — a corrupt cache entry can never panic a run.
 
-fn f64_field(v: &Value, key: &str) -> Option<f64> {
-    v.get(key)?.as_f64()
+trait FromJson: Sized {
+    fn from_json(v: &Value) -> Option<Self>;
 }
 
-fn cache_point_from_json(v: &Value) -> Option<CachePoint> {
-    Some(CachePoint {
-        l1_kb: v.get("l1_kb")?.as_usize()?,
-        l1_assoc: v.get("l1_assoc")?.as_usize()?,
-        cycle_ns: f64_field(v, "cycle_ns")?,
-        tpi_ns: f64_field(v, "tpi_ns")?,
-        tpi_miss_ns: f64_field(v, "tpi_miss_ns")?,
-        l1_miss_ratio: f64_field(v, "l1_miss_ratio")?,
-        global_miss_ratio: f64_field(v, "global_miss_ratio")?,
-    })
+impl FromJson for f64 {
+    fn from_json(v: &Value) -> Option<Self> {
+        v.as_f64()
+    }
 }
 
-fn cache_curve_from_json(v: &Value) -> Option<CacheCurve> {
-    Some(CacheCurve {
-        app: v.get("app")?.as_str()?.to_string(),
-        integer_panel: v.get("integer_panel")?.as_bool()?,
-        points: v.get("points")?.as_array()?.iter().map(cache_point_from_json).collect::<Option<Vec<_>>>()?,
-    })
+impl FromJson for u64 {
+    fn from_json(v: &Value) -> Option<Self> {
+        v.as_u64()
+    }
 }
 
-fn queue_point_from_json(v: &Value) -> Option<QueuePoint> {
-    Some(QueuePoint {
-        entries: v.get("entries")?.as_usize()?,
-        cycle_ns: f64_field(v, "cycle_ns")?,
-        ipc: f64_field(v, "ipc")?,
-        tpi_ns: f64_field(v, "tpi_ns")?,
-    })
+impl FromJson for usize {
+    fn from_json(v: &Value) -> Option<Self> {
+        v.as_usize()
+    }
 }
 
-fn queue_curve_from_json(v: &Value) -> Option<QueueCurve> {
-    Some(QueueCurve {
-        app: v.get("app")?.as_str()?.to_string(),
-        integer_panel: v.get("integer_panel")?.as_bool()?,
-        points: v.get("points")?.as_array()?.iter().map(queue_point_from_json).collect::<Option<Vec<_>>>()?,
-    })
+impl FromJson for bool {
+    fn from_json(v: &Value) -> Option<Self> {
+        v.as_bool()
+    }
 }
 
-fn series_from_json(v: &Value) -> Option<Vec<f64>> {
-    v.as_array()?.iter().map(Value::as_f64).collect()
+impl FromJson for String {
+    fn from_json(v: &Value) -> Option<Self> {
+        v.as_str().map(str::to_string)
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Value) -> Option<Self> {
+        v.as_array()?.iter().map(T::from_json).collect()
+    }
+}
+
+/// Decodes one named field of a JSON object.
+fn field<T: FromJson>(v: &Value, key: &str) -> Option<T> {
+    T::from_json(v.get(key)?)
+}
+
+impl FromJson for CachePoint {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(CachePoint {
+            l1_kb: field(v, "l1_kb")?,
+            l1_assoc: field(v, "l1_assoc")?,
+            cycle_ns: field(v, "cycle_ns")?,
+            tpi_ns: field(v, "tpi_ns")?,
+            tpi_miss_ns: field(v, "tpi_miss_ns")?,
+            l1_miss_ratio: field(v, "l1_miss_ratio")?,
+            global_miss_ratio: field(v, "global_miss_ratio")?,
+        })
+    }
+}
+
+impl FromJson for CacheCurve {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(CacheCurve {
+            app: field(v, "app")?,
+            integer_panel: field(v, "integer_panel")?,
+            points: field(v, "points")?,
+        })
+    }
+}
+
+impl FromJson for QueuePoint {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(QueuePoint {
+            entries: field(v, "entries")?,
+            cycle_ns: field(v, "cycle_ns")?,
+            ipc: field(v, "ipc")?,
+            tpi_ns: field(v, "tpi_ns")?,
+        })
+    }
+}
+
+impl FromJson for QueueCurve {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(QueueCurve {
+            app: field(v, "app")?,
+            integer_panel: field(v, "integer_panel")?,
+            points: field(v, "points")?,
+        })
+    }
+}
+
+impl FromJson for PolicyRow {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(PolicyRow {
+            policy: field(v, "policy")?,
+            tpi_ns: field(v, "tpi_ns")?,
+            switches: field(v, "switches")?,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -426,6 +504,7 @@ impl CacheExperiment {
                 self.scale.cache_refs()
             ),
             version: SWEEP_RESULTS_VERSION,
+            policy: None,
         }
     }
 
@@ -453,7 +532,7 @@ impl CacheExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn sweep_with(&self, app: App, exec: &ExecPolicy) -> Result<CacheCurve, CapError> {
-        exec.memo(&self.curve_key(app), cache_curve_from_json, || {
+        exec.memo(&self.curve_key(app), CacheCurve::from_json, || {
             let points = exec
                 .pool()
                 .ordered_map(Boundary::paper_sweep().collect(), |_, b| self.leg(app, b))
@@ -487,7 +566,7 @@ impl CacheExperiment {
             .map(|&app| {
                 exec.probe_cache(&self.curve_key(app))
                     .as_ref()
-                    .and_then(cache_curve_from_json)
+                    .and_then(CacheCurve::from_json)
             })
             .collect();
 
@@ -718,6 +797,7 @@ impl QueueExperiment {
                 self.scale.queue_insts()
             ),
             version: SWEEP_RESULTS_VERSION,
+            policy: None,
         }
     }
 
@@ -746,7 +826,7 @@ impl QueueExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn sweep_with(&self, app: App, exec: &ExecPolicy) -> Result<QueueCurve, CapError> {
-        exec.memo(&self.curve_key(app), queue_curve_from_json, || {
+        exec.memo(&self.curve_key(app), QueueCurve::from_json, || {
             let points = exec
                 .pool()
                 .ordered_map(WindowSize::paper_sweep().collect(), |_, w| self.leg(app, w))
@@ -780,7 +860,7 @@ impl QueueExperiment {
             .map(|&app| {
                 exec.probe_cache(&self.curve_key(app))
                     .as_ref()
-                    .and_then(queue_curve_from_json)
+                    .and_then(QueueCurve::from_json)
             })
             .collect();
 
@@ -948,6 +1028,29 @@ pub struct AdaptiveComparison {
     pub intervals: u64,
 }
 
+/// One configuration-management policy's line of a comparison table.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PolicyRow {
+    /// Policy name (see [`PolicyKind::name`]).
+    pub policy: String,
+    /// Average TPI under this policy, ns.
+    pub tpi_ns: f64,
+    /// Reconfigurations the policy performed.
+    pub switches: u64,
+}
+
+/// One application's managed run repeated under every policy in the
+/// catalog, on identical interval streams.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PolicyComparison {
+    /// Application name.
+    pub app: String,
+    /// Intervals simulated per policy.
+    pub intervals: u64,
+    /// One row per [`PolicyKind`], in [`PolicyKind::ALL`] order.
+    pub rows: Vec<PolicyRow>,
+}
+
 /// Driver for the Section 6 experiments.
 #[derive(Debug, Clone)]
 pub struct IntervalExperiment {
@@ -998,8 +1101,9 @@ impl IntervalExperiment {
             seed: self.seed,
             config_range: format!("W {window}"),
             version: SWEEP_RESULTS_VERSION,
+            policy: None,
         };
-        exec.memo(&key, series_from_json, || {
+        exec.memo(&key, <Vec<f64>>::from_json, || {
             let cycle = self.timing.cycle_time(window)?;
             let mut core = OooCore::new(CoreConfig::isca98(window)?);
             let mut stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
@@ -1144,6 +1248,16 @@ impl IntervalExperiment {
         explore_period: u64,
         exec: &ExecPolicy,
     ) -> Result<AdaptiveComparison, CapError> {
+        let config = PolicyConfig::new(PolicyKind::Confidence)
+            .with_explore_period(explore_period)
+            .with_confidence(policy);
+        self.policy_comparison_with(app, intervals, &config, exec)
+    }
+
+    /// The offline references every managed run is judged against: the
+    /// best fixed configuration (process level) and the per-interval
+    /// oracle envelope, both averaged over `intervals`.
+    fn offline_optima(&self, app: App, intervals: u64, exec: &ExecPolicy) -> Result<(f64, f64), CapError> {
         // Fixed runs at every configuration (for process level + oracle).
         let sizes: Vec<usize> = WindowSize::paper_sweep().map(|w| w.entries()).collect();
         let series = exec
@@ -1157,23 +1271,54 @@ impl IntervalExperiment {
             .map(|i| series.iter().map(|s| s[i]).fold(f64::INFINITY, f64::min))
             .sum::<f64>()
             / intervals as f64;
+        Ok((process_level, oracle))
+    }
 
-        // Managed run.
+    /// Drives one managed run under an arbitrary policy configuration
+    /// and returns it.
+    fn managed_run(
+        &self,
+        app: App,
+        intervals: u64,
+        config: &PolicyConfig,
+        exec: &ExecPolicy,
+    ) -> Result<ManagedRun, CapError> {
         let mut structure = QueueStructure::isca98(self.timing, 0)?;
         let table = structure.period_table()?;
         let mut clock = DynamicClock::new(table, DEFAULT_SWITCH_PENALTY_CYCLES)?;
-        let mut manager = IntervalManager::new(structure.num_configs(), explore_period, policy)?
-            .with_recorder(exec.recorder().clone(), Some(app.name().to_string()));
+        let mut policy = config.build(
+            structure.num_configs(),
+            exec.recorder().clone(),
+            Some(app.name().to_string()),
+        )?;
         let mut stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
-        let run: ManagedRun = run_managed_queue(
+        run_managed_queue(
             &mut structure,
             &mut stream,
-            &mut manager,
+            &mut *policy,
             &mut clock,
             intervals,
             PAPER_INTERVAL_INSTS,
-        )?;
+        )
+    }
 
+    /// [`IntervalExperiment::adaptive_comparison_with`] generalized over
+    /// the policy catalog: drives the managed run under any
+    /// [`PolicyConfig`] and reports it against the same process-level
+    /// and oracle references.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn policy_comparison_with(
+        &self,
+        app: App,
+        intervals: u64,
+        config: &PolicyConfig,
+        exec: &ExecPolicy,
+    ) -> Result<AdaptiveComparison, CapError> {
+        let (process_level, oracle) = self.offline_optima(app, intervals, exec)?;
+        let run = self.managed_run(app, intervals, config, exec)?;
         Ok(AdaptiveComparison {
             app: app.name().to_string(),
             process_level_tpi: process_level,
@@ -1182,6 +1327,55 @@ impl IntervalExperiment {
             switches: run.switches,
             intervals,
         })
+    }
+
+    /// Runs one application under every policy in [`PolicyKind::ALL`]
+    /// (each at its default knobs, on identically seeded streams) and
+    /// tabulates TPI and switch counts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn compare_policies(&self, app: App, intervals: u64) -> Result<PolicyComparison, CapError> {
+        self.compare_policies_with(app, intervals, &ExecPolicy::serial())
+    }
+
+    /// [`IntervalExperiment::compare_policies`] under an execution
+    /// policy. Each policy's managed run is one leg — inherently serial
+    /// (clock and manager state are a chain) but memoizable, keyed by
+    /// the policy name on top of the usual leg identity.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn compare_policies_with(
+        &self,
+        app: App,
+        intervals: u64,
+        exec: &ExecPolicy,
+    ) -> Result<PolicyComparison, CapError> {
+        let mut rows = Vec::with_capacity(PolicyKind::ALL.len());
+        for kind in PolicyKind::ALL {
+            let key = CacheKey {
+                kind: "managed-policy".to_string(),
+                app: app.name().to_string(),
+                scale: format!("{intervals}x{PAPER_INTERVAL_INSTS}insts"),
+                seed: self.seed,
+                config_range: "W isca98".to_string(),
+                version: SWEEP_RESULTS_VERSION,
+                policy: Some(kind.name().to_string()),
+            };
+            let row = exec.memo(&key, PolicyRow::from_json, || {
+                let run = self.managed_run(app, intervals, &PolicyConfig::new(kind), exec)?;
+                Ok(PolicyRow {
+                    policy: kind.name().to_string(),
+                    tpi_ns: run.average_tpi().value(),
+                    switches: run.switches,
+                })
+            })?;
+            rows.push(row);
+        }
+        Ok(PolicyComparison { app: app.name().to_string(), intervals, rows })
     }
 }
 
@@ -1332,6 +1526,62 @@ mod tests {
         let other = q.clone().with_seed(7).sweep_with(App::Radar, &ExecPolicy::serial().cached(cache)).unwrap();
         assert_ne!(q_warm.points[0].tpi_ns, other.points[0].tpi_ns);
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entry_is_a_miss_not_a_panic() {
+        let dir = std::env::temp_dir().join(format!("cap-exp-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = cap_par::ResultCache::at(&dir);
+        let q = QueueExperiment::new(ExperimentScale::Smoke);
+        let clean = q.sweep(App::Radar).unwrap();
+        let key = q.curve_key(App::Radar);
+
+        // A validly stored entry whose value has the wrong shape
+        // entirely (an array where a curve object belongs) ...
+        assert!(cache.store(&key, &vec![1.0f64, 2.0]));
+        let exec = ExecPolicy::serial().cached(cache.clone());
+        assert_eq!(q.sweep_with(App::Radar, &exec).unwrap(), clean);
+
+        // ... or subtly (an object missing the curve fields) must decode
+        // as a miss and recompute, never panic or replay garbage.
+        assert!(cache.store(&key, &clean.points[0]));
+        assert_eq!(q.sweep_with(App::Radar, &exec).unwrap(), clean);
+
+        // Both recomputes repaired the entry in place.
+        assert!(QueueCurve::from_json(&cache.lookup(&key).unwrap()).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn policy_comparison_covers_the_catalog() {
+        let exp = IntervalExperiment::new();
+        let cmp = exp.compare_policies(App::Vortex, 60).unwrap();
+        let names: Vec<&str> = cmp.rows.iter().map(|r| r.policy.as_str()).collect();
+        assert_eq!(names, ["process-level", "interval-greedy", "confidence", "hysteresis"]);
+        assert!(cmp.rows.iter().all(|r| r.tpi_ns.is_finite() && r.tpi_ns > 0.0));
+
+        // The confidence row is the default manager: it must agree
+        // exactly with the Section 6 adaptive comparison at the same
+        // knobs.
+        let adaptive = exp
+            .adaptive_comparison(App::Vortex, 60, ConfidencePolicy::default_policy(), 40)
+            .unwrap();
+        assert_eq!(cmp.rows[2].tpi_ns, adaptive.managed_tpi);
+        assert_eq!(cmp.rows[2].switches, adaptive.switches);
+    }
+
+    #[test]
+    fn policy_rows_memoize_per_policy() {
+        let dir = std::env::temp_dir().join(format!("cap-exp-policy-memo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let exec = ExecPolicy::serial().cached(cap_par::ResultCache::at(&dir));
+        let exp = IntervalExperiment::new();
+        let cold = exp.compare_policies_with(App::Radar, 40, &exec).unwrap();
+        let warm = exp.compare_policies_with(App::Radar, 40, &exec).unwrap();
+        assert_eq!(cold, warm);
+        assert_eq!(cold, exp.compare_policies(App::Radar, 40).unwrap());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

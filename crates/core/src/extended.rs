@@ -756,4 +756,52 @@ mod tests {
         let exp = CombinedExperiment::new(ExperimentScale::Smoke);
         assert_eq!(exp.study(App::Radar).unwrap(), exp.study(App::Radar).unwrap());
     }
+
+    #[test]
+    fn joint_clock_is_the_slower_structure_everywhere() {
+        // Every one of the 64 joint points must carry exactly
+        // cycle(k, w) = max(cycle_cache(k), cycle_queue(w)).
+        let tech = Technology::isca98_evaluation();
+        let ct = CacheTimingModel::isca98(tech);
+        let qt = QueueTimingModel::new(tech);
+        let exp = CombinedExperiment::new(ExperimentScale::Smoke);
+        for app in [App::M88ksim, App::Stereo] {
+            let s = exp.study(app).unwrap();
+            assert_eq!(s.points.len(), 64);
+            for p in &s.points {
+                let want =
+                    ct.cycle_time(p.l1_kb / 8).unwrap().max(qt.cycle_time(p.entries).unwrap());
+                assert!(
+                    (p.cycle_ns - want.value()).abs() < 1e-15,
+                    "{}: cycle at ({} KB, {} entries) is {}, want {}",
+                    s.app,
+                    p.l1_kb,
+                    p.entries,
+                    p.cycle_ns,
+                    want.value()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn joint_optimum_never_loses_to_either_standalone_choice() {
+        // Property over the space: the joint optimum is at least as good
+        // as the composed standalone choices AND as the best point with
+        // either structure pinned at its standalone optimum — pinning
+        // only restricts the space, so it can never win.
+        let exp = CombinedExperiment::new(ExperimentScale::Smoke);
+        for app in [App::M88ksim, App::Radar, App::Turb3d] {
+            let s = exp.study(app).unwrap();
+            let best = s.best().tpi_ns;
+            assert!(best <= s.composed_tpi() + 1e-12, "{}", s.app);
+            let pinned = |f: &dyn Fn(&CombinedPoint) -> bool| {
+                s.points.iter().filter(|p| f(p)).map(|p| p.tpi_ns).fold(f64::INFINITY, f64::min)
+            };
+            let cache_pinned = pinned(&|p| p.l1_kb == s.solo_cache_kb);
+            let queue_pinned = pinned(&|p| p.entries == s.solo_window);
+            assert!(best <= cache_pinned + 1e-12, "{}: {} vs {}", s.app, best, cache_pinned);
+            assert!(best <= queue_pinned + 1e-12, "{}: {} vs {}", s.app, best, queue_pinned);
+        }
+    }
 }

@@ -24,9 +24,10 @@
 use crate::clock::{DynamicClock, DEFAULT_SWITCH_PENALTY_CYCLES};
 use crate::error::CapError;
 use crate::manager::{
-    run_managed_cache_resilient, run_managed_queue_resilient, ConfidencePolicy, FaultedRun,
-    IntervalManager, ResiliencePolicy, ResilienceStats, SwitchRetryPolicy,
+    run_managed_cache_resilient, run_managed_queue_resilient, FaultedRun, ResiliencePolicy,
+    ResilienceStats, SwitchRetryPolicy,
 };
+use crate::policy::{ConfigPolicy, PolicyConfig, PolicyKind};
 use crate::structure::{AdaptiveStructure, CacheStructure, QueueStructure};
 use cap_obs::{DecisionCounts, Recorder};
 use cap_timing::cacti::CacheTimingModel;
@@ -290,6 +291,8 @@ pub struct DegradationReport {
     pub app: String,
     /// The campaign's root seed.
     pub seed: u64,
+    /// The configuration-management policy both legs ran under.
+    pub policy: String,
     /// The fault spec in force.
     pub spec: FaultSpec,
     /// The instruction-queue leg.
@@ -322,6 +325,7 @@ pub struct FaultCampaign {
     app: App,
     seed: u64,
     spec: FaultSpec,
+    policy: PolicyKind,
     queue_intervals: u64,
     interval_len: u64,
     cache_intervals: u64,
@@ -329,13 +333,15 @@ pub struct FaultCampaign {
 }
 
 impl FaultCampaign {
-    /// Creates a campaign with the standard spec and moderate run
-    /// lengths (120 intervals per leg).
+    /// Creates a campaign with the standard spec, the default
+    /// (confidence) policy and moderate run lengths (120 intervals per
+    /// leg).
     pub fn new(app: App, seed: u64) -> Self {
         FaultCampaign {
             app,
             seed,
             spec: FaultSpec::standard(),
+            policy: PolicyKind::Confidence,
             queue_intervals: 120,
             interval_len: 1000,
             cache_intervals: 120,
@@ -346,6 +352,14 @@ impl FaultCampaign {
     /// Overrides the fault spec.
     pub fn with_spec(mut self, spec: FaultSpec) -> Self {
         self.spec = spec;
+        self
+    }
+
+    /// Overrides the configuration-management policy both legs run
+    /// under (fault injection is a property of the kernel, so every
+    /// policy in the catalog survives it).
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -361,10 +375,11 @@ impl FaultCampaign {
         num_configs: usize,
         recorder: &Arc<dyn Recorder>,
         leg: &str,
-    ) -> Result<IntervalManager, CapError> {
-        Ok(IntervalManager::new(num_configs, 25, ConfidencePolicy::default_policy())?
-            .with_resilience(ResiliencePolicy::hardened())?
-            .with_recorder(recorder.clone(), Some(format!("{}:{leg}", self.app.name()))))
+    ) -> Result<Box<dyn ConfigPolicy>, CapError> {
+        PolicyConfig::new(self.policy)
+            .with_explore_period(25)
+            .with_resilience(ResiliencePolicy::hardened())
+            .build(num_configs, recorder.clone(), Some(format!("{}:{leg}", self.app.name())))
     }
 
     fn leg_report(
@@ -372,7 +387,7 @@ impl FaultCampaign {
         clean: &FaultedRun,
         faulty: &FaultedRun,
         faults: FaultStats,
-        manager: &IntervalManager,
+        manager: &dyn ConfigPolicy,
         structure: &dyn AdaptiveStructure,
     ) -> LegReport {
         let clean_tpi = clean.run.average_tpi().value();
@@ -411,7 +426,7 @@ impl FaultCampaign {
         let clean = run_managed_queue_resilient(
             &mut clean_structure,
             &mut stream,
-            &mut manager,
+            &mut *manager,
             &mut clock,
             self.queue_intervals,
             self.interval_len,
@@ -427,7 +442,7 @@ impl FaultCampaign {
         let faulty = run_managed_queue_resilient(
             &mut structure,
             &mut stream,
-            &mut manager,
+            &mut *manager,
             &mut clock,
             self.queue_intervals,
             self.interval_len,
@@ -435,7 +450,7 @@ impl FaultCampaign {
             retry,
         )?;
 
-        Ok(Self::leg_report("queue", &clean, &faulty, injector.stats(), &manager, &structure))
+        Ok(Self::leg_report("queue", &clean, &faulty, injector.stats(), &*manager, &structure))
     }
 
     fn cache_leg(&self, recorder: &Arc<dyn Recorder>) -> Result<LegReport, CapError> {
@@ -451,7 +466,7 @@ impl FaultCampaign {
         let clean = run_managed_cache_resilient(
             &mut clean_structure,
             &mut stream,
-            &mut manager,
+            &mut *manager,
             &mut clock,
             self.cache_intervals,
             self.refs_per_interval,
@@ -477,7 +492,7 @@ impl FaultCampaign {
         let faulty = run_managed_cache_resilient(
             &mut structure,
             &mut stream,
-            &mut manager,
+            &mut *manager,
             &mut clock,
             self.cache_intervals,
             self.refs_per_interval,
@@ -486,7 +501,7 @@ impl FaultCampaign {
             retry,
         )?;
 
-        Ok(Self::leg_report("cache", &clean, &faulty, injector.stats(), &manager, &structure))
+        Ok(Self::leg_report("cache", &clean, &faulty, injector.stats(), &*manager, &structure))
     }
 
     /// Runs both legs and assembles the report.
@@ -527,6 +542,7 @@ impl FaultCampaign {
         Ok(DegradationReport {
             app: self.app.name().to_string(),
             seed: self.seed,
+            policy: self.policy.name().to_string(),
             spec: self.spec,
             queue,
             cache,

@@ -17,6 +17,9 @@
 //!   and the Section 6 extension — an interval-based manager with a
 //!   next-configuration predictor and a confidence counter to avoid
 //!   needless reconfiguration.
+//! * [`policy`] — the pluggable [`policy::ConfigPolicy`] catalog:
+//!   process-level, interval-greedy, confidence (the default) and
+//!   hysteresis managers, all driven by one generic run kernel.
 //! * [`pattern`] — the Section 6 periodic-pattern predictor with
 //!   confidence, evaluated on the Figure 13 winner sequences.
 //! * [`power`] — the §4.1 power-management story: per-configuration
@@ -56,6 +59,7 @@ pub mod faults;
 pub mod manager;
 pub mod metrics;
 pub mod pattern;
+pub mod policy;
 pub mod power;
 pub mod report;
 pub mod structure;
@@ -64,4 +68,5 @@ pub use clock::DynamicClock;
 pub use error::CapError;
 pub use faults::{FaultCampaign, FaultInjector, FaultSpec};
 pub use manager::{ConfidencePolicy, IntervalManager, ManagerDecision, ResiliencePolicy};
+pub use policy::{ConfigPolicy, PolicyConfig, PolicyKind};
 pub use structure::AdaptiveStructure;

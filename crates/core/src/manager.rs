@@ -57,10 +57,11 @@
 use crate::clock::DynamicClock;
 use crate::error::CapError;
 use crate::faults::{FaultInjector, SwitchFault};
-use crate::structure::{AdaptiveStructure, QueueStructure};
+use crate::policy::ConfigPolicy;
+use crate::structure::{AdaptiveStructure, CacheStructure, QueueStructure};
 use cap_obs::{
-    ClockSwitchEvent, DecisionCounts, DecisionEvent, Event, ProbationEvent, QuarantineEvent,
-    Recorder, SafeModeEvent, SwitchResultEvent,
+    ClockSwitchEvent, DecisionCounts, DecisionEvent, Event, PatternEvent, ProbationEvent,
+    QuarantineEvent, Recorder, SafeModeEvent, SwitchResultEvent,
 };
 use cap_ooo::interval::IntervalSample;
 use cap_timing::units::Ns;
@@ -496,6 +497,7 @@ impl IntervalManager {
                 predicted: self.predicted,
                 confidence: self.confidence,
                 reason,
+                policy: "confidence",
                 target: match decision {
                     ManagerDecision::SwitchTo(t) => Some(t),
                     ManagerDecision::Stay => None,
@@ -547,6 +549,15 @@ impl IntervalManager {
                     && home.is_none()
                     && !self.quarantined.get(pred.config).copied().unwrap_or(true)
                 {
+                    if self.recorder.enabled() {
+                        self.recorder.record(&Event::Pattern(PatternEvent {
+                            app: self.label.clone(),
+                            interval: self.intervals_seen,
+                            config: pred.config,
+                            confidence: pred.confidence,
+                            period: pred.period,
+                        }));
+                    }
                     self.confidence = 0;
                     self.predicted = None;
                     let decision = self.issue_switch(config, pred.config);
@@ -721,6 +732,63 @@ impl IntervalManager {
     }
 }
 
+/// The [`IntervalManager`] is the `"confidence"` policy — the default
+/// everywhere. The trait methods delegate to the inherent ones, so
+/// existing call sites are untouched.
+impl ConfigPolicy for IntervalManager {
+    fn name(&self) -> &'static str {
+        "confidence"
+    }
+
+    fn num_configs(&self) -> usize {
+        self.estimates.len()
+    }
+
+    fn intervals_seen(&self) -> u64 {
+        self.intervals_seen
+    }
+
+    fn observe(&mut self, config: usize, tpi_ns: f64) -> ManagerDecision {
+        IntervalManager::observe(self, config, tpi_ns)
+    }
+
+    fn record_switch_outcome(&mut self, target: usize, outcome: SwitchOutcome) {
+        IntervalManager::record_switch_outcome(self, target, outcome);
+    }
+
+    fn mask_unavailable(&mut self, configs: &[usize]) -> Result<(), CapError> {
+        IntervalManager::mask_unavailable(self, configs)
+    }
+
+    fn decision_counts(&self) -> DecisionCounts {
+        self.counts
+    }
+
+    fn resilience_stats(&self) -> ResilienceStats {
+        self.stats
+    }
+
+    fn quarantined_count(&self) -> usize {
+        IntervalManager::quarantined_count(self)
+    }
+
+    fn is_quarantined(&self, config: usize) -> bool {
+        IntervalManager::is_quarantined(self, config)
+    }
+
+    fn in_safe_mode(&self) -> bool {
+        self.safe_mode
+    }
+
+    fn recorder(&self) -> Arc<dyn Recorder> {
+        self.recorder.clone()
+    }
+
+    fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+}
+
 /// One interval of a managed run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ManagedInterval {
@@ -813,14 +881,14 @@ pub struct FaultedRun {
     pub switch_failures: u64,
 }
 
-/// Executes one manager-requested switch, injecting faults and retrying
+/// Executes one policy-requested switch, injecting faults and retrying
 /// transient failures with bounded exponential backoff. Returns the
 /// transition period when the switch completed, `None` when it was
 /// abandoned (the run continues on the current configuration).
 fn execute_switch(
     structure: &mut dyn AdaptiveStructure,
     clock: &mut DynamicClock,
-    manager: &mut IntervalManager,
+    policy: &mut dyn ConfigPolicy,
     next: usize,
     injector: &mut Option<&mut FaultInjector>,
     retry: SwitchRetryPolicy,
@@ -841,28 +909,29 @@ fn execute_switch(
                     // (e.g. retired cache increments): treat it as a
                     // permanent failure and keep running.
                     out.switch_failures += 1;
-                    manager.record_switch_outcome(next, SwitchOutcome::PermanentFailure);
+                    policy.record_switch_outcome(next, SwitchOutcome::PermanentFailure);
                     return Ok(None);
                 }
                 let penalty = clock.select(next)?;
                 out.run.switch_penalty += penalty;
                 out.run.switches += 1;
-                if manager.recorder.enabled() {
-                    manager.recorder.record(&Event::ClockSwitch(ClockSwitchEvent {
-                        app: manager.label.clone(),
-                        interval: manager.intervals_seen,
+                let recorder = policy.recorder();
+                if recorder.enabled() {
+                    recorder.record(&Event::ClockSwitch(ClockSwitchEvent {
+                        app: policy.label().map(str::to_string),
+                        interval: policy.intervals_seen(),
                         from,
                         to: next,
                         penalty_ns: penalty.value(),
                         period_ns: clock.period().value(),
                     }));
                 }
-                manager.record_switch_outcome(next, SwitchOutcome::Succeeded);
+                policy.record_switch_outcome(next, SwitchOutcome::Succeeded);
                 return Ok(Some(old_period.max(clock.period())));
             }
             Some(SwitchFault::Permanent) => {
                 out.switch_failures += 1;
-                manager.record_switch_outcome(next, SwitchOutcome::PermanentFailure);
+                policy.record_switch_outcome(next, SwitchOutcome::PermanentFailure);
                 return Ok(None);
             }
             Some(SwitchFault::Transient) => {
@@ -873,7 +942,7 @@ fn execute_switch(
                 out.retry_penalty += penalty;
                 if attempt >= retry.max_retries {
                     out.switch_failures += 1;
-                    manager.record_switch_outcome(next, SwitchOutcome::TransientFailure);
+                    policy.record_switch_outcome(next, SwitchOutcome::TransientFailure);
                     return Ok(None);
                 }
                 attempt += 1;
@@ -881,6 +950,208 @@ fn execute_switch(
             }
         }
     }
+}
+
+/// One interval of structure-specific simulation inside the generic
+/// managed-run kernel.
+///
+/// An implementation owns an adaptive structure plus whatever stream and
+/// model it needs to turn "run interval `index`" into an
+/// [`IntervalSample`] (cycles and instructions at the structure's
+/// *current* configuration). The kernel handles everything else: clock
+/// periods, policy decisions, switch execution, fault injection and
+/// accounting.
+pub trait IntervalSim {
+    /// The adaptive structure under management.
+    fn structure(&mut self) -> &mut dyn AdaptiveStructure;
+
+    /// Simulates interval `index` at the current configuration. `None`
+    /// means the substrate produced no sample (the kernel skips the
+    /// interval).
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate configuration or timing-model errors.
+    fn simulate(
+        &mut self,
+        index: u64,
+        recorder: &dyn Recorder,
+        label: Option<&str>,
+    ) -> Result<Option<IntervalSample>, CapError>;
+}
+
+/// [`IntervalSim`] over a [`QueueStructure`]: each interval commits
+/// `interval_len` instructions on the out-of-order core.
+pub struct QueueIntervalSim<'a, S: InstStream> {
+    structure: &'a mut QueueStructure,
+    stream: &'a mut S,
+    interval_len: u64,
+}
+
+impl<'a, S: InstStream> QueueIntervalSim<'a, S> {
+    /// Binds the simulation to a structure and instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::InvalidParameter`] if `interval_len` is zero.
+    pub fn new(
+        structure: &'a mut QueueStructure,
+        stream: &'a mut S,
+        interval_len: u64,
+    ) -> Result<Self, CapError> {
+        if interval_len == 0 {
+            return Err(CapError::InvalidParameter { what: "interval length must be positive" });
+        }
+        Ok(QueueIntervalSim { structure, stream, interval_len })
+    }
+}
+
+impl<S: InstStream> IntervalSim for QueueIntervalSim<'_, S> {
+    fn structure(&mut self) -> &mut dyn AdaptiveStructure {
+        self.structure
+    }
+
+    fn simulate(
+        &mut self,
+        index: u64,
+        recorder: &dyn Recorder,
+        label: Option<&str>,
+    ) -> Result<Option<IntervalSample>, CapError> {
+        Ok(cap_ooo::interval::record_interval_observed(
+            self.structure.core_mut(),
+            self.stream,
+            self.interval_len,
+            index,
+            recorder,
+            label,
+        )?)
+    }
+}
+
+/// [`IntervalSim`] over a [`CacheStructure`]: each interval simulates
+/// `refs_per_interval` D-cache references and evaluates the §5.1
+/// blocking TPI model at the current boundary, quantized into the
+/// whole-cycle counters an interval recorder would have seen.
+pub struct CacheIntervalSim<'a, S: cap_trace::mem::AddressStream> {
+    structure: &'a mut CacheStructure,
+    stream: &'a mut S,
+    refs_per_interval: u64,
+    params: cap_cache::perf::PerfParams,
+    insts_per_ref: f64,
+}
+
+impl<'a, S: cap_trace::mem::AddressStream> CacheIntervalSim<'a, S> {
+    /// Binds the simulation to a structure and reference stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::InvalidParameter`] if `refs_per_interval` is
+    /// zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `insts_per_ref < 1` (a reference is itself an
+    /// instruction), like [`cap_cache::perf::PerfParams::isca98`].
+    pub fn new(
+        structure: &'a mut CacheStructure,
+        stream: &'a mut S,
+        refs_per_interval: u64,
+        insts_per_ref: f64,
+    ) -> Result<Self, CapError> {
+        if refs_per_interval == 0 {
+            return Err(CapError::InvalidParameter { what: "interval length must be positive" });
+        }
+        let params = cap_cache::perf::PerfParams::isca98(insts_per_ref);
+        Ok(CacheIntervalSim { structure, stream, refs_per_interval, params, insts_per_ref })
+    }
+}
+
+impl<S: cap_trace::mem::AddressStream> IntervalSim for CacheIntervalSim<'_, S> {
+    fn structure(&mut self) -> &mut dyn AdaptiveStructure {
+        self.structure
+    }
+
+    fn simulate(
+        &mut self,
+        index: u64,
+        recorder: &dyn Recorder,
+        label: Option<&str>,
+    ) -> Result<Option<IntervalSample>, CapError> {
+        let config = self.structure.current();
+        let boundary = self.structure.boundary_at(config)?;
+        let timing = *self.structure.timing();
+        let stats = cap_cache::sim::run_observed(
+            &mut *self.stream,
+            self.refs_per_interval,
+            self.structure.cache_mut(),
+            recorder,
+            label,
+            index + 1,
+        );
+        let tpi = cap_cache::perf::evaluate(&stats, boundary, &timing, self.params)?;
+        let (cycles, insts) = tpi.interval_counts(stats.refs, self.insts_per_ref);
+        Ok(Some(IntervalSample { index, cycles, insts }))
+    }
+}
+
+/// The one generic managed-run kernel: drives any [`IntervalSim`] under
+/// any [`ConfigPolicy`] for `intervals` intervals, charging
+/// reconfigurations with the dynamic clock's switch penalty and the
+/// slower period during transition intervals. Fault injection and retry
+/// are an optional layer: with `injector` `None` the kernel is the
+/// clean-run path, bit for bit.
+///
+/// Every managed-run entry point (`run_managed_queue`,
+/// `run_managed_cache` and their `_resilient` variants) is a thin
+/// wrapper over this function.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the structure or clock.
+pub fn run_managed(
+    sim: &mut dyn IntervalSim,
+    policy: &mut dyn ConfigPolicy,
+    clock: &mut DynamicClock,
+    intervals: u64,
+    mut injector: Option<&mut FaultInjector>,
+    retry: SwitchRetryPolicy,
+) -> Result<FaultedRun, CapError> {
+    let mut out = FaultedRun {
+        run: ManagedRun { intervals: Vec::with_capacity(intervals as usize), switches: 0, switch_penalty: Ns(0.0) },
+        retries: 0,
+        retry_penalty: Ns(0.0),
+        switch_failures: 0,
+    };
+    let recorder = policy.recorder();
+    let label = policy.label().map(str::to_string);
+    let mut transition_period: Option<Ns> = None;
+    for index in 0..intervals {
+        let config = sim.structure().current();
+        let period = transition_period.take().unwrap_or(clock.period());
+        let Some(sample) = sim.simulate(index, &*recorder, label.as_deref())? else {
+            continue;
+        };
+        let record = ManagedInterval { config, sample, period };
+        let tpi = record.tpi();
+        out.run.intervals.push(record);
+
+        let observed = match injector.as_deref_mut() {
+            Some(inj) => inj.corrupt_tpi(tpi.value()),
+            None => tpi.value(),
+        };
+        match policy.observe(config, observed) {
+            ManagerDecision::Stay => {}
+            ManagerDecision::SwitchTo(next) if next == config => {}
+            ManagerDecision::SwitchTo(next) => {
+                if let Some(p) =
+                    execute_switch(sim.structure(), clock, policy, next, &mut injector, retry, &mut out)?
+                {
+                    transition_period = Some(p);
+                }
+            }
+        }
+    }
+    Ok(out)
 }
 
 /// Runs an instruction stream on a managed queue structure for
@@ -897,12 +1168,12 @@ fn execute_switch(
 pub fn run_managed_queue<S: InstStream>(
     structure: &mut QueueStructure,
     stream: &mut S,
-    manager: &mut IntervalManager,
+    policy: &mut dyn ConfigPolicy,
     clock: &mut DynamicClock,
     intervals: u64,
     interval_len: u64,
 ) -> Result<ManagedRun, CapError> {
-    run_managed_queue_resilient(structure, stream, manager, clock, intervals, interval_len, None, SwitchRetryPolicy::default())
+    run_managed_queue_resilient(structure, stream, policy, clock, intervals, interval_len, None, SwitchRetryPolicy::default())
         .map(|f| f.run)
 }
 
@@ -920,62 +1191,15 @@ pub fn run_managed_queue<S: InstStream>(
 pub fn run_managed_queue_resilient<S: InstStream>(
     structure: &mut QueueStructure,
     stream: &mut S,
-    manager: &mut IntervalManager,
+    policy: &mut dyn ConfigPolicy,
     clock: &mut DynamicClock,
     intervals: u64,
     interval_len: u64,
-    mut injector: Option<&mut FaultInjector>,
+    injector: Option<&mut FaultInjector>,
     retry: SwitchRetryPolicy,
 ) -> Result<FaultedRun, CapError> {
-    if interval_len == 0 {
-        return Err(CapError::InvalidParameter { what: "interval length must be positive" });
-    }
-    let mut out = FaultedRun {
-        run: ManagedRun { intervals: Vec::with_capacity(intervals as usize), switches: 0, switch_penalty: Ns(0.0) },
-        retries: 0,
-        retry_penalty: Ns(0.0),
-        switch_failures: 0,
-    };
-    let recorder = manager.recorder.clone();
-    let label = manager.label.clone();
-    let mut transition_period: Option<Ns> = None;
-    for index in 0..intervals {
-        let config = structure.current();
-        let period = transition_period.take().unwrap_or(clock.period());
-        let samples = {
-            let core = structure.core_mut();
-            cap_ooo::interval::record_intervals_observed(
-                core,
-                stream,
-                1,
-                interval_len,
-                index,
-                &*recorder,
-                label.as_deref(),
-            )?
-        };
-        let Some(sample) = samples.first().copied() else {
-            continue;
-        };
-        let record = ManagedInterval { config, sample, period };
-        let tpi = record.tpi();
-        out.run.intervals.push(record);
-
-        let observed = match injector.as_deref_mut() {
-            Some(inj) => inj.corrupt_tpi(tpi.value()),
-            None => tpi.value(),
-        };
-        match manager.observe(config, observed) {
-            ManagerDecision::Stay => {}
-            ManagerDecision::SwitchTo(next) if next == config => {}
-            ManagerDecision::SwitchTo(next) => {
-                if let Some(p) = execute_switch(structure, clock, manager, next, &mut injector, retry, &mut out)? {
-                    transition_period = Some(p);
-                }
-            }
-        }
-    }
-    Ok(out)
+    let mut sim = QueueIntervalSim::new(structure, stream, interval_len)?;
+    run_managed(&mut sim, policy, clock, intervals, injector, retry)
 }
 
 /// Runs a reference stream on a managed cache structure for `intervals`
@@ -995,7 +1219,7 @@ pub fn run_managed_queue_resilient<S: InstStream>(
 pub fn run_managed_cache<S: cap_trace::mem::AddressStream>(
     structure: &mut crate::structure::CacheStructure,
     stream: &mut S,
-    manager: &mut IntervalManager,
+    policy: &mut dyn ConfigPolicy,
     clock: &mut DynamicClock,
     intervals: u64,
     refs_per_interval: u64,
@@ -1004,7 +1228,7 @@ pub fn run_managed_cache<S: cap_trace::mem::AddressStream>(
     run_managed_cache_resilient(
         structure,
         stream,
-        manager,
+        policy,
         clock,
         intervals,
         refs_per_interval,
@@ -1025,69 +1249,16 @@ pub fn run_managed_cache<S: cap_trace::mem::AddressStream>(
 pub fn run_managed_cache_resilient<S: cap_trace::mem::AddressStream>(
     structure: &mut crate::structure::CacheStructure,
     stream: &mut S,
-    manager: &mut IntervalManager,
+    policy: &mut dyn ConfigPolicy,
     clock: &mut DynamicClock,
     intervals: u64,
     refs_per_interval: u64,
     insts_per_ref: f64,
-    mut injector: Option<&mut FaultInjector>,
+    injector: Option<&mut FaultInjector>,
     retry: SwitchRetryPolicy,
 ) -> Result<FaultedRun, CapError> {
-    use cap_cache::perf::{evaluate, PerfParams};
-
-    if refs_per_interval == 0 {
-        return Err(CapError::InvalidParameter { what: "interval length must be positive" });
-    }
-    let params = PerfParams::isca98(insts_per_ref);
-    let mut out = FaultedRun {
-        run: ManagedRun { intervals: Vec::with_capacity(intervals as usize), switches: 0, switch_penalty: Ns(0.0) },
-        retries: 0,
-        retry_penalty: Ns(0.0),
-        switch_failures: 0,
-    };
-    let recorder = manager.recorder.clone();
-    let label = manager.label.clone();
-    let mut transition_period: Option<Ns> = None;
-    for index in 0..intervals {
-        let config = structure.current();
-        let boundary = structure.boundary_at(config)?;
-        let period = transition_period.take().unwrap_or(clock.period());
-        let timing = *structure.timing();
-        let stats = {
-            let cache = structure.cache_mut();
-            cap_cache::sim::run_observed(
-                &mut *stream,
-                refs_per_interval,
-                cache,
-                &*recorder,
-                label.as_deref(),
-                index + 1,
-            )
-        };
-        let tpi = evaluate(&stats, boundary, &timing, params)?;
-        // Express the interval as (cycles, insts) at the charged period.
-        let insts = (stats.refs as f64 * insts_per_ref).round() as u64;
-        let cycles = (tpi.total_tpi().value() * insts as f64 / tpi.cycle.value()).round() as u64;
-        let sample = cap_ooo::interval::IntervalSample { index, cycles, insts };
-        let record = ManagedInterval { config, sample, period };
-        let observed = record.tpi();
-        out.run.intervals.push(record);
-
-        let observed = match injector.as_deref_mut() {
-            Some(inj) => inj.corrupt_tpi(observed.value()),
-            None => observed.value(),
-        };
-        match manager.observe(config, observed) {
-            ManagerDecision::Stay => {}
-            ManagerDecision::SwitchTo(next) if next == config => {}
-            ManagerDecision::SwitchTo(next) => {
-                if let Some(p) = execute_switch(structure, clock, manager, next, &mut injector, retry, &mut out)? {
-                    transition_period = Some(p);
-                }
-            }
-        }
-    }
-    Ok(out)
+    let mut sim = CacheIntervalSim::new(structure, stream, refs_per_interval, insts_per_ref)?;
+    run_managed(&mut sim, policy, clock, intervals, injector, retry)
 }
 
 #[cfg(test)]
@@ -1465,5 +1636,104 @@ mod tests {
         let mut manager = IntervalManager::new(8, 0, ConfidencePolicy::default_policy()).unwrap();
         let mut stream = RegionMix::builder(1).region(Region::random(0, 4096), 1.0).build().unwrap();
         assert!(run_managed_cache(&mut structure, &mut stream, &mut manager, &mut clock, 1, 0, 3.0).is_err());
+    }
+
+    /// queue + cache, clean + faulty: the named wrappers and a direct
+    /// [`run_managed`] call over the matching [`IntervalSim`] adapter
+    /// must produce identical runs from identically-seeded fresh state —
+    /// there is exactly one managed-run code path.
+    #[test]
+    fn wrappers_are_thin_over_the_one_kernel() {
+        use crate::faults::{FaultInjector, FaultSpec};
+        use crate::structure::{CacheStructure, QueueStructure};
+        use cap_timing::cacti::CacheTimingModel;
+        use cap_timing::queue::QueueTimingModel;
+        use cap_timing::Technology;
+        use cap_trace::inst::{IlpParams, SegmentIlp};
+        use cap_trace::mem::{Region, RegionMix};
+
+        let injector =
+            |on: bool| on.then(|| FaultInjector::new(FaultSpec::standard(), 99, 8).unwrap());
+
+        for faulty in [false, true] {
+            let queue_run = |direct: bool| {
+                let timing = QueueTimingModel::default();
+                let mut structure = QueueStructure::isca98(timing, 0).unwrap();
+                let table = structure.period_table().unwrap();
+                let mut clock = DynamicClock::new(table, 30).unwrap();
+                let mut policy =
+                    IntervalManager::new(8, 0, ConfidencePolicy::default_policy()).unwrap();
+                let mut stream = SegmentIlp::new(IlpParams::balanced(), 9).unwrap();
+                let mut inj = injector(faulty);
+                if direct {
+                    let mut sim =
+                        QueueIntervalSim::new(&mut structure, &mut stream, 2000).unwrap();
+                    run_managed(
+                        &mut sim,
+                        &mut policy,
+                        &mut clock,
+                        30,
+                        inj.as_mut(),
+                        SwitchRetryPolicy::default(),
+                    )
+                    .unwrap()
+                } else {
+                    run_managed_queue_resilient(
+                        &mut structure,
+                        &mut stream,
+                        &mut policy,
+                        &mut clock,
+                        30,
+                        2000,
+                        inj.as_mut(),
+                        SwitchRetryPolicy::default(),
+                    )
+                    .unwrap()
+                }
+            };
+            assert_eq!(queue_run(false), queue_run(true), "queue, faulty={faulty}");
+
+            let cache_run = |direct: bool| {
+                let timing = CacheTimingModel::isca98(Technology::isca98_evaluation());
+                let mut structure = CacheStructure::isca98(timing, 0).unwrap();
+                let table = structure.period_table().unwrap();
+                let mut clock = DynamicClock::new(table, 30).unwrap();
+                let mut policy =
+                    IntervalManager::new(structure.num_configs(), 0, ConfidencePolicy::default_policy())
+                        .unwrap();
+                let mut stream = RegionMix::builder(3)
+                    .region(Region::sequential_loop(0, 24 * 1024, 32), 1.0)
+                    .build()
+                    .unwrap();
+                let mut inj = injector(faulty);
+                if direct {
+                    let mut sim =
+                        CacheIntervalSim::new(&mut structure, &mut stream, 4_000, 3.0).unwrap();
+                    run_managed(
+                        &mut sim,
+                        &mut policy,
+                        &mut clock,
+                        30,
+                        inj.as_mut(),
+                        SwitchRetryPolicy::default(),
+                    )
+                    .unwrap()
+                } else {
+                    run_managed_cache_resilient(
+                        &mut structure,
+                        &mut stream,
+                        &mut policy,
+                        &mut clock,
+                        30,
+                        4_000,
+                        3.0,
+                        inj.as_mut(),
+                        SwitchRetryPolicy::default(),
+                    )
+                    .unwrap()
+                }
+            };
+            assert_eq!(cache_run(false), cache_run(true), "cache, faulty={faulty}");
+        }
     }
 }

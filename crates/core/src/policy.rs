@@ -1,0 +1,888 @@
+//! Pluggable configuration-management policies (paper §5 vs §6).
+//!
+//! The paper evaluates two families of Configuration Managers: the
+//! **process-level** scheme of §5 — one configuration per application,
+//! chosen after an exploration sweep — and the **interval-based** scheme
+//! its Section 6 motivates, with a next-configuration predictor and a
+//! confidence counter. This module makes the choice of manager a
+//! first-class axis:
+//!
+//! * [`ConfigPolicy`] — the object-safe trait every manager implements.
+//!   The generic managed-run kernel ([`crate::manager::run_managed`])
+//!   drives any policy over any [`crate::structure::AdaptiveStructure`].
+//! * [`ProcessLevel`] — explore each configuration once, settle on the
+//!   best observed, never move again (the §5 methodology, online).
+//! * [`IntervalGreedy`] — explore once, then chase the lowest estimate
+//!   every interval with no gating (the §6 strawman; thrash-prone on
+//!   irregular phases, the paper's Figure 13b caution).
+//! * `Confidence` — today's [`IntervalManager`], which implements
+//!   [`ConfigPolicy`] and remains the **default** policy everywhere.
+//! * [`Hysteresis`] — switch only on a *sustained* predicted TPI gain:
+//!   the candidate must beat the current estimate by a minimum fractional
+//!   gain for several consecutive intervals, and a post-switch dwell
+//!   blocks immediate re-switching.
+//!
+//! # Determinism rules
+//!
+//! A policy's decision sequence must be a pure function of the observed
+//! `(config, tpi)` sequence: no wall-clock time, no ambient randomness,
+//! no dependence on tracing (recorders only observe). This is what lets
+//! result caches key on the policy *name* and lets CI assert that the
+//! default policy reproduces every golden byte-for-byte.
+//!
+//! [`IntervalManager`]: crate::manager::IntervalManager
+
+use crate::error::CapError;
+use crate::manager::{
+    ConfidencePolicy, IntervalManager, ManagerDecision, ResiliencePolicy, ResilienceStats,
+    SwitchOutcome,
+};
+use cap_obs::{DecisionCounts, DecisionEvent, Event, QuarantineEvent, Recorder, SwitchResultEvent};
+use std::sync::Arc;
+
+/// An interval-granular Configuration Manager.
+///
+/// The managed-run kernel feeds one finished interval at a time via
+/// [`ConfigPolicy::observe`] and obeys the returned decision; switch
+/// outcomes flow back via [`ConfigPolicy::record_switch_outcome`]. All
+/// remaining methods are introspection used by reports and fault
+/// campaigns.
+pub trait ConfigPolicy {
+    /// Stable lowercase policy name (`"confidence"`, `"hysteresis"`, …)
+    /// used in trace events, result-cache keys and report tables.
+    fn name(&self) -> &'static str;
+
+    /// Number of configurations under management.
+    fn num_configs(&self) -> usize;
+
+    /// Intervals observed so far.
+    fn intervals_seen(&self) -> u64;
+
+    /// Feeds the interval just finished (which ran at `config` with the
+    /// given TPI) and returns the decision for the next interval. Must
+    /// never panic: invalid samples are rejected internally and
+    /// out-of-range `config` indices are ignored.
+    fn observe(&mut self, config: usize, tpi_ns: f64) -> ManagerDecision;
+
+    /// Reports how a switch this policy requested actually ended.
+    fn record_switch_outcome(&mut self, target: usize, outcome: SwitchOutcome);
+
+    /// Permanently masks configurations the hardware can no longer
+    /// provide.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::NoViableConfiguration`] if this would leave no
+    /// configuration available.
+    fn mask_unavailable(&mut self, configs: &[usize]) -> Result<(), CapError>;
+
+    /// The per-reason decision tally accumulated so far.
+    fn decision_counts(&self) -> DecisionCounts;
+
+    /// Degradation-handling counters accumulated so far.
+    fn resilience_stats(&self) -> ResilienceStats;
+
+    /// Number of currently quarantined configurations.
+    fn quarantined_count(&self) -> usize;
+
+    /// Whether a configuration is currently quarantined (out-of-range
+    /// indices report `true`).
+    fn is_quarantined(&self, config: usize) -> bool;
+
+    /// Whether the policy has fallen back to a safe static configuration
+    /// (always `false` for policies without a watchdog).
+    fn in_safe_mode(&self) -> bool;
+
+    /// The trace sink decisions are emitted to (the no-op recorder by
+    /// default).
+    fn recorder(&self) -> Arc<dyn Recorder>;
+
+    /// The run label attached to emitted events (usually the app name).
+    fn label(&self) -> Option<&str>;
+}
+
+/// The machinery every simple policy shares: sanitized EWMA estimates,
+/// failure-driven masking, decision tallies and trace emission. The
+/// sanitation and EWMA constants match [`IntervalManager`] exactly so
+/// policies differ only in their decision rules.
+#[derive(Debug, Clone)]
+struct PolicyBase {
+    name: &'static str,
+    estimates: Vec<Option<f64>>,
+    alpha: f64,
+    intervals_seen: u64,
+    /// Configurations masked out of exploration and prediction.
+    masked: Vec<bool>,
+    /// Masked configurations that must never return.
+    dead: Vec<bool>,
+    /// Consecutive failed switches toward each configuration.
+    fail_counts: Vec<u32>,
+    counts: DecisionCounts,
+    stats: ResilienceStats,
+    recorder: Arc<dyn Recorder>,
+    label: Option<String>,
+}
+
+/// Failed switches toward a configuration before a simple policy masks
+/// it (the same threshold as [`ResiliencePolicy::legacy`]).
+const SIMPLE_QUARANTINE_THRESHOLD: u32 = 3;
+
+impl PolicyBase {
+    fn new(
+        name: &'static str,
+        num_configs: usize,
+        recorder: Arc<dyn Recorder>,
+        label: Option<String>,
+    ) -> Result<Self, CapError> {
+        if num_configs == 0 {
+            return Err(CapError::InvalidParameter { what: "manager needs at least one configuration" });
+        }
+        Ok(PolicyBase {
+            name,
+            estimates: vec![None; num_configs],
+            alpha: 0.5,
+            intervals_seen: 0,
+            masked: vec![false; num_configs],
+            dead: vec![false; num_configs],
+            fail_counts: vec![0; num_configs],
+            counts: DecisionCounts::default(),
+            stats: ResilienceStats::default(),
+            recorder,
+            label,
+        })
+    }
+
+    /// Rejects invalid samples, then folds the survivor into the EWMA.
+    fn sanitize_update(&mut self, config: usize, tpi_ns: f64) -> Option<f64> {
+        if !tpi_ns.is_finite() || tpi_ns <= 0.0 {
+            self.stats.samples_rejected += 1;
+            return None;
+        }
+        self.estimates[config] = Some(match self.estimates[config] {
+            Some(prev) => prev + self.alpha * (tpi_ns - prev),
+            None => tpi_ns,
+        });
+        Some(tpi_ns)
+    }
+
+    /// The first never-sampled, unmasked configuration, in index order.
+    fn first_unseen(&self) -> Option<usize> {
+        (0..self.estimates.len()).find(|&i| self.estimates[i].is_none() && !self.masked[i])
+    }
+
+    /// The unmasked configuration with the lowest estimate.
+    fn best(&self) -> Option<usize> {
+        self.estimates
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !self.masked[*i])
+            .filter_map(|(i, e)| e.map(|v| (i, v)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(i, _)| i)
+    }
+
+    /// Tallies the decision and emits the trace event.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &mut self,
+        config: usize,
+        raw_tpi_ns: f64,
+        sanitized: Option<f64>,
+        decision: ManagerDecision,
+        reason: &'static str,
+        predicted: Option<usize>,
+        confidence: u32,
+    ) {
+        self.counts.intervals += 1;
+        match reason {
+            "hold" => self.counts.stays += 1,
+            "explore" => self.counts.explore_switches += 1,
+            "predicted" => self.counts.predicted_switches += 1,
+            _ => self.counts.safe_mode_holds += 1,
+        }
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::Decision(DecisionEvent {
+                app: self.label.clone(),
+                interval: self.intervals_seen,
+                config,
+                raw_tpi_ns,
+                sanitized_tpi_ns: sanitized,
+                estimate_ns: self.estimates[config],
+                predicted,
+                confidence,
+                reason,
+                policy: self.name,
+                target: match decision {
+                    ManagerDecision::SwitchTo(t) => Some(t),
+                    ManagerDecision::Stay => None,
+                },
+            }));
+        }
+    }
+
+    fn note_outcome(&mut self, target: usize, outcome: SwitchOutcome) {
+        if target >= self.estimates.len() {
+            return;
+        }
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::SwitchResult(SwitchResultEvent {
+                app: self.label.clone(),
+                interval: self.intervals_seen,
+                target,
+                outcome: match outcome {
+                    SwitchOutcome::Succeeded => "succeeded",
+                    SwitchOutcome::TransientFailure => "transient-failure",
+                    SwitchOutcome::PermanentFailure => "permanent-failure",
+                },
+            }));
+        }
+        match outcome {
+            SwitchOutcome::Succeeded => self.fail_counts[target] = 0,
+            SwitchOutcome::TransientFailure => {
+                self.fail_counts[target] = self.fail_counts[target].saturating_add(1);
+                if self.fail_counts[target] >= SIMPLE_QUARANTINE_THRESHOLD && !self.masked[target] {
+                    self.mask(target, false);
+                }
+            }
+            SwitchOutcome::PermanentFailure => {
+                if !self.masked[target] {
+                    self.mask(target, true);
+                }
+                self.dead[target] = true;
+            }
+        }
+    }
+
+    fn mask(&mut self, config: usize, permanent: bool) {
+        self.masked[config] = true;
+        self.stats.quarantines += 1;
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::Quarantine(QuarantineEvent {
+                app: self.label.clone(),
+                interval: self.intervals_seen,
+                config,
+                permanent,
+            }));
+        }
+    }
+
+    fn mask_unavailable(&mut self, configs: &[usize]) -> Result<(), CapError> {
+        for &i in configs {
+            if let Some(m) = self.masked.get_mut(i) {
+                *m = true;
+                self.dead[i] = true;
+            }
+        }
+        if self.dead.iter().all(|&d| d) {
+            return Err(CapError::NoViableConfiguration);
+        }
+        Ok(())
+    }
+
+    fn quarantined_count(&self) -> usize {
+        self.masked.iter().filter(|&&m| m).count()
+    }
+
+    fn is_quarantined(&self, config: usize) -> bool {
+        self.masked.get(config).copied().unwrap_or(true)
+    }
+}
+
+/// Delegates the shared half of [`ConfigPolicy`] to the `base` field.
+macro_rules! delegate_base {
+    () => {
+        fn num_configs(&self) -> usize {
+            self.base.estimates.len()
+        }
+
+        fn intervals_seen(&self) -> u64 {
+            self.base.intervals_seen
+        }
+
+        fn record_switch_outcome(&mut self, target: usize, outcome: SwitchOutcome) {
+            self.base.note_outcome(target, outcome);
+        }
+
+        fn mask_unavailable(&mut self, configs: &[usize]) -> Result<(), CapError> {
+            self.base.mask_unavailable(configs)
+        }
+
+        fn decision_counts(&self) -> DecisionCounts {
+            self.base.counts
+        }
+
+        fn resilience_stats(&self) -> ResilienceStats {
+            self.base.stats
+        }
+
+        fn quarantined_count(&self) -> usize {
+            self.base.quarantined_count()
+        }
+
+        fn is_quarantined(&self, config: usize) -> bool {
+            self.base.is_quarantined(config)
+        }
+
+        fn in_safe_mode(&self) -> bool {
+            false
+        }
+
+        fn recorder(&self) -> Arc<dyn Recorder> {
+            self.base.recorder.clone()
+        }
+
+        fn label(&self) -> Option<&str> {
+            self.base.label.as_deref()
+        }
+    };
+}
+
+/// The paper's §5 methodology, run online: explore each configuration
+/// once, settle on the best observed, and hold it for the rest of the
+/// process (re-settling only if the choice is later masked).
+#[derive(Debug, Clone)]
+pub struct ProcessLevel {
+    base: PolicyBase,
+    settled: Option<usize>,
+}
+
+impl ProcessLevel {
+    /// Creates the policy over `num_configs` configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::InvalidParameter`] if `num_configs` is zero.
+    pub fn new(
+        num_configs: usize,
+        recorder: Arc<dyn Recorder>,
+        label: Option<String>,
+    ) -> Result<Self, CapError> {
+        Ok(ProcessLevel { base: PolicyBase::new("process-level", num_configs, recorder, label)?, settled: None })
+    }
+}
+
+impl ConfigPolicy for ProcessLevel {
+    fn name(&self) -> &'static str {
+        self.base.name
+    }
+
+    fn observe(&mut self, config: usize, tpi_ns: f64) -> ManagerDecision {
+        if config >= self.base.estimates.len() {
+            return ManagerDecision::Stay;
+        }
+        self.base.intervals_seen += 1;
+        let sanitized = self.base.sanitize_update(config, tpi_ns);
+        let (decision, reason) = if let Some(unseen) = self.base.first_unseen() {
+            (ManagerDecision::SwitchTo(unseen), "explore")
+        } else {
+            if self.settled.is_none_or(|s| self.base.masked[s]) {
+                self.settled = self.base.best();
+            }
+            match self.settled {
+                Some(s) if s != config => (ManagerDecision::SwitchTo(s), "predicted"),
+                _ => (ManagerDecision::Stay, "hold"),
+            }
+        };
+        self.base.finish(config, tpi_ns, sanitized, decision, reason, self.settled, 0);
+        decision
+    }
+
+    delegate_base!();
+}
+
+/// Explore-then-exploit with no gating: every interval, switch straight
+/// to the configuration with the lowest estimate. The §6 strawman the
+/// confidence mechanism exists to fix.
+#[derive(Debug, Clone)]
+pub struct IntervalGreedy {
+    base: PolicyBase,
+    chasing: Option<usize>,
+}
+
+impl IntervalGreedy {
+    /// Creates the policy over `num_configs` configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::InvalidParameter`] if `num_configs` is zero.
+    pub fn new(
+        num_configs: usize,
+        recorder: Arc<dyn Recorder>,
+        label: Option<String>,
+    ) -> Result<Self, CapError> {
+        Ok(IntervalGreedy { base: PolicyBase::new("interval-greedy", num_configs, recorder, label)?, chasing: None })
+    }
+}
+
+impl ConfigPolicy for IntervalGreedy {
+    fn name(&self) -> &'static str {
+        self.base.name
+    }
+
+    fn observe(&mut self, config: usize, tpi_ns: f64) -> ManagerDecision {
+        if config >= self.base.estimates.len() {
+            return ManagerDecision::Stay;
+        }
+        self.base.intervals_seen += 1;
+        let sanitized = self.base.sanitize_update(config, tpi_ns);
+        let (decision, reason) = if let Some(unseen) = self.base.first_unseen() {
+            (ManagerDecision::SwitchTo(unseen), "explore")
+        } else {
+            self.chasing = self.base.best();
+            match self.chasing {
+                Some(b) if b != config => (ManagerDecision::SwitchTo(b), "predicted"),
+                _ => (ManagerDecision::Stay, "hold"),
+            }
+        };
+        self.base.finish(config, tpi_ns, sanitized, decision, reason, self.chasing, 0);
+        decision
+    }
+
+    delegate_base!();
+}
+
+/// Switch only on sustained predicted TPI gain: the candidate must beat
+/// the current configuration's estimate by at least `min_gain` for
+/// `sustain` consecutive intervals, and after every switch a `dwell`
+/// refractory holds the new configuration regardless of estimates.
+#[derive(Debug, Clone)]
+pub struct Hysteresis {
+    base: PolicyBase,
+    /// Minimum fractional TPI gain a candidate must promise.
+    min_gain: f64,
+    /// Consecutive winning intervals required before a switch.
+    sustain: u32,
+    /// Post-switch refractory, in intervals.
+    dwell: u64,
+    candidate: Option<usize>,
+    streak: u32,
+    cooldown: u64,
+}
+
+impl Hysteresis {
+    /// Creates the policy over `num_configs` configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::InvalidParameter`] if `num_configs` is zero or
+    /// `min_gain` is negative or not finite.
+    pub fn new(
+        num_configs: usize,
+        min_gain: f64,
+        sustain: u32,
+        dwell: u64,
+        recorder: Arc<dyn Recorder>,
+        label: Option<String>,
+    ) -> Result<Self, CapError> {
+        if !min_gain.is_finite() || min_gain < 0.0 {
+            return Err(CapError::InvalidParameter { what: "hysteresis must be non-negative and finite" });
+        }
+        Ok(Hysteresis {
+            base: PolicyBase::new("hysteresis", num_configs, recorder, label)?,
+            min_gain,
+            sustain,
+            dwell,
+            candidate: None,
+            streak: 0,
+            cooldown: 0,
+        })
+    }
+}
+
+impl ConfigPolicy for Hysteresis {
+    fn name(&self) -> &'static str {
+        self.base.name
+    }
+
+    fn observe(&mut self, config: usize, tpi_ns: f64) -> ManagerDecision {
+        if config >= self.base.estimates.len() {
+            return ManagerDecision::Stay;
+        }
+        self.base.intervals_seen += 1;
+        let sanitized = self.base.sanitize_update(config, tpi_ns);
+        let (decision, reason) = if let Some(unseen) = self.base.first_unseen() {
+            (ManagerDecision::SwitchTo(unseen), "explore")
+        } else if self.cooldown > 0 {
+            self.cooldown -= 1;
+            self.candidate = None;
+            self.streak = 0;
+            (ManagerDecision::Stay, "hold")
+        } else {
+            let cur_est = self.base.estimates[config].unwrap_or(f64::INFINITY);
+            let wins = self.base.best().is_some_and(|b| {
+                b != config
+                    && self.base.estimates[b]
+                        .is_some_and(|e| e < cur_est * (1.0 - self.min_gain))
+            });
+            if wins {
+                let best = self.base.best();
+                if self.candidate == best {
+                    self.streak = self.streak.saturating_add(1);
+                } else {
+                    self.candidate = best;
+                    self.streak = 1;
+                }
+            } else {
+                self.candidate = None;
+                self.streak = 0;
+            }
+            match self.candidate {
+                Some(b) if wins && self.streak >= self.sustain => {
+                    self.candidate = None;
+                    self.streak = 0;
+                    self.cooldown = self.dwell;
+                    (ManagerDecision::SwitchTo(b), "predicted")
+                }
+                _ => (ManagerDecision::Stay, "hold"),
+            }
+        };
+        self.base.finish(config, tpi_ns, sanitized, decision, reason, self.candidate, self.streak);
+        decision
+    }
+
+    delegate_base!();
+}
+
+/// The policy catalog: one variant per [`ConfigPolicy`] implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`ProcessLevel`]: explore once, settle forever (paper §5).
+    ProcessLevel,
+    /// [`IntervalGreedy`]: chase the lowest estimate, no gating.
+    IntervalGreedy,
+    /// [`IntervalManager`]: confidence-gated prediction with resampling
+    /// (paper §6; the default).
+    Confidence,
+    /// [`Hysteresis`]: sustained-gain gating with a post-switch dwell.
+    Hysteresis,
+}
+
+impl PolicyKind {
+    /// Every policy, in the canonical comparison-table order.
+    pub const ALL: [PolicyKind; 4] =
+        [PolicyKind::ProcessLevel, PolicyKind::IntervalGreedy, PolicyKind::Confidence, PolicyKind::Hysteresis];
+
+    /// The stable lowercase name used on the CLI, in trace events and in
+    /// result-cache keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::ProcessLevel => "process-level",
+            PolicyKind::IntervalGreedy => "interval-greedy",
+            PolicyKind::Confidence => "confidence",
+            PolicyKind::Hysteresis => "hysteresis",
+        }
+    }
+
+    /// Parses a CLI policy name.
+    pub fn parse(name: &str) -> Option<PolicyKind> {
+        PolicyKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl std::fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A buildable policy selection: the kind plus the tuning knobs the
+/// experiment layer threads through.
+///
+/// `explore_period`, `confidence`, `resilience` and `pattern` only
+/// affect the [`PolicyKind::Confidence`] kind (they parameterize the
+/// underlying [`IntervalManager`]); the simple policies have fixed
+/// constants so their names fully identify their behaviour.
+#[derive(Debug, Clone)]
+pub struct PolicyConfig {
+    kind: PolicyKind,
+    explore_period: u64,
+    confidence: ConfidencePolicy,
+    resilience: Option<ResiliencePolicy>,
+    pattern: Option<(usize, f64)>,
+}
+
+/// [`Hysteresis`] default: candidates must promise a 5 % gain.
+pub const HYSTERESIS_MIN_GAIN: f64 = 0.05;
+/// [`Hysteresis`] default: three consecutive winning intervals.
+pub const HYSTERESIS_SUSTAIN: u32 = 3;
+/// [`Hysteresis`] default: ten-interval post-switch dwell.
+pub const HYSTERESIS_DWELL: u64 = 10;
+
+impl PolicyConfig {
+    /// A policy selection with the default knobs (explore period 40,
+    /// [`ConfidencePolicy::default_policy`], no resilience override, no
+    /// pattern detection).
+    pub fn new(kind: PolicyKind) -> Self {
+        PolicyConfig {
+            kind,
+            explore_period: 40,
+            confidence: ConfidencePolicy::default_policy(),
+            resilience: None,
+            pattern: None,
+        }
+    }
+
+    /// The selected kind.
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// Overrides the confidence manager's re-exploration period.
+    #[must_use]
+    pub fn with_explore_period(mut self, period: u64) -> Self {
+        self.explore_period = period;
+        self
+    }
+
+    /// Overrides the confidence gating.
+    #[must_use]
+    pub fn with_confidence(mut self, confidence: ConfidencePolicy) -> Self {
+        self.confidence = confidence;
+        self
+    }
+
+    /// Arms the confidence manager's degradation handling.
+    #[must_use]
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = Some(resilience);
+        self
+    }
+
+    /// Enables the confidence manager's proactive pattern detection.
+    #[must_use]
+    pub fn with_pattern(mut self, history: usize, min_confidence: f64) -> Self {
+        self.pattern = Some((history, min_confidence));
+        self
+    }
+
+    /// Builds the policy over `num_configs` configurations, attaching the
+    /// trace recorder and run label.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::InvalidParameter`] if `num_configs` is zero or
+    /// a knob is invalid for the selected kind.
+    pub fn build(
+        &self,
+        num_configs: usize,
+        recorder: Arc<dyn Recorder>,
+        label: Option<String>,
+    ) -> Result<Box<dyn ConfigPolicy>, CapError> {
+        Ok(match self.kind {
+            PolicyKind::ProcessLevel => Box::new(ProcessLevel::new(num_configs, recorder, label)?),
+            PolicyKind::IntervalGreedy => Box::new(IntervalGreedy::new(num_configs, recorder, label)?),
+            PolicyKind::Hysteresis => Box::new(Hysteresis::new(
+                num_configs,
+                HYSTERESIS_MIN_GAIN,
+                HYSTERESIS_SUSTAIN,
+                HYSTERESIS_DWELL,
+                recorder,
+                label,
+            )?),
+            PolicyKind::Confidence => {
+                let mut m = IntervalManager::new(num_configs, self.explore_period, self.confidence)?;
+                if let Some(r) = self.resilience {
+                    m = m.with_resilience(r)?;
+                }
+                if let Some((history, min_confidence)) = self.pattern {
+                    m = m.with_pattern_detection(history, min_confidence);
+                }
+                Box::new(m.with_recorder(recorder, label))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(p: &mut dyn ConfigPolicy, series: &[(usize, f64)]) -> Vec<ManagerDecision> {
+        series.iter().map(|&(c, v)| p.observe(c, v)).collect()
+    }
+
+    /// Drives the policy like a runner would: honours every decision,
+    /// reports each switch as succeeded, and returns the visit sequence.
+    fn drive(p: &mut dyn ConfigPolicy, tpi: impl Fn(usize, u64) -> f64, steps: u64) -> Vec<usize> {
+        let mut at = 0usize;
+        let mut visits = Vec::new();
+        for t in 0..steps {
+            visits.push(at);
+            if let ManagerDecision::SwitchTo(c) = p.observe(at, tpi(at, t)) {
+                if c != at {
+                    p.record_switch_outcome(c, SwitchOutcome::Succeeded);
+                    at = c;
+                }
+            }
+        }
+        visits
+    }
+
+    #[test]
+    fn process_level_explores_then_settles_forever() {
+        let mut p = ProcessLevel::new(3, cap_obs::noop(), None).unwrap();
+        let visits = drive(&mut p, |c, _| [3.0, 1.0, 2.0][c], 30);
+        assert_eq!(&visits[..4], &[0, 1, 2, 1], "index-order exploration, then the best");
+        assert!(visits[4..].iter().all(|&c| c == 1), "settled forever: {visits:?}");
+        let counts = p.decision_counts();
+        assert_eq!(counts.intervals, 30);
+        assert_eq!(counts.explore_switches, 2);
+        assert_eq!(counts.predicted_switches, 1);
+        assert_eq!(counts.stays, 27);
+    }
+
+    #[test]
+    fn process_level_ignores_later_phase_changes() {
+        // After settling, even a dramatic inversion must not move it —
+        // that is the defining difference from the interval policies.
+        let mut p = ProcessLevel::new(2, cap_obs::noop(), None).unwrap();
+        let tpi = |c: usize, t: u64| {
+            if t < 10 {
+                [1.0, 5.0][c]
+            } else {
+                [5.0, 1.0][c]
+            }
+        };
+        let visits = drive(&mut p, tpi, 40);
+        assert!(visits[10..].iter().all(|&c| c == 0), "{visits:?}");
+    }
+
+    #[test]
+    fn greedy_chases_the_best_estimate_every_interval() {
+        let mut p = IntervalGreedy::new(2, cap_obs::noop(), None).unwrap();
+        let _ = feed(&mut p, &[(0, 5.0), (1, 1.0)]);
+        // 1 % better is enough: no hysteresis, no confidence.
+        assert_eq!(p.observe(0, 5.0), ManagerDecision::SwitchTo(1));
+        p.record_switch_outcome(1, SwitchOutcome::Succeeded);
+        assert_eq!(p.observe(1, 1.0), ManagerDecision::Stay);
+    }
+
+    #[test]
+    fn hysteresis_needs_sustained_wins_and_dwells_after_switching() {
+        let mut p = Hysteresis::new(2, 0.05, 3, 5, cap_obs::noop(), None).unwrap();
+        let _ = feed(&mut p, &[(0, 5.0), (1, 1.0)]);
+        // Back at 0: three consecutive winning intervals required.
+        assert_eq!(p.observe(0, 5.0), ManagerDecision::Stay, "streak 1");
+        assert_eq!(p.observe(0, 5.0), ManagerDecision::Stay, "streak 2");
+        assert_eq!(p.observe(0, 5.0), ManagerDecision::SwitchTo(1), "streak 3");
+        p.record_switch_outcome(1, SwitchOutcome::Succeeded);
+        // Dwell: even if 0 suddenly looks better, hold for 5 intervals.
+        for i in 0..5 {
+            assert_eq!(p.observe(1, 9.0), ManagerDecision::Stay, "dwell interval {i}");
+        }
+        // Out of dwell, the streak must rebuild from scratch.
+        assert_eq!(p.observe(1, 9.0), ManagerDecision::Stay, "streak 1 again");
+    }
+
+    #[test]
+    fn hysteresis_ignores_marginal_gains() {
+        let mut p = Hysteresis::new(2, 0.10, 1, 0, cap_obs::noop(), None).unwrap();
+        let _ = feed(&mut p, &[(0, 1.0), (1, 0.95)]);
+        // 5 % is below the 10 % bar, forever.
+        for _ in 0..10 {
+            assert_eq!(p.observe(0, 1.0), ManagerDecision::Stay);
+        }
+    }
+
+    #[test]
+    fn invalid_samples_never_reach_estimates() {
+        for kind in [PolicyKind::ProcessLevel, PolicyKind::IntervalGreedy, PolicyKind::Hysteresis] {
+            let mut p = PolicyConfig::new(kind).build(2, cap_obs::noop(), None).unwrap();
+            let _ = p.observe(0, f64::NAN);
+            let _ = p.observe(0, f64::NEG_INFINITY);
+            let _ = p.observe(0, 0.0);
+            assert_eq!(p.resilience_stats().samples_rejected, 3, "{kind}");
+            // Out-of-range configs are ignored without panicking.
+            assert_eq!(p.observe(99, 1.0), ManagerDecision::Stay, "{kind}");
+        }
+    }
+
+    #[test]
+    fn repeated_transient_failures_mask_the_target() {
+        let mut p = IntervalGreedy::new(2, cap_obs::noop(), None).unwrap();
+        let _ = feed(&mut p, &[(0, 5.0), (1, 1.0)]);
+        for _ in 0..SIMPLE_QUARANTINE_THRESHOLD {
+            assert_eq!(p.observe(0, 5.0), ManagerDecision::SwitchTo(1));
+            p.record_switch_outcome(1, SwitchOutcome::TransientFailure);
+        }
+        assert!(p.is_quarantined(1));
+        assert_eq!(p.resilience_stats().quarantines, 1);
+        assert_eq!(p.observe(0, 5.0), ManagerDecision::Stay, "masked targets are never proposed");
+    }
+
+    #[test]
+    fn permanent_failure_unsettles_process_level() {
+        let mut p = ProcessLevel::new(3, cap_obs::noop(), None).unwrap();
+        let visits = drive(&mut p, |c, _| [3.0, 1.0, 2.0][c], 5);
+        assert_eq!(*visits.last().unwrap(), 1);
+        p.record_switch_outcome(1, SwitchOutcome::PermanentFailure);
+        // The settled choice died: re-settle on the next-best survivor.
+        assert_eq!(p.observe(0, 3.0), ManagerDecision::SwitchTo(2));
+    }
+
+    #[test]
+    fn masking_everything_is_an_error() {
+        let mut p = IntervalGreedy::new(3, cap_obs::noop(), None).unwrap();
+        assert!(p.mask_unavailable(&[1]).is_ok());
+        assert!(matches!(p.mask_unavailable(&[0, 2]), Err(CapError::NoViableConfiguration)));
+    }
+
+    #[test]
+    fn kind_names_parse_round_trip() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(PolicyKind::parse("confidenc"), None);
+        assert_eq!(PolicyKind::parse("CONFIDENCE"), None);
+    }
+
+    #[test]
+    fn build_produces_the_named_policy() {
+        for kind in PolicyKind::ALL {
+            let p = PolicyConfig::new(kind).build(8, cap_obs::noop(), None).unwrap();
+            assert_eq!(p.name(), kind.name());
+            assert_eq!(p.num_configs(), 8);
+            assert_eq!(p.intervals_seen(), 0);
+            assert!(!p.in_safe_mode());
+        }
+        assert!(PolicyConfig::new(PolicyKind::Hysteresis).build(0, cap_obs::noop(), None).is_err());
+    }
+
+    #[test]
+    fn confidence_build_matches_interval_manager() {
+        // The built confidence policy and a hand-constructed manager must
+        // produce the same decision sequence — it IS the same type.
+        let mut built = PolicyConfig::new(PolicyKind::Confidence)
+            .with_explore_period(7)
+            .build(3, cap_obs::noop(), None)
+            .unwrap();
+        let mut manual =
+            IntervalManager::new(3, 7, ConfidencePolicy::default_policy()).unwrap();
+        assert_eq!(built.name(), "confidence");
+        let mut at_a = 0usize;
+        let mut at_b = 0usize;
+        for t in 0..200u64 {
+            let tpi = |c: usize| [2.0, 1.0, 3.0][c] + (t % 5) as f64 * 0.01;
+            let da = built.observe(at_a, tpi(at_a));
+            let db = manual.observe(at_b, tpi(at_b));
+            assert_eq!(da, db, "interval {t}");
+            if let ManagerDecision::SwitchTo(c) = da {
+                at_a = c;
+            }
+            if let ManagerDecision::SwitchTo(c) = db {
+                at_b = c;
+            }
+        }
+    }
+
+    #[test]
+    fn decision_stream_is_deterministic() {
+        for kind in PolicyKind::ALL {
+            let run = || {
+                let mut p = PolicyConfig::new(kind).build(4, cap_obs::noop(), None).unwrap();
+                drive(&mut *p, |c, t| [4.0, 2.0, 1.0, 3.0][c] * (1.0 + 0.1 * ((t % 7) as f64)), 100)
+            };
+            assert_eq!(run(), run(), "{kind}");
+        }
+    }
+}

@@ -329,6 +329,7 @@ mod tests {
         let r = DegradationReport {
             app: "radar".into(),
             seed: 7,
+            policy: "confidence".into(),
             spec: FaultSpec::standard(),
             queue: leg("queue"),
             cache: leg("cache"),

@@ -35,8 +35,26 @@ pub struct DecisionEvent {
     pub confidence: u32,
     /// Why the manager decided what it decided (stable lowercase tag).
     pub reason: &'static str,
+    /// Name of the configuration policy that made the decision
+    /// (`"confidence"`, `"process-level"`, …).
+    pub policy: &'static str,
     /// Switch target if the decision was `SwitchTo`; `None` for `Stay`.
     pub target: Option<usize>,
+}
+
+/// The pattern predictor detecting a periodic phase and pre-switching.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PatternEvent {
+    /// Run label, if one was attached.
+    pub app: Option<String>,
+    /// 1-based interval number at which the pattern fired.
+    pub interval: u64,
+    /// The configuration the pattern names for the next interval.
+    pub config: usize,
+    /// The predictor's confidence in the detection (0–1).
+    pub confidence: f64,
+    /// The detected period, in intervals.
+    pub period: usize,
 }
 
 /// Outcome of an attempted reconfiguration, as reported back to the manager.
@@ -191,6 +209,8 @@ pub enum Event {
     Probation(ProbationEvent),
     /// Safe-mode fallback engaged.
     SafeMode(SafeModeEvent),
+    /// Periodic pattern detected and acted on.
+    Pattern(PatternEvent),
     /// Raw core interval sample.
     Sample(SampleEvent),
     /// Cache-hierarchy interval simulated.
@@ -242,6 +262,7 @@ impl Event {
             Event::Quarantine(_) => "quarantine",
             Event::Probation(_) => "probation",
             Event::SafeMode(_) => "safe-mode",
+            Event::Pattern(_) => "pattern-detect",
             Event::Sample(_) => "sample",
             Event::CacheSim(_) => "cache-sim",
             Event::PoolBatch(_) => "pool-batch",
@@ -265,6 +286,7 @@ impl Event {
                     .field("predicted", &e.predicted)
                     .field("confidence", &e.confidence)
                     .field("reason", e.reason)
+                    .field("policy", e.policy)
                     .field("target", &e.target);
             }
             Event::SwitchResult(e) => {
@@ -296,6 +318,13 @@ impl Event {
                 obj.field("app", &e.app)
                     .field("interval", &e.interval)
                     .field("safe_config", &e.safe_config);
+            }
+            Event::Pattern(e) => {
+                obj.field("app", &e.app)
+                    .field("interval", &e.interval)
+                    .field("config", &e.config)
+                    .field("confidence", &e.confidence)
+                    .field("period", &e.period);
             }
             Event::Sample(e) => {
                 obj.field("app", &e.app)
@@ -356,6 +385,7 @@ mod tests {
             predicted: None,
             confidence: 3,
             reason: "hold",
+            policy: "confidence",
             target: None,
         });
         let line = ev.to_json();
@@ -365,6 +395,7 @@ mod tests {
         assert_eq!(v.get("interval").and_then(|x| x.as_u64()), Some(7));
         assert_eq!(v.get("confidence").and_then(|x| x.as_u64()), Some(3));
         assert_eq!(v.get("raw_tpi_ns").and_then(|x| x.as_f64()), Some(1.25));
+        assert_eq!(v.get("policy").and_then(|x| x.as_str()), Some("confidence"));
         assert!(v.get("target").is_some());
     }
 
@@ -380,6 +411,7 @@ mod tests {
             predicted: None,
             confidence: 0,
             reason: "hold",
+            policy: "confidence",
             target: None,
         });
         let line = ev.to_json();
@@ -419,6 +451,13 @@ mod tests {
                 app: None,
                 interval: 4,
                 safe_config: 0,
+            }),
+            Event::Pattern(PatternEvent {
+                app: Some("a".into()),
+                interval: 12,
+                config: 3,
+                confidence: 0.9,
+                period: 6,
             }),
             Event::Sample(SampleEvent {
                 app: Some("a".into()),

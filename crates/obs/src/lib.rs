@@ -37,7 +37,8 @@ pub mod summary;
 
 pub use event::{
     CacheProbeEvent, CacheSimEvent, CacheStoreEvent, ClockSwitchEvent, DecisionEvent, Event,
-    PoolBatchEvent, ProbationEvent, QuarantineEvent, SafeModeEvent, SampleEvent, SwitchResultEvent,
+    PatternEvent, PoolBatchEvent, ProbationEvent, QuarantineEvent, SafeModeEvent, SampleEvent,
+    SwitchResultEvent,
 };
 pub use metrics::DecisionCounts;
 pub use sink::{recorder_from_env, JsonlRecorder, RingRecorder};

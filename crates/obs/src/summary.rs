@@ -37,6 +37,8 @@ pub struct AppSummary {
     pub probations: u64,
     /// Safe-mode engagements.
     pub safe_mode_entries: u64,
+    /// Periodic-pattern detections the manager acted on.
+    pub pattern_detections: u64,
     /// Intervals spent in each configuration (from decision events).
     pub time_in_config: BTreeMap<usize, u64>,
 }
@@ -137,6 +139,9 @@ impl TraceSummary {
                 "safe-mode" => {
                     sum.apps.entry(app_label(&v)).or_default().safe_mode_entries += 1;
                 }
+                "pattern-detect" => {
+                    sum.apps.entry(app_label(&v)).or_default().pattern_detections += 1;
+                }
                 "sample" | "cache-sim" => {
                     // Raw simulator intervals; the decision stream already
                     // carries the per-interval story, so nothing to add.
@@ -188,6 +193,9 @@ impl TraceSummary {
                 "  quarantines: {}  probations: {}  safe-mode entries: {}\n",
                 s.quarantines, s.probations, s.safe_mode_entries
             ));
+            if s.pattern_detections > 0 {
+                out.push_str(&format!("  pattern detections: {}\n", s.pattern_detections));
+            }
             if !s.time_in_config.is_empty() {
                 out.push_str("  time in config:\n");
                 for (config, n) in &s.time_in_config {
@@ -219,7 +227,8 @@ impl TraceSummary {
 mod tests {
     use super::*;
     use crate::{
-        CacheProbeEvent, ClockSwitchEvent, DecisionEvent, Event, PoolBatchEvent, QuarantineEvent,
+        CacheProbeEvent, ClockSwitchEvent, DecisionEvent, Event, PatternEvent, PoolBatchEvent,
+        QuarantineEvent,
     };
 
     fn decision(interval: u64, config: usize, reason: &'static str) -> Event {
@@ -233,6 +242,7 @@ mod tests {
             predicted: None,
             confidence: 0,
             reason,
+            policy: "confidence",
             target: None,
         })
     }
@@ -277,9 +287,16 @@ mod tests {
                 app: "radar".into(),
                 outcome: "miss",
             }),
+            Event::Pattern(PatternEvent {
+                app: Some("radar".into()),
+                interval: 3,
+                config: 1,
+                confidence: 0.9,
+                period: 6,
+            }),
         ]);
         let sum = TraceSummary::from_jsonl(&text).expect("summarizes");
-        assert_eq!(sum.events, 7);
+        assert_eq!(sum.events, 8);
         let app = sum.apps.get("radar").expect("radar summarized");
         assert_eq!(app.decisions, 3);
         assert_eq!(app.reasons.get("hold"), Some(&2));
@@ -291,9 +308,11 @@ mod tests {
         assert_eq!(sum.pool_tasks, 8);
         assert_eq!(sum.pool_steals, 1);
         assert_eq!(sum.cache_probes.get("miss"), Some(&1));
+        assert_eq!(app.pattern_detections, 1);
         let text = sum.render();
         assert!(text.contains("clock switches: 1"), "{text}");
         assert!(text.contains("config 1: 2 intervals"), "{text}");
+        assert!(text.contains("pattern detections: 1"), "{text}");
     }
 
     #[test]

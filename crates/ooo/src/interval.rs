@@ -99,6 +99,29 @@ pub fn record_intervals_observed<S: InstStream>(
     Ok(out)
 }
 
+/// Records exactly one interval at position `index` of a longer run —
+/// the per-interval primitive of managed-run kernels. Equivalent to
+/// [`record_intervals_observed`] with `intervals == 1` and
+/// `base_index == index`; returns `None` only if the core produced no
+/// sample (which the batched API would surface as an empty vector).
+///
+/// # Errors
+///
+/// Returns [`OooError::ZeroIntervalLength`] if `interval_len` is zero.
+///
+/// [`OooError::ZeroIntervalLength`]: crate::error::OooError::ZeroIntervalLength
+pub fn record_interval_observed<S: InstStream>(
+    core: &mut OooCore,
+    stream: &mut S,
+    interval_len: u64,
+    index: u64,
+    recorder: &dyn Recorder,
+    label: Option<&str>,
+) -> Result<Option<IntervalSample>, crate::error::OooError> {
+    let samples = record_intervals_observed(core, stream, 1, interval_len, index, recorder, label)?;
+    Ok(samples.first().copied())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,15 +44,26 @@ pub struct CacheKey {
     /// The caller's semantic version; bump to invalidate after any
     /// change to simulator or timing behaviour.
     pub version: u32,
+    /// The configuration-management policy that produced the result,
+    /// for legs whose value depends on one (managed runs). `None` for
+    /// policy-independent legs (sweeps, fixed-configuration series) —
+    /// and `None` leaves the canonical key exactly as it was before
+    /// this field existed, so old cache entries stay valid.
+    pub policy: Option<String>,
 }
 
 impl CacheKey {
     /// The canonical key string stored inside each cache file.
     pub fn canonical(&self) -> String {
-        format!(
+        let mut s = format!(
             "{}|{}|{}|seed={:#018x}|{}|v{}",
             self.kind, self.app, self.scale, self.seed, self.config_range, self.version
-        )
+        );
+        if let Some(policy) = &self.policy {
+            s.push_str("|policy=");
+            s.push_str(policy);
+        }
+        s
     }
 }
 
@@ -198,6 +209,7 @@ mod tests {
             seed: 0x15CA_1998,
             config_range: "W 16..128 x8".into(),
             version: 1,
+            policy: None,
         }
     }
 
@@ -224,6 +236,7 @@ mod tests {
             CacheKey { scale: "full".into(), ..key() },
             CacheKey { app: "gcc".into(), ..key() },
             CacheKey { config_range: "W 16..64 x4".into(), ..key() },
+            CacheKey { policy: Some("hysteresis".into()), ..key() },
         ] {
             assert!(cache.lookup(&k).is_none(), "{}", k.canonical());
         }
@@ -269,5 +282,10 @@ mod tests {
         for part in ["queue-sweep", "vortex", "smoke", "0x0000000015ca1998", "W 16..128 x8", "v1"] {
             assert!(c.contains(part), "{c} missing {part}");
         }
+        // A policy-free key is byte-identical to the pre-policy format;
+        // a policy-bearing key appends one suffix segment.
+        assert!(!c.contains("policy="), "{c}");
+        let p = CacheKey { policy: Some("confidence".into()), ..key() }.canonical();
+        assert!(p.starts_with(&c) && p.ends_with("|policy=confidence"), "{p}");
     }
 }

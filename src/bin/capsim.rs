@@ -6,8 +6,9 @@
 //! capsim queue <app>               TPI vs window size (Figure 10 row)
 //! capsim sweep <cache|queue|all>   full-suite sweep on the parallel engine
 //!                                  [--jobs N] [--seed S] [--trace FILE]
-//! capsim managed <app> [--eager] [--trace FILE]
+//! capsim managed <app> [--eager] [--policy NAME] [--pattern] [--trace FILE]
 //!                                  §6 interval-adaptive run
+//! capsim compare-policies <app>    per-policy TPI/switch table
 //! capsim joint <app>               online joint cache+queue management
 //! capsim power <app>               §4.1 performance/power frontier
 //! capsim headline                  paper-vs-measured headline numbers
@@ -32,6 +33,7 @@ use cap::core::experiments::{
 use cap::core::extended::run_managed_combined;
 use cap::core::faults::FaultCampaign;
 use cap::core::manager::ConfidencePolicy;
+use cap::core::policy::{PolicyConfig, PolicyKind};
 use cap::core::power::{queue_frontier, PowerModel};
 use cap::core::report::{cache_curves_table, degradation_table, queue_curves_table};
 use cap::obs::{recorder_from_env, summary::TraceSummary, JsonlRecorder, Recorder};
@@ -40,18 +42,21 @@ use cap::workloads::App;
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|joint|power|headline|faults|trace-summary> [app] [options]
+const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|compare-policies|joint|power|headline|faults|trace-summary> [app] [options]
   list                 the 22 evaluation applications
   cache <app>          TPI vs L1/L2 boundary (Figure 7 row)
   queue <app>          TPI vs window size (Figure 10 row)
   sweep <cache|queue|all>  full-suite sweep on the parallel engine
                        (--jobs N: worker count, --seed S: root seed)
-  managed <app>        Section 6 interval-adaptive run (--eager: no confidence)
+  managed <app>        Section 6 interval-adaptive run (--eager: no confidence,
+                       --policy NAME: configuration manager, --pattern: §6 pattern detection)
+  compare-policies <app>  one managed run per policy, tabulated
   joint <app>          online joint cache+queue management
   power <app>          performance/power frontier
   headline             paper-vs-measured headline numbers
-  faults <app>         clean-vs-faulty degradation campaign (--seed N, --jobs N)
+  faults <app>         clean-vs-faulty degradation campaign (--seed N, --jobs N, --policy NAME)
   trace-summary <file> reduce a JSONL decision trace to per-app counters
+policies: process-level | interval-greedy | confidence (default) | hysteresis
 scale via CAP_SCALE = smoke | default | full
 sweep memoization under results/cache (CAP_CACHE_DIR overrides, CAP_NO_CACHE=1 disables)
 decision tracing via --trace FILE (sweep/managed/faults) or CAP_TRACE=FILE";
@@ -63,12 +68,14 @@ fn find_app(name: &str) -> Result<App, String> {
         .ok_or_else(|| format!("unknown application `{name}` (try `capsim list`)"))
 }
 
-/// Parsed `--jobs N` / `--seed S` / `--trace FILE` trailing flags.
+/// Parsed `--jobs N` / `--seed S` / `--trace FILE` / `--policy NAME`
+/// trailing flags.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct Flags {
     jobs: Option<usize>,
     seed: Option<u64>,
     trace: Option<String>,
+    policy: Option<PolicyKind>,
 }
 
 fn parse_flags(rest: &[&str]) -> Result<Flags, String> {
@@ -95,6 +102,14 @@ fn parse_flags(rest: &[&str]) -> Result<Flags, String> {
             "--trace" => {
                 let v = it.next().ok_or_else(|| format!("--trace wants a file path\n{USAGE}"))?;
                 flags.trace = Some((*v).to_string());
+            }
+            "--policy" => {
+                let v = it.next().ok_or_else(|| format!("--policy wants a name\n{USAGE}"))?;
+                flags.policy = Some(PolicyKind::parse(v).ok_or_else(|| {
+                    format!(
+                        "unknown policy `{v}` (expected process-level, interval-greedy, confidence or hysteresis)\n{USAGE}"
+                    )
+                })?);
             }
             _ => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
         }
@@ -133,7 +148,7 @@ fn exec_policy(flags: &Flags) -> Result<ExecPolicy, String> {
 
 /// Executes a parsed command line and renders the report.
 fn run(args: &[&str]) -> Result<String, String> {
-    let scale = ExperimentScale::from_env();
+    let scale = ExperimentScale::from_env().map_err(|e| e.to_string())?;
     let mut out = String::new();
     match args {
         ["list"] => {
@@ -180,6 +195,11 @@ fn run(args: &[&str]) -> Result<String, String> {
             let flags = parse_flags(rest)?;
             let exec = exec_policy(&flags)?;
             let seed = flags.seed.unwrap_or(DEFAULT_SEED);
+            if let Some(policy) = flags.policy {
+                // Sweeps hold every configuration fixed; the flag is
+                // validated but cannot change the curves.
+                let _ = writeln!(out, "policy: {policy} (sweeps are policy-independent)");
+            }
             let (do_cache, do_queue) = match *kind {
                 "cache" => (true, false),
                 "queue" => (false, true),
@@ -222,22 +242,62 @@ fn run(args: &[&str]) -> Result<String, String> {
         ["managed", name, rest @ ..] => {
             let app = find_app(name)?;
             let eager = rest.contains(&"--eager");
-            let rest: Vec<&str> = rest.iter().copied().filter(|&a| a != "--eager").collect();
+            let pattern = rest.contains(&"--pattern");
+            let rest: Vec<&str> =
+                rest.iter().copied().filter(|&a| a != "--eager" && a != "--pattern").collect();
             let flags = parse_flags(&rest)?;
-            let policy = if eager { ConfidencePolicy::none() } else { ConfidencePolicy::default_policy() };
+            if eager && (flags.policy.is_some() || pattern) {
+                return Err(format!("--eager cannot be combined with --policy or --pattern\n{USAGE}"));
+            }
+            let kind = flags.policy.unwrap_or(PolicyKind::Confidence);
+            if pattern && kind != PolicyKind::Confidence {
+                return Err(format!("--pattern requires the confidence policy\n{USAGE}"));
+            }
             // The managed run is a serial chain (clock and manager state
             // carry across intervals); only the recorder is attached.
             let exec = match flag_recorder(&flags)? {
                 Some(recorder) => ExecPolicy::serial().with_recorder(recorder),
                 None => ExecPolicy::serial(),
             };
+            let confidence = if eager { ConfidencePolicy::none() } else { ConfidencePolicy::default_policy() };
+            let mut config = PolicyConfig::new(kind).with_confidence(confidence);
+            if pattern {
+                config = config.with_pattern(64, 0.85);
+            }
             let cmp = IntervalExperiment::new()
-                .adaptive_comparison_with(app, 400, policy, 40, &exec)
+                .policy_comparison_with(app, 400, &config, &exec)
                 .map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "policy:        {}", if eager { "eager (no confidence)" } else { "confident" });
+            let label = if eager {
+                "eager (no confidence)".to_string()
+            } else if kind == PolicyKind::Confidence && flags.policy.is_none() && !pattern {
+                "confident".to_string()
+            } else if pattern {
+                format!("{kind} (pattern detection)")
+            } else {
+                kind.to_string()
+            };
+            let _ = writeln!(out, "policy:        {label}");
             let _ = writeln!(out, "process level: {:.3} ns", cmp.process_level_tpi);
             let _ = writeln!(out, "managed:       {:.3} ns ({} switches)", cmp.managed_tpi, cmp.switches);
             let _ = writeln!(out, "oracle:        {:.3} ns", cmp.oracle_tpi);
+        }
+        ["compare-policies", name, rest @ ..] => {
+            let app = find_app(name)?;
+            let flags = parse_flags(rest)?;
+            if flags.policy.is_some() {
+                return Err(format!("compare-policies runs every policy; drop --policy\n{USAGE}"));
+            }
+            let exec = exec_policy(&flags)?;
+            let seed = flags.seed.unwrap_or(DEFAULT_SEED);
+            let cmp = IntervalExperiment::new()
+                .with_seed(seed)
+                .compare_policies_with(app, 400, &exec)
+                .map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "== policy comparison: {} ({} intervals)", cmp.app, cmp.intervals);
+            let _ = writeln!(out, "{:>16} {:>12} {:>10}", "policy", "TPI ns", "switches");
+            for row in &cmp.rows {
+                let _ = writeln!(out, "{:>16} {:>12.3} {:>10}", row.policy, row.tpi_ns, row.switches);
+            }
         }
         ["joint", name] => {
             let app = find_app(name)?;
@@ -266,7 +326,11 @@ fn run(args: &[&str]) -> Result<String, String> {
             let flags = parse_flags(rest)?;
             let exec = exec_policy(&flags)?;
             let seed = flags.seed.unwrap_or(DEFAULT_SEED);
-            let report = FaultCampaign::new(app, seed).run_with(&exec).map_err(|e| e.to_string())?;
+            let mut campaign = FaultCampaign::new(app, seed);
+            if let Some(kind) = flags.policy {
+                campaign = campaign.with_policy(kind);
+            }
+            let report = campaign.run_with(&exec).map_err(|e| e.to_string())?;
             let _ = write!(out, "{}", degradation_table(&report));
             let _ = writeln!(out, "{}", report.to_json());
         }

@@ -86,6 +86,55 @@ fn malformed_cap_jobs_env_is_rejected_with_a_clear_error() {
 }
 
 #[test]
+fn unknown_cap_scale_is_rejected_with_a_clear_error() {
+    for bad in ["ful", "SMOKE", "1"] {
+        let out = Command::new(env!("CARGO_BIN_EXE_capsim"))
+            .args(["sweep", "cache"])
+            .env("CAP_SCALE", bad)
+            .env("CAP_NO_CACHE", "1")
+            .env_remove("CAP_JOBS")
+            .output()
+            .expect("capsim spawns");
+        assert!(!out.status.success(), "CAP_SCALE={bad} must be rejected, not fall back");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("CAP_SCALE"), "CAP_SCALE={bad} stderr names the variable:\n{stderr}");
+        assert!(stderr.contains(bad), "CAP_SCALE={bad} stderr echoes the value:\n{stderr}");
+        assert!(!stderr.contains("panicked"), "CAP_SCALE={bad} must not panic:\n{stderr}");
+    }
+}
+
+#[test]
+fn unknown_policy_is_rejected_with_usage() {
+    assert_usage_failure(&["managed", "radar", "--policy", "optimal"]);
+    assert_usage_failure(&["managed", "radar", "--policy"]);
+    assert_usage_failure(&["managed", "radar", "--eager", "--policy", "hysteresis"]);
+    assert_usage_failure(&["managed", "radar", "--pattern", "--policy", "interval-greedy"]);
+    assert_usage_failure(&["compare-policies", "radar", "--policy", "confidence"]);
+}
+
+#[test]
+fn managed_policy_flag_names_the_policy_in_the_report() {
+    for policy in ["process-level", "interval-greedy", "confidence", "hysteresis"] {
+        let out = capsim(&["managed", "radar", "--policy", policy]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains(policy), "--policy {policy} report:\n{text}");
+        assert!(text.contains("managed:"), "{text}");
+    }
+}
+
+#[test]
+fn compare_policies_lists_the_whole_catalog() {
+    let out = capsim(&["compare-policies", "radar"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    for policy in ["process-level", "interval-greedy", "confidence", "hysteresis"] {
+        assert!(text.contains(policy), "missing {policy}:\n{text}");
+    }
+    assert!(text.contains("switches"), "{text}");
+}
+
+#[test]
 fn trace_flag_round_trips_through_trace_summary() {
     let dir = std::env::temp_dir().join(format!("capsim-trace-cli-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
