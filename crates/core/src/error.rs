@@ -42,6 +42,20 @@ pub enum CapError {
         /// Human-readable description naming the variable and value.
         message: String,
     },
+    /// A leg exhausted its watchdog budget (`--leg-timeout` /
+    /// `CAP_LEG_TIMEOUT`): every attempt, retries included, hit the
+    /// per-attempt deadline. The campaign reports the leg instead of
+    /// hanging on it.
+    LegTimedOut {
+        /// The stable label of the abandoned leg.
+        leg: String,
+        /// Attempts made (first try + retries) before giving up.
+        attempts: u32,
+    },
+    /// The campaign stopped at a leg boundary after a graceful drain
+    /// (SIGINT/SIGTERM). Completed legs are committed to the journal;
+    /// rerunning with `--resume` replays them and continues.
+    Interrupted,
 }
 
 impl fmt::Display for CapError {
@@ -59,6 +73,12 @@ impl fmt::Display for CapError {
                 write!(f, "no viable configuration remains (all quarantined or unavailable)")
             }
             CapError::Environment { message } => write!(f, "{message}"),
+            CapError::LegTimedOut { leg, attempts } => {
+                write!(f, "leg `{leg}` timed out after {attempts} attempt(s)")
+            }
+            CapError::Interrupted => {
+                write!(f, "interrupted at a leg boundary (completed legs are journaled; rerun with --resume)")
+            }
         }
     }
 }
@@ -117,6 +137,10 @@ mod tests {
         let env = CapError::Environment { message: "CAP_JOBS must be a positive integer, got `abc`".into() };
         assert!(env.to_string().contains("CAP_JOBS"));
         assert!(env.source().is_none());
+        let to = CapError::LegTimedOut { leg: "queue-sweep|gcc|point=3".into(), attempts: 3 };
+        assert!(to.to_string().contains("timed out after 3"));
+        assert!(to.to_string().contains("queue-sweep|gcc|point=3"));
+        assert!(CapError::Interrupted.to_string().contains("--resume"));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::error::CapError;
 use crate::manager::{run_managed_queue, ConfidencePolicy, ManagedRun};
 use crate::metrics::{BarChart, BarPair};
 use crate::policy::{PolicyConfig, PolicyKind};
+use crate::replay::{field, FromJson};
 use crate::structure::{AdaptiveStructure, QueueStructure};
 use cap_cache::config::Boundary;
 use cap_cache::perf::PerfParams;
@@ -28,15 +29,21 @@ use cap_ooo::config::{CoreConfig, WindowSize};
 use cap_ooo::core::OooCore;
 use cap_ooo::interval::{record_intervals, PAPER_INTERVAL_INSTS};
 use cap_ooo::perf as queue_perf;
-use cap_obs::{CacheProbeEvent, CacheStoreEvent, Event, Recorder};
-use cap_par::{CacheKey, Pool, ResultCache};
+use cap_obs::{
+    CacheProbeEvent, CacheQuarantineEvent, CacheStoreEvent, Event, JournalLegEvent,
+    LegTimeoutEvent, Recorder,
+};
+use cap_par::{
+    BatchResult, CacheKey, ChaosInjector, GuardedOutcome, Journal, Pool, ResultCache,
+    WatchdogPolicy,
+};
 use cap_timing::cacti::CacheTimingModel;
 use cap_timing::queue::QueueTimingModel;
 use cap_timing::Technology;
 use cap_workloads::App;
 use serde::Serialize;
 use serde_json::Value;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// How much work each experiment simulates.
 ///
@@ -123,24 +130,36 @@ pub const SWEEP_RESULTS_VERSION: u32 = 1;
 // Execution policy: how many legs in flight, and whether results memoize
 // ---------------------------------------------------------------------------
 
-/// How an experiment executes: worker count for the leg pool and an
-/// optional persistent result cache.
+/// How an experiment executes: worker count for the leg pool, an
+/// optional persistent result cache, an optional write-ahead leg
+/// journal, and a per-leg watchdog.
 ///
 /// Every sweep leg is a pure function of
-/// `(experiment kind, app, scale, seed, config range)`, so neither knob
-/// can change results — only wall-clock. The default (and the plain
-/// `sweep()` / `figureN()` entry points) is the serial policy.
+/// `(experiment kind, app, scale, seed, config range)`, so none of these
+/// knobs can change results — only wall-clock (and, for the journal,
+/// what survives a crash). The default (and the plain `sweep()` /
+/// `figureN()` entry points) is the serial policy.
 #[derive(Debug, Clone)]
 pub struct ExecPolicy {
     jobs: usize,
     cache: Option<ResultCache>,
     recorder: Arc<dyn Recorder>,
+    journal: Option<Arc<Mutex<Journal>>>,
+    watchdog: WatchdogPolicy,
+    chaos: Option<ChaosInjector>,
 }
 
 impl ExecPolicy {
     /// One leg at a time, no memoization — the reference path.
     pub fn serial() -> Self {
-        ExecPolicy { jobs: 1, cache: None, recorder: cap_obs::noop() }
+        ExecPolicy {
+            jobs: 1,
+            cache: None,
+            recorder: cap_obs::noop(),
+            journal: None,
+            watchdog: WatchdogPolicy::none(),
+            chaos: None,
+        }
     }
 
     /// A policy with `jobs` workers and no memoization.
@@ -162,23 +181,62 @@ impl ExecPolicy {
         self
     }
 
+    /// Attaches a write-ahead leg journal: completed legs are committed
+    /// to it and replayed on `--resume` instead of recomputed.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(Arc::new(Mutex::new(journal)));
+        self
+    }
+
+    /// Attaches a per-leg watchdog policy (deadline + bounded retries).
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: WatchdogPolicy) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
+    /// Attaches a deterministic chaos injector (harness-level fault
+    /// injection behind `capsim chaos`).
+    #[must_use]
+    pub fn with_chaos(mut self, chaos: ChaosInjector) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
     /// The policy selected by the environment: `jobs` (CLI `--jobs`)
     /// falls back to `CAP_JOBS`, then to the machine's parallelism; the
     /// cache comes from `CAP_CACHE_DIR` unless `CAP_NO_CACHE` is set;
-    /// tracing comes from `CAP_TRACE` (a JSONL output path).
+    /// tracing comes from `CAP_TRACE` (a JSONL output path); the
+    /// watchdog deadline from `CAP_LEG_TIMEOUT`; chaos injection from
+    /// `CAP_CHAOS_PANIC` / `CAP_CHAOS_STALL`.
+    ///
+    /// A cache directory named by `CAP_CACHE_DIR` is probed for
+    /// writability up front, so a campaign fails before its first leg —
+    /// not hours in, when the first store is attempted.
     ///
     /// # Errors
     ///
-    /// Returns [`CapError::Environment`] for a malformed `CAP_JOBS` value
-    /// or an uncreatable `CAP_TRACE` path — loud failure instead of a
-    /// silent fallback that would change what the run means.
+    /// Returns [`CapError::Environment`] for a malformed control
+    /// variable or an unusable cache/trace path — loud failure instead
+    /// of a silent fallback that would change what the run means.
     pub fn from_env(jobs: Option<usize>) -> Result<Self, CapError> {
         let jobs = cap_par::effective_jobs(jobs)
             .map_err(|message| CapError::Environment { message })?;
         let recorder = cap_obs::recorder_from_env()
             .map_err(|message| CapError::Environment { message })?
             .unwrap_or_else(cap_obs::noop);
-        Ok(ExecPolicy { jobs, cache: ResultCache::from_env(), recorder })
+        let watchdog = WatchdogPolicy::from_env()
+            .map_err(|message| CapError::Environment { message })?;
+        let chaos = ChaosInjector::from_env()
+            .map_err(|message| CapError::Environment { message })?;
+        let cache = ResultCache::from_env();
+        if let Some(cache) = &cache {
+            cache.ensure_writable().map_err(|e| CapError::Environment {
+                message: format!("CAP_CACHE_DIR is unusable: {e}"),
+            })?;
+        }
+        Ok(ExecPolicy { jobs, cache, recorder, journal: None, watchdog, chaos })
     }
 
     /// The worker count.
@@ -196,8 +254,92 @@ impl ExecPolicy {
         &self.recorder
     }
 
+    /// The attached leg journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Mutex<Journal>>> {
+        self.journal.as_ref()
+    }
+
+    /// The per-leg watchdog policy.
+    pub fn watchdog(&self) -> &WatchdogPolicy {
+        &self.watchdog
+    }
+
     pub(crate) fn pool(&self) -> Pool {
         Pool::new(self.jobs).with_recorder(self.recorder.clone())
+    }
+
+    /// Journal lookup with a `journal-leg` replay event. Returns the
+    /// committed value if this leg already completed in a prior run.
+    pub(crate) fn journal_lookup(&self, leg: &str) -> Option<Value> {
+        let journal = self.journal.as_ref()?;
+        let hit = journal.lock().unwrap_or_else(PoisonError::into_inner).lookup(leg)?;
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::JournalLeg(JournalLegEvent {
+                leg: leg.to_string(),
+                action: "replayed",
+            }));
+        }
+        Some(hit)
+    }
+
+    /// Commits one completed leg to the journal (atomic rewrite). A
+    /// journal write failure is reported to stderr and the run
+    /// continues — losing resumability must not lose the campaign.
+    pub(crate) fn journal_append<T: Serialize>(&self, leg: &str, value: &T) {
+        let Some(journal) = self.journal.as_ref() else {
+            return;
+        };
+        let result =
+            journal.lock().unwrap_or_else(PoisonError::into_inner).append(leg, value);
+        if let Err(e) = result {
+            eprintln!("warning: journal append failed for leg `{leg}`: {e}");
+            return;
+        }
+        if self.recorder.enabled() {
+            self.recorder.record(&Event::JournalLeg(JournalLegEvent {
+                leg: leg.to_string(),
+                action: "appended",
+            }));
+        }
+    }
+
+    /// Runs one leg computation under the watchdog (and, when attached,
+    /// the chaos injector). A leg that exhausts its attempt budget
+    /// becomes [`CapError::LegTimedOut`] instead of a hung pool.
+    pub(crate) fn guarded<T>(
+        &self,
+        leg: &str,
+        compute: impl Fn() -> Result<T, CapError>,
+    ) -> Result<T, CapError> {
+        if let Some(chaos) = &self.chaos {
+            if chaos.should_panic(leg) {
+                panic!("chaos: injected panic in leg `{leg}`");
+            }
+        }
+        let outcome = self.watchdog.run(|token| {
+            if let Some(chaos) = &self.chaos {
+                if !chaos.stall(leg, token) {
+                    return None; // cancelled mid-stall: a timed-out attempt
+                }
+            }
+            Some(compute())
+        });
+        match outcome {
+            GuardedOutcome::Done(result) => result,
+            GuardedOutcome::TimedOut { attempts } => {
+                if self.recorder.enabled() {
+                    self.recorder.record(&Event::LegTimeout(LegTimeoutEvent {
+                        leg: leg.to_string(),
+                        attempts,
+                        timeout_ms: self
+                            .watchdog
+                            .timeout
+                            .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+                    }));
+                }
+                Err(CapError::LegTimedOut { leg: leg.to_string(), attempts })
+            }
+        }
     }
 
     /// Result-cache lookup with probe classification emitted to the
@@ -211,6 +353,13 @@ impl ExecPolicy {
                 app: key.app.clone(),
                 outcome: outcome.tag(),
             }));
+            if outcome.quarantines() {
+                self.recorder.record(&Event::CacheQuarantine(CacheQuarantineEvent {
+                    kind: key.kind.clone(),
+                    app: key.app.clone(),
+                    outcome: outcome.tag(),
+                }));
+            }
         }
         value
     }
@@ -229,19 +378,29 @@ impl ExecPolicy {
         }
     }
 
-    /// Curve-level memoization wrapper: decode a hit, or compute and
-    /// store. Cache failures (missing, corrupt, unwritable) silently
-    /// fall back to computing.
+    /// Curve-level memoization wrapper: replay the journal, decode a
+    /// cache hit, or compute and store. Cache failures (missing,
+    /// corrupt, unwritable) silently fall back to computing.
+    ///
+    /// A cache hit is also committed to the journal: resume bookkeeping
+    /// must not depend on whether a leg was computed or memoized, so a
+    /// warm rerun and a cold rerun journal the same leg sequence.
     fn memo<T, D, C>(&self, key: &CacheKey, decode: D, compute: C) -> Result<T, CapError>
     where
         T: Serialize,
         D: Fn(&Value) -> Option<T>,
         C: FnOnce() -> Result<T, CapError>,
     {
+        let leg = key.canonical();
+        if let Some(hit) = self.journal_lookup(&leg).as_ref().and_then(&decode) {
+            return Ok(hit);
+        }
         if let Some(hit) = self.probe_cache(key).as_ref().and_then(&decode) {
+            self.journal_append(&leg, &hit);
             return Ok(hit);
         }
         let value = compute()?;
+        self.journal_append(&leg, &value);
         self.store_cache(key, &value);
         Ok(value)
     }
@@ -253,57 +412,13 @@ impl Default for ExecPolicy {
     }
 }
 
-// Decoders for cache replay. Each result type decodes through one
-// generic `FromJson` trait whose impl must invert the derived
-// `Serialize` impl exactly; the round-trip tests in
+// Decoders for cache and journal replay. The generic `FromJson` trait
+// (and the fault-campaign impls) live in `crate::replay`; the
+// experiment-curve impls stay here, next to their types. Each impl must
+// invert the derived `Serialize` impl exactly; the round-trip tests in
 // `tests/parallel_equiv.rs` and the in-module tests below hold them to
 // that. Any shape mismatch decodes to `None`, which the memo layer
 // treats as a miss — a corrupt cache entry can never panic a run.
-
-trait FromJson: Sized {
-    fn from_json(v: &Value) -> Option<Self>;
-}
-
-impl FromJson for f64 {
-    fn from_json(v: &Value) -> Option<Self> {
-        v.as_f64()
-    }
-}
-
-impl FromJson for u64 {
-    fn from_json(v: &Value) -> Option<Self> {
-        v.as_u64()
-    }
-}
-
-impl FromJson for usize {
-    fn from_json(v: &Value) -> Option<Self> {
-        v.as_usize()
-    }
-}
-
-impl FromJson for bool {
-    fn from_json(v: &Value) -> Option<Self> {
-        v.as_bool()
-    }
-}
-
-impl FromJson for String {
-    fn from_json(v: &Value) -> Option<Self> {
-        v.as_str().map(str::to_string)
-    }
-}
-
-impl<T: FromJson> FromJson for Vec<T> {
-    fn from_json(v: &Value) -> Option<Self> {
-        v.as_array()?.iter().map(T::from_json).collect()
-    }
-}
-
-/// Decodes one named field of a JSON object.
-fn field<T: FromJson>(v: &Value, key: &str) -> Option<T> {
-    T::from_json(v.get(key)?)
-}
 
 impl FromJson for CachePoint {
     fn from_json(v: &Value) -> Option<Self> {
@@ -532,10 +647,14 @@ impl CacheExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn sweep_with(&self, app: App, exec: &ExecPolicy) -> Result<CacheCurve, CapError> {
-        exec.memo(&self.curve_key(app), CacheCurve::from_json, || {
+        let key = self.curve_key(app);
+        let canon = key.canonical();
+        exec.memo(&key, CacheCurve::from_json, || {
             let points = exec
                 .pool()
-                .ordered_map(Boundary::paper_sweep().collect(), |_, b| self.leg(app, b))
+                .ordered_map(Boundary::paper_sweep().collect(), |i, b| {
+                    exec.guarded(&format!("{canon}|point={i}"), || self.leg(app, b))
+                })
                 .into_iter()
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(Self::assemble_curve(app, points))
@@ -561,34 +680,71 @@ impl CacheExperiment {
     /// Propagates timing-model errors.
     pub fn figure7_with(&self, exec: &ExecPolicy) -> Result<Vec<CacheCurve>, CapError> {
         let apps: Vec<App> = App::cache_suite().collect();
-        let mut curves: Vec<Option<CacheCurve>> = apps
+        let keys: Vec<CacheKey> = apps.iter().map(|&app| self.curve_key(app)).collect();
+        let mut curves: Vec<Option<CacheCurve>> = keys
             .iter()
-            .map(|&app| {
-                exec.probe_cache(&self.curve_key(app))
-                    .as_ref()
-                    .and_then(CacheCurve::from_json)
+            .map(|key| {
+                if let Some(hit) =
+                    exec.journal_lookup(&key.canonical()).as_ref().and_then(CacheCurve::from_json)
+                {
+                    return Some(hit);
+                }
+                let hit = exec.probe_cache(key).as_ref().and_then(CacheCurve::from_json)?;
+                exec.journal_append(&key.canonical(), &hit);
+                Some(hit)
             })
             .collect();
 
         let boundaries: Vec<Boundary> = Boundary::paper_sweep().collect();
-        let legs: Vec<(usize, App, Boundary)> = apps
+        let legs: Vec<(usize, usize, App, Boundary)> = apps
             .iter()
             .enumerate()
             .filter(|(slot, _)| curves[*slot].is_none())
-            .flat_map(|(slot, &app)| boundaries.iter().map(move |&b| (slot, app, b)))
+            .flat_map(|(slot, &app)| {
+                boundaries.iter().enumerate().map(move |(i, &b)| (slot, i, app, b))
+            })
             .collect();
-        let results = exec.pool().ordered_map(legs, |_, (slot, app, b)| (slot, self.leg(app, b)));
+        let slot_of: Vec<usize> = legs.iter().map(|&(slot, ..)| slot).collect();
+        let batch = exec.pool().ordered_map_drain(legs, |_, (slot, i, app, b)| {
+            let label = format!("{}|point={i}", keys[slot].canonical());
+            (slot, exec.guarded(&label, || self.leg(app, b)))
+        });
 
+        // Commit every curve whose legs all finished — even when another
+        // leg timed out or the batch drained — so `--resume` replays the
+        // completed work instead of recomputing it.
+        let (results, drained) = match batch {
+            BatchResult::Complete(results) => {
+                (results.into_iter().map(Some).collect::<Vec<_>>(), false)
+            }
+            BatchResult::Drained { partial, .. } => (partial, true),
+        };
         let mut fresh_points: Vec<Vec<CachePoint>> = vec![Vec::new(); apps.len()];
-        for (slot, point) in results {
-            fresh_points[slot].push(point?);
+        let mut whole: Vec<bool> = vec![true; apps.len()];
+        let mut failed: Option<CapError> = None;
+        for (idx, item) in results.into_iter().enumerate() {
+            match item {
+                Some((slot, Ok(point))) => fresh_points[slot].push(point),
+                Some((slot, Err(e))) => {
+                    whole[slot] = false;
+                    failed.get_or_insert(e);
+                }
+                None => whole[slot_of[idx]] = false,
+            }
         }
         for (slot, points) in fresh_points.into_iter().enumerate() {
-            if curves[slot].is_none() {
+            if curves[slot].is_none() && whole[slot] && points.len() == boundaries.len() {
                 let curve = Self::assemble_curve(apps[slot], points);
-                exec.store_cache(&self.curve_key(apps[slot]), &curve);
+                exec.journal_append(&keys[slot].canonical(), &curve);
+                exec.store_cache(&keys[slot], &curve);
                 curves[slot] = Some(curve);
             }
+        }
+        if drained {
+            return Err(CapError::Interrupted);
+        }
+        if let Some(e) = failed {
+            return Err(e);
         }
         Ok(curves.into_iter().map(|c| c.expect("every slot filled")).collect())
     }
@@ -826,10 +982,14 @@ impl QueueExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn sweep_with(&self, app: App, exec: &ExecPolicy) -> Result<QueueCurve, CapError> {
-        exec.memo(&self.curve_key(app), QueueCurve::from_json, || {
+        let key = self.curve_key(app);
+        let canon = key.canonical();
+        exec.memo(&key, QueueCurve::from_json, || {
             let points = exec
                 .pool()
-                .ordered_map(WindowSize::paper_sweep().collect(), |_, w| self.leg(app, w))
+                .ordered_map(WindowSize::paper_sweep().collect(), |i, w| {
+                    exec.guarded(&format!("{canon}|point={i}"), || self.leg(app, w))
+                })
                 .into_iter()
                 .collect::<Result<Vec<_>, _>>()?;
             Ok(Self::assemble_curve(app, points))
@@ -855,34 +1015,71 @@ impl QueueExperiment {
     /// Propagates timing-model errors.
     pub fn figure10_with(&self, exec: &ExecPolicy) -> Result<Vec<QueueCurve>, CapError> {
         let apps: Vec<App> = App::queue_suite().collect();
-        let mut curves: Vec<Option<QueueCurve>> = apps
+        let keys: Vec<CacheKey> = apps.iter().map(|&app| self.curve_key(app)).collect();
+        let mut curves: Vec<Option<QueueCurve>> = keys
             .iter()
-            .map(|&app| {
-                exec.probe_cache(&self.curve_key(app))
-                    .as_ref()
-                    .and_then(QueueCurve::from_json)
+            .map(|key| {
+                if let Some(hit) =
+                    exec.journal_lookup(&key.canonical()).as_ref().and_then(QueueCurve::from_json)
+                {
+                    return Some(hit);
+                }
+                let hit = exec.probe_cache(key).as_ref().and_then(QueueCurve::from_json)?;
+                exec.journal_append(&key.canonical(), &hit);
+                Some(hit)
             })
             .collect();
 
         let windows: Vec<WindowSize> = WindowSize::paper_sweep().collect();
-        let legs: Vec<(usize, App, WindowSize)> = apps
+        let legs: Vec<(usize, usize, App, WindowSize)> = apps
             .iter()
             .enumerate()
             .filter(|(slot, _)| curves[*slot].is_none())
-            .flat_map(|(slot, &app)| windows.iter().map(move |&w| (slot, app, w)))
+            .flat_map(|(slot, &app)| {
+                windows.iter().enumerate().map(move |(i, &w)| (slot, i, app, w))
+            })
             .collect();
-        let results = exec.pool().ordered_map(legs, |_, (slot, app, w)| (slot, self.leg(app, w)));
+        let slot_of: Vec<usize> = legs.iter().map(|&(slot, ..)| slot).collect();
+        let batch = exec.pool().ordered_map_drain(legs, |_, (slot, i, app, w)| {
+            let label = format!("{}|point={i}", keys[slot].canonical());
+            (slot, exec.guarded(&label, || self.leg(app, w)))
+        });
 
+        // Commit every curve whose legs all finished — even when another
+        // leg timed out or the batch drained — so `--resume` replays the
+        // completed work instead of recomputing it.
+        let (results, drained) = match batch {
+            BatchResult::Complete(results) => {
+                (results.into_iter().map(Some).collect::<Vec<_>>(), false)
+            }
+            BatchResult::Drained { partial, .. } => (partial, true),
+        };
         let mut fresh_points: Vec<Vec<QueuePoint>> = vec![Vec::new(); apps.len()];
-        for (slot, point) in results {
-            fresh_points[slot].push(point?);
+        let mut whole: Vec<bool> = vec![true; apps.len()];
+        let mut failed: Option<CapError> = None;
+        for (idx, item) in results.into_iter().enumerate() {
+            match item {
+                Some((slot, Ok(point))) => fresh_points[slot].push(point),
+                Some((slot, Err(e))) => {
+                    whole[slot] = false;
+                    failed.get_or_insert(e);
+                }
+                None => whole[slot_of[idx]] = false,
+            }
         }
         for (slot, points) in fresh_points.into_iter().enumerate() {
-            if curves[slot].is_none() {
+            if curves[slot].is_none() && whole[slot] && points.len() == windows.len() {
                 let curve = Self::assemble_curve(apps[slot], points);
-                exec.store_cache(&self.curve_key(apps[slot]), &curve);
+                exec.journal_append(&keys[slot].canonical(), &curve);
+                exec.store_cache(&keys[slot], &curve);
                 curves[slot] = Some(curve);
             }
+        }
+        if drained {
+            return Err(CapError::Interrupted);
+        }
+        if let Some(e) = failed {
+            return Err(e);
         }
         Ok(curves.into_iter().map(|c| c.expect("every slot filled")).collect())
     }
@@ -1590,6 +1787,119 @@ mod tests {
         let exec = ExecPolicy::default();
         assert_eq!(exec.jobs(), 1);
         assert!(exec.cache().is_none());
+        assert!(exec.journal().is_none());
+        assert_eq!(exec.watchdog(), &WatchdogPolicy::none());
         assert!(ExecPolicy::with_jobs(0).jobs() == 1);
+    }
+
+    fn smoke_header(experiment: &str) -> cap_par::JournalHeader {
+        cap_par::JournalHeader {
+            experiment: experiment.to_string(),
+            seed: DEFAULT_SEED,
+            scale: "smoke".to_string(),
+            policy: None,
+            results_version: SWEEP_RESULTS_VERSION,
+        }
+    }
+
+    #[test]
+    fn journaled_sweep_replays_identically_on_resume() {
+        let dir = std::env::temp_dir().join(format!("cap-exp-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep-queue.jsonl");
+        let q = QueueExperiment::new(ExperimentScale::Smoke);
+        let cold = q.sweep(App::Radar).unwrap();
+
+        let journal = Journal::begin(&path, smoke_header("sweep-queue"), false).unwrap();
+        let exec = ExecPolicy::with_jobs(2).with_journal(journal);
+        assert_eq!(q.sweep_with(App::Radar, &exec).unwrap(), cold);
+
+        // Reopen with resume: the committed leg replays from the journal
+        // instead of recomputing — observable through the trace events.
+        let journal = Journal::begin(&path, smoke_header("sweep-queue"), true).unwrap();
+        assert_eq!(journal.len(), 1, "one curve leg committed");
+        let ring = Arc::new(cap_obs::RingRecorder::new());
+        let exec = ExecPolicy::serial().with_journal(journal).with_recorder(ring.clone());
+        assert_eq!(q.sweep_with(App::Radar, &exec).unwrap(), cold);
+        let replays = ring
+            .events()
+            .iter()
+            .filter(|e| matches!(e, Event::JournalLeg(j) if j.action == "replayed"))
+            .count();
+        assert_eq!(replays, 1, "the resumed run replayed the journaled leg");
+
+        // A journal bound to a different identity refuses to resume.
+        let mut other = smoke_header("sweep-queue");
+        other.seed = 7;
+        let err = Journal::begin(&path, other, true).unwrap_err();
+        assert!(err.contains("different run"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_hits_are_journaled_so_warm_and_cold_runs_commit_the_same_legs() {
+        let dir = std::env::temp_dir().join(format!("cap-exp-jwarm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache = cap_par::ResultCache::at(dir.join("cache"));
+        let q = QueueExperiment::new(ExperimentScale::Smoke);
+
+        // Warm the result cache without a journal.
+        let warmup = ExecPolicy::serial().cached(cache.clone());
+        let cold = q.sweep_with(App::Gcc, &warmup).unwrap();
+
+        // A journaled warm run commits the replayed-from-cache leg too,
+        // so resume bookkeeping is independent of cache temperature.
+        let path = dir.join("sweep-queue.jsonl");
+        let journal = Journal::begin(&path, smoke_header("sweep-queue"), false).unwrap();
+        let exec = ExecPolicy::serial().cached(cache).with_journal(journal);
+        assert_eq!(q.sweep_with(App::Gcc, &exec).unwrap(), cold);
+        let journal = Journal::begin(&path, smoke_header("sweep-queue"), true).unwrap();
+        assert_eq!(journal.len(), 1, "cache hit was journaled");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // The one test in this binary that mutates chaos/watchdog/cache
+    // environment variables (keep it that way: the variables are
+    // process-global).
+    #[test]
+    fn env_wires_watchdog_chaos_and_validates_the_cache_dir() {
+        // A chaos stall longer than the deadline turns the leg into
+        // LegTimedOut instead of a hang.
+        std::env::set_var("CAP_CHAOS_STALL", "100:1:60000");
+        std::env::set_var("CAP_LEG_TIMEOUT", "0.05");
+        std::env::set_var("CAP_NO_CACHE", "1");
+        let exec = ExecPolicy::from_env(Some(1)).unwrap();
+        assert!(exec.watchdog().timeout.is_some());
+        let q = QueueExperiment::new(ExperimentScale::Smoke);
+        match q.sweep_with(App::Radar, &exec) {
+            Err(CapError::LegTimedOut { leg, attempts }) => {
+                assert!(leg.contains("queue-sweep|radar"), "{leg}");
+                assert!(attempts >= 1);
+            }
+            other => panic!("expected LegTimedOut, got {other:?}"),
+        }
+        std::env::remove_var("CAP_CHAOS_STALL");
+        std::env::remove_var("CAP_LEG_TIMEOUT");
+
+        // A malformed chaos spec is a loud environment error.
+        std::env::set_var("CAP_CHAOS_PANIC", "not-a-spec");
+        let err = ExecPolicy::from_env(Some(1)).unwrap_err();
+        assert!(err.to_string().contains("CAP_CHAOS_PANIC"), "{err}");
+        std::env::remove_var("CAP_CHAOS_PANIC");
+        std::env::remove_var("CAP_NO_CACHE");
+
+        // An unusable CAP_CACHE_DIR fails up front, naming the variable.
+        let dir = std::env::temp_dir().join(format!("cap-exp-env-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("not-a-dir");
+        std::fs::write(&file, "x").unwrap();
+        std::env::set_var("CAP_CACHE_DIR", file.join("cache"));
+        let err = ExecPolicy::from_env(Some(1)).unwrap_err();
+        assert!(err.to_string().contains("CAP_CACHE_DIR"), "{err}");
+        std::env::remove_var("CAP_CACHE_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -28,6 +28,7 @@ use crate::manager::{
     ResilienceStats, SwitchRetryPolicy,
 };
 use crate::policy::{ConfigPolicy, PolicyConfig, PolicyKind};
+use crate::replay::FromJson;
 use crate::structure::{AdaptiveStructure, CacheStructure, QueueStructure};
 use cap_obs::{DecisionCounts, Recorder};
 use cap_timing::cacti::CacheTimingModel;
@@ -516,27 +517,66 @@ impl FaultCampaign {
         self.run_with(&crate::experiments::ExecPolicy::serial())
     }
 
+    /// The journal identity of one campaign leg: every knob that can
+    /// change the leg's result is in the key (the fault spec enters as
+    /// a digest of its serialized form), so a resumed campaign can only
+    /// replay legs of the identical experiment.
+    fn leg_key(&self, leg: &str) -> String {
+        let spec_digest = cap_par::fnv64(
+            &serde_json::to_string(&self.spec).unwrap_or_default(),
+        );
+        format!(
+            "fault-campaign|{}|seed={:#018x}|{}|leg={leg}|q{}x{}|c{}x{}|spec={spec_digest:016x}|v{}",
+            self.app.name(),
+            self.seed,
+            self.policy.name(),
+            self.queue_intervals,
+            self.interval_len,
+            self.cache_intervals,
+            self.refs_per_interval,
+            crate::experiments::SWEEP_RESULTS_VERSION,
+        )
+    }
+
     /// [`FaultCampaign::run`] under an execution policy: the queue and
     /// cache legs are independent (separate structures, managers and
     /// streams; injector seeds derived per leg) and run as parallel
     /// legs. Output is identical to the serial path — the report merges
     /// in leg order.
     ///
+    /// When the policy carries a journal, completed legs are committed
+    /// to it and replayed on `--resume`; each leg runs under the
+    /// policy's watchdog, and a graceful drain stops between legs.
+    ///
     /// # Errors
     ///
-    /// Same as [`FaultCampaign::run`].
+    /// Same as [`FaultCampaign::run`], plus [`CapError::LegTimedOut`]
+    /// for a leg abandoned by the watchdog and [`CapError::Interrupted`]
+    /// for a drained campaign.
     pub fn run_with(&self, exec: &crate::experiments::ExecPolicy) -> Result<DegradationReport, CapError> {
         let recorder = exec.recorder().clone();
-        let mut legs = exec
-            .pool()
-            .ordered_map(vec![true, false], |_, queue| {
+        let batch = exec.pool().ordered_map_drain(
+            vec![true, false],
+            |_, queue| -> Result<LegReport, CapError> {
+            let key = self.leg_key(if queue { "queue" } else { "cache" });
+            if let Some(hit) = exec.journal_lookup(&key).as_ref().and_then(LegReport::from_json) {
+                return Ok(hit);
+            }
+            let report: LegReport = exec.guarded(&key, || {
                 if queue {
                     self.queue_leg(&recorder)
                 } else {
                     self.cache_leg(&recorder)
                 }
-            })
-            .into_iter();
+            })?;
+            exec.journal_append(&key, &report);
+            Ok(report)
+        },
+        );
+        let mut legs = match batch {
+            cap_par::BatchResult::Complete(legs) => legs.into_iter(),
+            cap_par::BatchResult::Drained { .. } => return Err(CapError::Interrupted),
+        };
         let queue = legs.next().expect("two legs submitted")?;
         let cache = legs.next().expect("two legs submitted")?;
         Ok(DegradationReport {

@@ -61,6 +61,7 @@ pub mod metrics;
 pub mod pattern;
 pub mod policy;
 pub mod power;
+pub(crate) mod replay;
 pub mod report;
 pub mod structure;
 

@@ -191,6 +191,38 @@ pub struct CacheStoreEvent {
     pub ok: bool,
 }
 
+/// A leg-journal interaction: a completed leg committed to the journal,
+/// or a journaled leg replayed instead of recomputed (`--resume`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalLegEvent {
+    /// The leg's canonical key.
+    pub leg: String,
+    /// `"appended"` (committed after computing) or `"replayed"`.
+    pub action: &'static str,
+}
+
+/// A cache entry moved to `quarantine/` after failing verification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheQuarantineEvent {
+    /// Experiment kind the probe was for.
+    pub kind: String,
+    /// Application the probe was for.
+    pub app: String,
+    /// Why the entry was quarantined: `"invalid"` or `"corrupt"`.
+    pub outcome: &'static str,
+}
+
+/// A leg abandoned by the watchdog after exhausting its retry budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LegTimeoutEvent {
+    /// The leg's stable label.
+    pub leg: String,
+    /// Attempts made (first try + retries) before giving up.
+    pub attempts: u32,
+    /// The per-attempt deadline, in milliseconds.
+    pub timeout_ms: u64,
+}
+
 /// A structured trace event.
 ///
 /// Serialized via [`Event::write_json`] as one JSON object per line, tagged
@@ -221,6 +253,12 @@ pub enum Event {
     CacheProbe(CacheProbeEvent),
     /// Result-cache store.
     CacheStore(CacheStoreEvent),
+    /// Leg journal append or replay.
+    JournalLeg(JournalLegEvent),
+    /// Cache entry quarantined.
+    CacheQuarantine(CacheQuarantineEvent),
+    /// Leg abandoned as timed out.
+    LegTimeout(LegTimeoutEvent),
 }
 
 /// Incremental single-object JSON writer over the vendored serde primitives.
@@ -268,6 +306,9 @@ impl Event {
             Event::PoolBatch(_) => "pool-batch",
             Event::CacheProbe(_) => "result-cache-probe",
             Event::CacheStore(_) => "result-cache-store",
+            Event::JournalLeg(_) => "journal-leg",
+            Event::CacheQuarantine(_) => "cache-quarantine",
+            Event::LegTimeout(_) => "leg-timeout",
         }
     }
 
@@ -355,6 +396,19 @@ impl Event {
                 obj.field("kind", e.kind.as_str())
                     .field("app", e.app.as_str())
                     .field("ok", &e.ok);
+            }
+            Event::JournalLeg(e) => {
+                obj.field("leg", e.leg.as_str()).field("action", e.action);
+            }
+            Event::CacheQuarantine(e) => {
+                obj.field("kind", e.kind.as_str())
+                    .field("app", e.app.as_str())
+                    .field("outcome", e.outcome);
+            }
+            Event::LegTimeout(e) => {
+                obj.field("leg", e.leg.as_str())
+                    .field("attempts", &e.attempts)
+                    .field("timeout_ms", &e.timeout_ms);
             }
         }
         obj.finish();
@@ -488,6 +542,20 @@ mod tests {
                 kind: "cache-curve".into(),
                 app: "radar".into(),
                 ok: true,
+            }),
+            Event::JournalLeg(JournalLegEvent {
+                leg: "cache-sweep|radar|smoke|seed=0x1|L1 8..64KB x8|v1".into(),
+                action: "replayed",
+            }),
+            Event::CacheQuarantine(CacheQuarantineEvent {
+                kind: "cache-curve".into(),
+                app: "radar".into(),
+                outcome: "corrupt",
+            }),
+            Event::LegTimeout(LegTimeoutEvent {
+                leg: "queue-sweep|gcc|point=3".into(),
+                attempts: 3,
+                timeout_ms: 500,
             }),
         ];
         for ev in events {

@@ -36,9 +36,9 @@ mod sink;
 pub mod summary;
 
 pub use event::{
-    CacheProbeEvent, CacheSimEvent, CacheStoreEvent, ClockSwitchEvent, DecisionEvent, Event,
-    PatternEvent, PoolBatchEvent, ProbationEvent, QuarantineEvent, SafeModeEvent, SampleEvent,
-    SwitchResultEvent,
+    CacheProbeEvent, CacheQuarantineEvent, CacheSimEvent, CacheStoreEvent, ClockSwitchEvent,
+    DecisionEvent, Event, JournalLegEvent, LegTimeoutEvent, PatternEvent, PoolBatchEvent,
+    ProbationEvent, QuarantineEvent, SafeModeEvent, SampleEvent, SwitchResultEvent,
 };
 pub use metrics::DecisionCounts;
 pub use sink::{recorder_from_env, JsonlRecorder, RingRecorder};

@@ -10,7 +10,10 @@
 //! The reducer is strict: a line that is not valid JSON, or a known event
 //! kind missing a required field, is an error naming the line number. That
 //! turns schema drift into a loud CI failure instead of silently skewed
-//! summaries.
+//! summaries. The single exception is a *final* line with no trailing
+//! newline — the signature of a run killed mid-write. The torn record is
+//! dropped, [`TraceSummary::truncated`] is set so the report can warn,
+//! and every complete line still contributes to the totals.
 
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -62,6 +65,17 @@ pub struct TraceSummary {
     pub cache_stores_ok: u64,
     /// Result-cache stores that failed.
     pub cache_stores_failed: u64,
+    /// Journal legs replayed from a resumed run.
+    pub journal_replayed: u64,
+    /// Journal legs appended after computing.
+    pub journal_appended: u64,
+    /// Cache entries moved to quarantine.
+    pub cache_quarantines: u64,
+    /// Legs abandoned by the watchdog.
+    pub leg_timeouts: u64,
+    /// Whether the trace ended in a torn (truncated) final line that was
+    /// dropped — the signature of a crashed run.
+    pub truncated: bool,
 }
 
 fn str_field(v: &Value, key: &str, line: usize) -> Result<String, String> {
@@ -99,13 +113,36 @@ impl TraceSummary {
     /// # Errors
     /// Returns a message naming the first offending line if a line is not a
     /// JSON object, lacks the `ev` tag, or a known event is missing a field.
+    /// Exception: a final line with no trailing newline (a torn write from a
+    /// crashed run) is dropped and flagged via [`TraceSummary::truncated`].
     pub fn from_jsonl(text: &str) -> Result<TraceSummary, String> {
         let mut sum = TraceSummary::default();
-        for (idx, raw) in text.lines().enumerate() {
+        let ends_with_newline = text.ends_with('\n');
+        let lines: Vec<&str> = text.lines().collect();
+        let total = lines.len();
+        for (idx, raw) in lines.into_iter().enumerate() {
             let line = idx + 1;
             if raw.trim().is_empty() {
                 continue;
             }
+            let torn_candidate = line == total && !ends_with_newline;
+            // Snapshot so a half-applied torn record cannot skew totals.
+            let snapshot = torn_candidate.then(|| sum.clone());
+            match sum.apply_line(raw, line) {
+                Ok(()) => {}
+                Err(_) if torn_candidate => {
+                    sum = snapshot.expect("snapshot taken for torn candidates");
+                    sum.truncated = true;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(sum)
+    }
+
+    fn apply_line(&mut self, raw: &str, line: usize) -> Result<(), String> {
+        let sum = self;
+        {
             let v: Value = serde_json::from_str(raw)
                 .map_err(|e| format!("line {line}: not valid JSON ({e:?})"))?;
             let kind = str_field(&v, "ev", line)?;
@@ -164,10 +201,22 @@ impl TraceSummary {
                         sum.cache_stores_failed += 1;
                     }
                 }
+                "journal-leg" => match str_field(&v, "action", line)?.as_str() {
+                    "replayed" => sum.journal_replayed += 1,
+                    _ => sum.journal_appended += 1,
+                },
+                "cache-quarantine" => {
+                    str_field(&v, "outcome", line)?;
+                    sum.cache_quarantines += 1;
+                }
+                "leg-timeout" => {
+                    str_field(&v, "leg", line)?;
+                    sum.leg_timeouts += 1;
+                }
                 _ => {} // forward compatibility: count it, skip the payload
             }
         }
-        Ok(sum)
+        Ok(())
     }
 
     /// Render the summary as the plain-text report printed by
@@ -175,6 +224,9 @@ impl TraceSummary {
     #[must_use]
     pub fn render(&self) -> String {
         let mut out = String::new();
+        if self.truncated {
+            out.push_str("warning: trace ends mid-record (crashed run?); dropped the torn final line\n");
+        }
         out.push_str(&format!("trace summary: {} events\n", self.events));
         for (app, s) in &self.apps {
             out.push_str(&format!("\napp {app}\n"));
@@ -218,6 +270,18 @@ impl TraceSummary {
                 "  stores ok {}  failed {}\n",
                 self.cache_stores_ok, self.cache_stores_failed
             ));
+        }
+        if self.journal_replayed + self.journal_appended > 0 {
+            out.push_str(&format!(
+                "\njournal: {} legs replayed, {} appended\n",
+                self.journal_replayed, self.journal_appended
+            ));
+        }
+        if self.cache_quarantines > 0 {
+            out.push_str(&format!("quarantined cache entries: {}\n", self.cache_quarantines));
+        }
+        if self.leg_timeouts > 0 {
+            out.push_str(&format!("timed-out legs: {}\n", self.leg_timeouts));
         }
         out
     }
@@ -329,5 +393,54 @@ mod tests {
             .expect("unknown kinds are skipped");
         assert_eq!(sum.events, 1);
         assert!(sum.apps.is_empty());
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_with_a_warning_not_an_error() {
+        // A crashed run's trace: complete lines, then a record cut mid-write
+        // (no trailing newline). Totals cover the complete prefix only.
+        let text = format!("{}\n{}\n{{\"ev\":\"decis", decision(1, 0, "hold").to_json(), decision(2, 1, "hold").to_json());
+        let sum = TraceSummary::from_jsonl(&text).expect("torn tail tolerated");
+        assert!(sum.truncated);
+        assert_eq!(sum.events, 2);
+        assert_eq!(sum.apps.get("radar").unwrap().decisions, 2);
+        let report = sum.render();
+        assert!(report.starts_with("warning:"), "{report}");
+        assert!(report.contains("trace summary: 2 events"), "{report}");
+
+        // The same malformed text *with* a trailing newline is still a hard
+        // error: only a torn final line gets the tolerance.
+        let err = TraceSummary::from_jsonl(&format!("{text}\n")).expect_err("strict");
+        assert!(err.contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn journal_quarantine_and_timeout_events_are_counted() {
+        let text = jsonl(&[
+            Event::JournalLeg(crate::JournalLegEvent { leg: "a".into(), action: "replayed" }),
+            Event::JournalLeg(crate::JournalLegEvent { leg: "b".into(), action: "appended" }),
+            Event::JournalLeg(crate::JournalLegEvent { leg: "c".into(), action: "appended" }),
+            Event::CacheQuarantine(crate::CacheQuarantineEvent {
+                kind: "cache-curve".into(),
+                app: "radar".into(),
+                outcome: "corrupt",
+            }),
+            Event::LegTimeout(crate::LegTimeoutEvent {
+                leg: "queue-curve|gcc".into(),
+                attempts: 3,
+                timeout_ms: 250,
+            }),
+        ]);
+        let sum = TraceSummary::from_jsonl(&text).expect("summarizes");
+        assert_eq!(sum.journal_replayed, 1);
+        assert_eq!(sum.journal_appended, 2);
+        assert_eq!(sum.cache_quarantines, 1);
+        assert_eq!(sum.leg_timeouts, 1);
+        assert!(!sum.truncated);
+        let report = sum.render();
+        assert!(report.contains("journal: 1 legs replayed, 2 appended"), "{report}");
+        assert!(report.contains("quarantined cache entries: 1"), "{report}");
+        assert!(report.contains("timed-out legs: 1"), "{report}");
+        assert!(!report.contains("warning:"), "{report}");
     }
 }

@@ -5,16 +5,22 @@
 //! The cache persists each result as one JSON file under
 //! `<root>/v<FORMAT>/<kind>/<fnv64(key)>.json`, containing the full
 //! canonical key (hash collisions are detected by string comparison, not
-//! assumed away) next to the serialized value.
+//! assumed away) and an FNV-1a checksum of the serialized value, next to
+//! the value itself.
 //!
 //! **Invalidation is versioned, twice over.** The directory layer is
 //! [`CACHE_FORMAT_VERSION`] — bumped when the file layout changes, so a
 //! new binary never misreads an old tree. The key itself carries the
 //! caller's semantic version ([`CacheKey::version`], e.g.
 //! `cap-core`'s `SWEEP_RESULTS_VERSION`) — bumped whenever simulator or
-//! timing semantics change, so stale physics can never replay. Unknown,
-//! corrupt, or mismatched entries are ignored and recomputed; the cache
-//! can always be deleted wholesale (`rm -rf results/cache`).
+//! timing semantics change, so stale physics can never replay.
+//!
+//! **Integrity is verified, never assumed.** Every lookup re-hashes the
+//! entry's exact value text against the embedded checksum. A corrupt or
+//! truncated entry is moved into `<root>/quarantine/` — preserved for
+//! `capsim doctor` and post-mortems, never trusted, never a panic — and
+//! the leg recomputes. The cache can always be deleted wholesale
+//! (`rm -rf results/cache`).
 //!
 //! Replay fidelity: the vendored emitter writes `f64` in Rust's shortest
 //! round-trippable form and the reader parses it back to identical bits,
@@ -25,7 +31,11 @@ use serde_json::Value;
 use std::path::{Path, PathBuf};
 
 /// Bump when the on-disk layout (paths or envelope) changes.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+/// v2 added the per-entry FNV-1a value checksum.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
+
+/// The quarantine subdirectory for corrupt entries.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// The identity of one memoizable experiment leg.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -67,8 +77,10 @@ impl CacheKey {
     }
 }
 
-/// FNV-1a, the classic dependency-free 64-bit content hash.
-fn fnv64(s: &str) -> u64 {
+/// FNV-1a, the classic dependency-free 64-bit content hash. Used for
+/// cache file names and for the integrity checksums embedded in cache
+/// and journal entries.
+pub fn fnv64(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.as_bytes() {
         h ^= u64::from(*b);
@@ -80,14 +92,18 @@ fn fnv64(s: &str) -> u64 {
 /// What a [`ResultCache::probe`] found, for observability.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
-    /// A valid entry with a matching canonical key.
+    /// A valid, checksummed entry with a matching canonical key.
     Hit,
     /// No entry on disk (or an unreadable file).
     Miss,
-    /// An entry that exists but cannot be parsed or lacks its envelope.
+    /// An entry that cannot be parsed or lacks its envelope — typically
+    /// a truncated write. Quarantined.
     Invalid,
-    /// An entry whose embedded canonical key belongs to a different leg
-    /// (an FNV-64 hash collision or a stale envelope).
+    /// An entry whose embedded checksum does not match its value text —
+    /// bit rot or tampering. Quarantined.
+    Corrupt,
+    /// A structurally sound entry whose embedded canonical key belongs
+    /// to a different leg (an FNV-64 hash collision). Left in place.
     Collision,
 }
 
@@ -99,9 +115,74 @@ impl CacheOutcome {
             CacheOutcome::Hit => "hit",
             CacheOutcome::Miss => "miss",
             CacheOutcome::Invalid => "invalid",
+            CacheOutcome::Corrupt => "corrupt",
             CacheOutcome::Collision => "collision",
         }
     }
+
+    /// Whether this outcome sends the entry to `quarantine/`.
+    #[must_use]
+    pub fn quarantines(self) -> bool {
+        matches!(self, CacheOutcome::Invalid | CacheOutcome::Corrupt)
+    }
+}
+
+/// The serialized envelope: `{"key":K,"sum":"<fnv64 hex>","value":V}`.
+fn envelope(key_canonical: &str, value_text: &str) -> String {
+    let mut doc = String::from("{\"key\":");
+    serde::write_json_string(&mut doc, key_canonical);
+    doc.push_str(&format!(",\"sum\":\"{:016x}\",\"value\":", fnv64(value_text)));
+    doc.push_str(value_text);
+    doc.push('}');
+    doc
+}
+
+/// Parses and integrity-checks one entry's text. `Ok((key, value))` only
+/// when the envelope is structurally exact and the checksum matches;
+/// otherwise the [`CacheOutcome`] classifying the damage.
+fn verify_envelope(text: &str) -> Result<(String, Value), CacheOutcome> {
+    let Ok(doc) = serde_json::from_str(text) else {
+        return Err(CacheOutcome::Invalid);
+    };
+    let doc: Value = doc;
+    let Some(stored) = doc.get("key").and_then(Value::as_str) else {
+        return Err(CacheOutcome::Invalid);
+    };
+    let Some(sum) = doc.get("sum").and_then(Value::as_str) else {
+        return Err(CacheOutcome::Invalid);
+    };
+    // Reconstruct the exact writer prefix so the checksum demonstrably
+    // covers the value's bytes as stored, not a re-serialization.
+    let mut prefix = String::from("{\"key\":");
+    serde::write_json_string(&mut prefix, stored);
+    prefix.push_str(&format!(",\"sum\":\"{sum}\",\"value\":"));
+    let Some(value_text) = text.strip_prefix(prefix.as_str()).and_then(|t| t.strip_suffix('}'))
+    else {
+        return Err(CacheOutcome::Invalid);
+    };
+    if format!("{:016x}", fnv64(value_text)) != sum {
+        return Err(CacheOutcome::Corrupt);
+    }
+    match doc.get("value") {
+        Some(value) => Ok((stored.to_string(), value.clone())),
+        None => Err(CacheOutcome::Invalid),
+    }
+}
+
+/// What [`ResultCache::doctor`] found and did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DoctorReport {
+    /// Entry files examined under the current format tree.
+    pub scanned: usize,
+    /// Entries that passed envelope and checksum verification.
+    pub valid: usize,
+    /// Corrupt/truncated entries moved to `quarantine/` by this scan.
+    pub quarantined: usize,
+    /// Verified entries filed under a name that does not match their
+    /// embedded key's hash (left in place; they probe as collisions).
+    pub misplaced: usize,
+    /// Total files now resident in `quarantine/` (including earlier runs').
+    pub quarantine_total: usize,
 }
 
 /// A directory-backed result cache. Cheap to clone (it is only a path).
@@ -131,6 +212,23 @@ impl ResultCache {
         &self.root
     }
 
+    /// Proves the cache directory can actually be written: creates it if
+    /// missing and round-trips a probe file. Campaigns call this up
+    /// front so a bad `CAP_CACHE_DIR` fails immediately with a clear
+    /// message instead of surfacing as silent store failures mid-sweep.
+    ///
+    /// # Errors
+    /// A human-readable message naming the directory and the OS error.
+    pub fn ensure_writable(&self) -> Result<(), String> {
+        std::fs::create_dir_all(&self.root)
+            .map_err(|e| format!("cannot create cache directory {}: {e}", self.root.display()))?;
+        let probe = self.root.join(format!(".probe-{}", std::process::id()));
+        std::fs::write(&probe, b"cap cache probe")
+            .map_err(|e| format!("cache directory {} is not writable: {e}", self.root.display()))?;
+        let _ = std::fs::remove_file(&probe);
+        Ok(())
+    }
+
     fn path_for(&self, key: &CacheKey) -> PathBuf {
         self.root
             .join(format!("v{CACHE_FORMAT_VERSION}"))
@@ -138,8 +236,34 @@ impl ResultCache {
             .join(format!("{:016x}.json", fnv64(&key.canonical())))
     }
 
+    /// Moves a damaged entry into `quarantine/`, naming it after its
+    /// kind directory so provenance survives the move. Best-effort: a
+    /// failed move must not fail the experiment (the entry is already
+    /// classified as untrusted and will be overwritten by the recompute).
+    fn quarantine(&self, path: &Path) {
+        let dir = self.root.join(QUARANTINE_DIR);
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let kind = path
+            .parent()
+            .and_then(|p| p.file_name())
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let file = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        // Keep every damaged generation: suffix instead of overwriting an
+        // earlier quarantined copy of the same entry.
+        let mut dest = dir.join(format!("{kind}-{file}"));
+        let mut generation = 1u32;
+        while dest.exists() && generation < 1000 {
+            dest = dir.join(format!("{kind}-{file}.{generation}"));
+            generation += 1;
+        }
+        let _ = std::fs::rename(path, dest);
+    }
+
     /// Looks up a stored value. Returns `None` — never an error — on
-    /// miss, unreadable file, parse failure, or key mismatch; the caller
+    /// miss, unreadable file, corrupt entry, or key mismatch; the caller
     /// simply recomputes.
     pub fn lookup(&self, key: &CacheKey) -> Option<Value> {
         self.probe(key).0
@@ -147,24 +271,22 @@ impl ResultCache {
 
     /// Like [`ResultCache::lookup`], but also classifies what happened —
     /// the distinction between a cold miss, a corrupt entry and a hash
-    /// collision feeds the `result-cache-probe` trace events.
+    /// collision feeds the `result-cache-probe` trace events. Corrupt
+    /// and invalid entries are moved to `quarantine/` as a side effect.
     pub fn probe(&self, key: &CacheKey) -> (Option<Value>, CacheOutcome) {
-        let Ok(text) = std::fs::read_to_string(self.path_for(key)) else {
+        let path = self.path_for(key);
+        let Ok(text) = std::fs::read_to_string(&path) else {
             return (None, CacheOutcome::Miss);
         };
-        let Ok(doc) = serde_json::from_str(&text) else {
-            return (None, CacheOutcome::Invalid);
-        };
-        let doc: Value = doc;
-        let Some(stored) = doc.get("key").and_then(Value::as_str) else {
-            return (None, CacheOutcome::Invalid);
-        };
-        if stored != key.canonical() {
-            return (None, CacheOutcome::Collision);
-        }
-        match doc.get("value").cloned() {
-            Some(value) => (Some(value), CacheOutcome::Hit),
-            None => (None, CacheOutcome::Invalid),
+        match verify_envelope(&text) {
+            Ok((stored, _)) if stored != key.canonical() => (None, CacheOutcome::Collision),
+            Ok((_, value)) => (Some(value), CacheOutcome::Hit),
+            Err(outcome) => {
+                if outcome.quarantines() {
+                    self.quarantine(&path);
+                }
+                (None, outcome)
+            }
         }
     }
 
@@ -178,16 +300,73 @@ impl ResultCache {
         if std::fs::create_dir_all(dir).is_err() {
             return false;
         }
-        let mut doc = String::from("{\"key\":");
-        serde::write_json_string(&mut doc, &key.canonical());
-        doc.push_str(",\"value\":");
-        value.json_into(&mut doc);
-        doc.push('}');
+        let mut value_text = String::new();
+        value.json_into(&mut value_text);
+        let doc = envelope(&key.canonical(), &value_text);
         let tmp = dir.join(format!(".tmp-{:016x}-{}", fnv64(&key.canonical()), std::process::id()));
         if std::fs::write(&tmp, &doc).is_err() {
             return false;
         }
         std::fs::rename(&tmp, &path).is_ok()
+    }
+
+    /// Scans the current-format tree, quarantining every entry that
+    /// fails envelope or checksum verification — the offline repair pass
+    /// behind `capsim doctor`.
+    ///
+    /// # Errors
+    /// Only when the cache root itself cannot be read; a missing root is
+    /// reported, not invented.
+    pub fn doctor(&self) -> Result<DoctorReport, String> {
+        if !self.root.is_dir() {
+            return Err(format!("cache directory {} does not exist", self.root.display()));
+        }
+        let mut report = DoctorReport::default();
+        let tree = self.root.join(format!("v{CACHE_FORMAT_VERSION}"));
+        let kinds = match std::fs::read_dir(&tree) {
+            Ok(k) => k,
+            // An empty or pre-first-store cache is healthy, not an error.
+            Err(_) => return Ok(self.with_quarantine_total(report)),
+        };
+        let mut files: Vec<PathBuf> = Vec::new();
+        for kind in kinds.flatten() {
+            if let Ok(entries) = std::fs::read_dir(kind.path()) {
+                for entry in entries.flatten() {
+                    let path = entry.path();
+                    if path.extension().is_some_and(|e| e == "json") {
+                        files.push(path);
+                    }
+                }
+            }
+        }
+        files.sort();
+        for path in files {
+            report.scanned += 1;
+            let verdict = std::fs::read_to_string(&path)
+                .map_err(|_| CacheOutcome::Invalid)
+                .and_then(|text| verify_envelope(&text).map(|(key, _)| key));
+            match verdict {
+                Ok(stored_key) => {
+                    report.valid += 1;
+                    let expected = format!("{:016x}.json", fnv64(&stored_key));
+                    if path.file_name().is_none_or(|n| n.to_string_lossy() != expected) {
+                        report.misplaced += 1;
+                    }
+                }
+                Err(_) => {
+                    self.quarantine(&path);
+                    report.quarantined += 1;
+                }
+            }
+        }
+        Ok(self.with_quarantine_total(report))
+    }
+
+    fn with_quarantine_total(&self, mut report: DoctorReport) -> DoctorReport {
+        report.quarantine_total = std::fs::read_dir(self.root.join(QUARANTINE_DIR))
+            .map(|d| d.flatten().count())
+            .unwrap_or(0);
+        report
     }
 }
 
@@ -211,6 +390,12 @@ mod tests {
             version: 1,
             policy: None,
         }
+    }
+
+    fn quarantine_count(cache: &ResultCache) -> usize {
+        std::fs::read_dir(cache.root().join(QUARANTINE_DIR))
+            .map(|d| d.flatten().count())
+            .unwrap_or(0)
     }
 
     #[test]
@@ -244,29 +429,45 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_file_is_a_miss() {
+    fn corrupt_file_is_a_miss_and_is_quarantined() {
         let cache = ResultCache::at(tmp_root("corrupt"));
         assert!(cache.store(&key(), &vec![1u64]));
         let path = cache.path_for(&key());
         std::fs::write(&path, "{ not json").unwrap();
         assert!(cache.lookup(&key()).is_none());
-        // And a mismatched embedded key (simulated collision) too.
-        std::fs::write(&path, "{\"key\":\"someone-else\",\"value\":[1]}").unwrap();
-        assert!(cache.lookup(&key()).is_none());
+        assert!(!path.exists(), "damaged entry is moved out of the tree");
+        assert_eq!(quarantine_count(&cache), 1);
+        // A flipped value byte under an intact envelope: checksum catches it.
+        assert!(cache.store(&key(), &vec![1u64]));
+        let text = std::fs::read_to_string(&path).unwrap().replace("\"value\":[1]", "\"value\":[9]");
+        std::fs::write(&path, text).unwrap();
+        assert!(cache.lookup(&key()).is_none(), "a tampered value is never trusted");
+        assert_eq!(quarantine_count(&cache), 2);
         let _ = std::fs::remove_dir_all(cache.root());
     }
 
     #[test]
-    fn probe_classifies_hit_miss_invalid_and_collision() {
+    fn probe_classifies_hit_miss_invalid_corrupt_and_collision() {
         let cache = ResultCache::at(tmp_root("probe"));
         assert_eq!(cache.probe(&key()).1, CacheOutcome::Miss);
         assert!(cache.store(&key(), &vec![1u64]));
         assert_eq!(cache.probe(&key()).1, CacheOutcome::Hit);
         let path = cache.path_for(&key());
+
         std::fs::write(&path, "{ not json").unwrap();
         assert_eq!(cache.probe(&key()).1, CacheOutcome::Invalid);
-        std::fs::write(&path, "{\"key\":\"someone-else\",\"value\":[1]}").unwrap();
+
+        assert!(cache.store(&key(), &vec![1u64]));
+        let tampered =
+            std::fs::read_to_string(&path).unwrap().replace("\"value\":[1]", "\"value\":[2]");
+        std::fs::write(&path, tampered).unwrap();
+        assert_eq!(cache.probe(&key()).1, CacheOutcome::Corrupt);
+
+        // A structurally sound envelope for a *different* leg: collision,
+        // left in place (it is not damaged, just unluckily named).
+        std::fs::write(&path, envelope("someone-else", "[1]")).unwrap();
         assert_eq!(cache.probe(&key()).1, CacheOutcome::Collision);
+        assert!(path.exists());
         let _ = std::fs::remove_dir_all(cache.root());
     }
 
@@ -287,5 +488,67 @@ mod tests {
         assert!(!c.contains("policy="), "{c}");
         let p = CacheKey { policy: Some("confidence".into()), ..key() }.canonical();
         assert!(p.starts_with(&c) && p.ends_with("|policy=confidence"), "{p}");
+    }
+
+    #[test]
+    fn ensure_writable_creates_and_probes() {
+        let root = tmp_root("writable");
+        let cache = ResultCache::at(&root);
+        cache.ensure_writable().expect("fresh temp dir is writable");
+        assert!(root.is_dir());
+        // A path that collides with a file cannot be a cache directory.
+        let blocked = root.join("blocked");
+        std::fs::write(&blocked, b"a file").unwrap();
+        let err = ResultCache::at(&blocked).ensure_writable().expect_err("file blocks dir");
+        assert!(err.contains(&blocked.display().to_string()), "{err}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn doctor_quarantines_damage_and_reports_counts() {
+        let cache = ResultCache::at(tmp_root("doctor"));
+        let keys: Vec<CacheKey> =
+            (0..4).map(|i| CacheKey { app: format!("app{i}"), ..key() }).collect();
+        for k in &keys {
+            assert!(cache.store(k, &vec![k.seed]));
+        }
+        // Damage two entries: truncate one, flip a value byte in another.
+        let p0 = cache.path_for(&keys[0]);
+        let text = std::fs::read_to_string(&p0).unwrap();
+        std::fs::write(&p0, &text[..text.len() / 2]).unwrap();
+        let p1 = cache.path_for(&keys[1]);
+        let tampered = std::fs::read_to_string(&p1)
+            .unwrap()
+            .replace("\"value\":[365566360]", "\"value\":[365566361]");
+        std::fs::write(&p1, tampered).unwrap();
+
+        let report = cache.doctor().expect("root exists");
+        assert_eq!(report.scanned, 4);
+        assert_eq!(report.valid, 2);
+        assert_eq!(report.quarantined, 2);
+        assert_eq!(report.misplaced, 0);
+        assert_eq!(report.quarantine_total, 2);
+        // A second pass finds a clean tree and keeps the quarantine tally.
+        let again = cache.doctor().expect("root exists");
+        assert_eq!(again.scanned, 2);
+        assert_eq!(again.quarantined, 0);
+        assert_eq!(again.quarantine_total, 2);
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn doctor_counts_misplaced_entries_and_rejects_a_missing_root() {
+        let cache = ResultCache::at(tmp_root("doctor-misplaced"));
+        assert!(cache.store(&key(), &vec![1u64]));
+        let path = cache.path_for(&key());
+        std::fs::rename(&path, path.with_file_name("0000000000000bad.json")).unwrap();
+        let report = cache.doctor().expect("root exists");
+        assert_eq!((report.scanned, report.valid, report.misplaced), (1, 1, 1));
+        assert_eq!(report.quarantined, 0);
+
+        let gone = ResultCache::at(tmp_root("doctor-gone"));
+        let err = gone.doctor().expect_err("missing root");
+        assert!(err.contains("does not exist"), "{err}");
+        let _ = std::fs::remove_dir_all(cache.root());
     }
 }

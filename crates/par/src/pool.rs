@@ -13,13 +13,24 @@
 //! Panics inside a task are contained per task: the first failing task's
 //! index and message are captured, dispatch stops cleanly, and the batch
 //! re-panics with `pool task <index> panicked: <message>` instead of a
-//! generic scope-join payload that hides which leg failed.
+//! generic scope-join payload that hides which leg failed. Every lock is
+//! taken poison-recovering (`PoisonError::into_inner`), so a contained
+//! panic can never cascade into a second "poisoned" panic in another
+//! worker — the data under the lock is a plain slot or deque that is
+//! valid at every instruction boundary.
+//!
+//! [`Pool::ordered_map_drain`] is the graceful-shutdown variant: it
+//! checks the process-wide [`crate::shutdown::drain_requested`] flag at
+//! every dispatch point and, once a drain is requested, stops pulling
+//! new tasks and returns the completed prefix as
+//! [`BatchResult::Drained`] so the caller can salvage and journal it.
 
+use crate::shutdown::drain_requested;
 use cap_obs::{Event, PoolBatchEvent, Recorder};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// A fixed-width thread pool. `jobs == 1` runs everything inline on the
 /// caller's thread (the serial reference path — same code, no spawns).
@@ -27,6 +38,21 @@ use std::sync::{Arc, Mutex};
 pub struct Pool {
     jobs: usize,
     recorder: Arc<dyn Recorder>,
+}
+
+/// What a drain-aware batch produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchResult<T> {
+    /// Every task ran; results are in input order.
+    Complete(Vec<T>),
+    /// A drain was requested mid-batch: `partial[i]` holds task `i`'s
+    /// result if it finished before dispatch stopped.
+    Drained {
+        /// Per-task results, input-indexed, `None` for undispatched tasks.
+        partial: Vec<Option<T>>,
+        /// How many tasks completed.
+        completed: usize,
+    },
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -81,27 +107,63 @@ impl Pool {
         T: Send,
         F: Fn(usize, I) -> T + Sync,
     {
+        match self.run_batch(items, f, false) {
+            BatchResult::Complete(out) => out,
+            BatchResult::Drained { .. } => unreachable!("non-drain batches always complete"),
+        }
+    }
+
+    /// Like [`Pool::ordered_map`], but honours the process-wide drain
+    /// flag: once [`crate::shutdown::request_drain`] has been called,
+    /// in-flight tasks finish, nothing new is dispatched, and the
+    /// completed prefix comes back as [`BatchResult::Drained`].
+    ///
+    /// # Panics
+    /// Same contract as [`Pool::ordered_map`] for task panics.
+    pub fn ordered_map_drain<I, T, F>(&self, items: Vec<I>, f: F) -> BatchResult<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
+        self.run_batch(items, f, true)
+    }
+
+    fn run_batch<I, T, F>(&self, items: Vec<I>, f: F, drain_aware: bool) -> BatchResult<T>
+    where
+        I: Send,
+        T: Send,
+        F: Fn(usize, I) -> T + Sync,
+    {
         let n = items.len();
         let workers = self.jobs.min(n);
         if workers <= 1 {
-            let mut out = Vec::with_capacity(n);
+            let mut out: Vec<Option<T>> = Vec::with_capacity(n);
             for (i, item) in items.into_iter().enumerate() {
+                if drain_aware && drain_requested() {
+                    break;
+                }
                 match catch_unwind(AssertUnwindSafe(|| f(i, item))) {
-                    Ok(v) => out.push(v),
+                    Ok(v) => out.push(Some(v)),
                     Err(payload) => {
                         panic!("pool task {i} panicked: {}", panic_message(payload.as_ref()))
                     }
                 }
             }
+            let completed = out.len();
             if self.recorder.enabled() {
                 self.recorder.record(&Event::PoolBatch(PoolBatchEvent {
                     jobs: 1,
                     tasks: n as u64,
-                    executed: vec![n as u64],
+                    executed: vec![completed as u64],
                     steals: 0,
                 }));
             }
-            return out;
+            if completed < n {
+                out.resize_with(n, || None);
+                return BatchResult::Drained { partial: out, completed };
+            }
+            return BatchResult::Complete(out.into_iter().flatten().collect());
         }
 
         // Deal tasks round-robin into per-worker deques.
@@ -127,12 +189,16 @@ impl Pool {
                 let f = &f;
                 scope.spawn(move || loop {
                     // A failed sibling means the batch result is already
-                    // forfeit: stop pulling work instead of burning CPU.
-                    if abort.load(Ordering::Relaxed) {
+                    // forfeit — and a requested drain means no new work
+                    // may start. Either way, stop pulling tasks.
+                    if abort.load(Ordering::Relaxed) || (drain_aware && drain_requested()) {
                         return;
                     }
                     // Own work first (front of own deque)...
-                    let task = queues[me].lock().expect("pool queue poisoned").pop_front();
+                    let task = queues[me]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .pop_front();
                     let (index, item) = match task {
                         Some(t) => t,
                         // ...then steal from the back of a sibling's.
@@ -140,7 +206,7 @@ impl Pool {
                             let stolen = (1..workers).find_map(|d| {
                                 queues[(me + d) % workers]
                                     .lock()
-                                    .expect("pool queue poisoned")
+                                    .unwrap_or_else(PoisonError::into_inner)
                                     .pop_back()
                             });
                             match stolen {
@@ -154,11 +220,13 @@ impl Pool {
                     };
                     match catch_unwind(AssertUnwindSafe(|| f(index, item))) {
                         Ok(result) => {
-                            *slots[index].lock().expect("pool slot poisoned") = Some(result);
+                            *slots[index].lock().unwrap_or_else(PoisonError::into_inner) =
+                                Some(result);
                             executed[me].fetch_add(1, Ordering::Relaxed);
                         }
                         Err(payload) => {
-                            let mut first = failure.lock().expect("pool failure slot poisoned");
+                            let mut first =
+                                failure.lock().unwrap_or_else(PoisonError::into_inner);
                             if first.is_none() {
                                 *first = Some((index, panic_message(payload.as_ref())));
                             }
@@ -171,7 +239,9 @@ impl Pool {
             }
         });
 
-        if let Some((index, message)) = failure.into_inner().expect("pool failure slot poisoned") {
+        if let Some((index, message)) =
+            failure.into_inner().unwrap_or_else(PoisonError::into_inner)
+        {
             panic!("pool task {index} panicked: {message}");
         }
 
@@ -184,14 +254,16 @@ impl Pool {
             }));
         }
 
-        slots
+        let partial: Vec<Option<T>> = slots
             .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("pool slot poisoned")
-                    .expect("every submitted task completes")
-            })
-            .collect()
+            .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect();
+        let completed = partial.iter().filter(|s| s.is_some()).count();
+        if completed < n {
+            debug_assert!(drain_aware, "only a drain may leave tasks unrun");
+            return BatchResult::Drained { partial, completed };
+        }
+        BatchResult::Complete(partial.into_iter().flatten().collect())
     }
 }
 
@@ -235,6 +307,7 @@ pub fn effective_jobs(requested: Option<usize>) -> Result<usize, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::shutdown::{request_drain, reset_drain};
     use cap_obs::RingRecorder;
 
     #[test]
@@ -334,6 +407,49 @@ mod tests {
     fn effective_jobs_prefers_explicit_request() {
         assert_eq!(effective_jobs(Some(3)), Ok(3));
         assert_eq!(effective_jobs(Some(0)), Ok(1));
+    }
+
+    // The sole test driving the process-global drain flag in this
+    // process; `ordered_map` (used by every other test) ignores it.
+    #[test]
+    fn drain_stops_dispatch_and_returns_the_completed_prefix() {
+        reset_drain();
+        // Serial: drain before the batch → nothing runs.
+        request_drain();
+        match Pool::new(1).ordered_map_drain(vec![1u64, 2, 3], |_, x| x) {
+            BatchResult::Drained { partial, completed } => {
+                assert_eq!(completed, 0);
+                assert_eq!(partial, vec![None, None, None]);
+            }
+            BatchResult::Complete(_) => panic!("a pre-drained batch must not complete"),
+        }
+        reset_drain();
+        // No drain → identical to ordered_map, parallel and serial.
+        for jobs in [1, 4] {
+            match Pool::new(jobs).ordered_map_drain((0..10u64).collect(), |_, x| x * 2) {
+                BatchResult::Complete(out) => {
+                    assert_eq!(out, (0..10u64).map(|x| x * 2).collect::<Vec<_>>())
+                }
+                BatchResult::Drained { .. } => panic!("undrained batch must complete"),
+            }
+        }
+        // Parallel: a task trips the drain mid-batch; the batch ends with
+        // a completed prefix and no hang.
+        match Pool::new(2).ordered_map_drain((0..64u64).collect(), |i, x| {
+            if i == 5 {
+                request_drain();
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            x
+        }) {
+            BatchResult::Drained { partial, completed } => {
+                assert!(completed >= 1, "the tripping task itself completes");
+                assert!(completed < 64, "drain must stop dispatch early");
+                assert_eq!(partial.iter().flatten().count(), completed);
+            }
+            BatchResult::Complete(_) => panic!("a mid-batch drain must not complete"),
+        }
+        reset_drain();
     }
 
     // One test mutates CAP_JOBS for the whole process, so every scenario

@@ -1,0 +1,38 @@
+//! Process-wide graceful-drain flag.
+//!
+//! Campaign runs can be long; a SIGINT/SIGTERM should not vaporise an
+//! hour of completed legs. The signal handler in `capsim` (the only
+//! place allowed to touch OS signals) simply calls [`request_drain`];
+//! everything else — the pool's drain-aware batch loop, the experiment
+//! drivers' salvage paths — polls [`drain_requested`] at leg boundaries
+//! and winds down: in-flight legs finish, no new legs are dispatched,
+//! completed work is flushed to the journal, and the run exits with a
+//! salvage summary naming the resume command.
+//!
+//! The flag is a single process-global `AtomicBool` on purpose: a store
+//! is async-signal-safe, and "this process is shutting down" is
+//! inherently global state.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// Requests a graceful drain: batch loops stop dispatching new legs.
+/// Safe to call from a signal handler (it is a single atomic store).
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Whether a drain has been requested for this process.
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}
+
+/// Clears the drain flag. Only tests (and the chaos harness between
+/// scenarios) should need this; a real drain ends with process exit.
+///
+/// The flag is process-global, so exactly one test in this crate — the
+/// pool's drain test — exercises it, to avoid cross-test races.
+pub fn reset_drain() {
+    DRAIN.store(false, Ordering::SeqCst);
+}

@@ -1,0 +1,276 @@
+//! A per-leg deadline watchdog with bounded retries.
+//!
+//! A stalled leg (a livelocked simulation bug, an injected chaos stall,
+//! an NFS hiccup under the cache) must not hang the whole pool. The
+//! watchdog wraps one leg attempt in a deadline: a monitor thread trips
+//! a [`CancelToken`] when the deadline passes, the attempt notices the
+//! token at its next cooperative checkpoint and bails out, and the
+//! watchdog retries with exponential backoff up to a bounded budget.
+//! A leg that exhausts the budget is reported as
+//! [`GuardedOutcome::TimedOut`] — an error naming the leg, never a hang.
+//!
+//! Cancellation is **cooperative** because safe Rust cannot kill a
+//! thread: an attempt receives the token and is expected to poll it at
+//! its own checkpoints. The real simulation legs in this workspace are
+//! short, pure CPU and never block, so in practice only injected chaos
+//! stalls (which poll the token in their sleep loop) ever observe a
+//! cancellation — the watchdog exists so that *if* a leg ever does
+//! stall, the campaign degrades to a clean `TimedOut` report instead of
+//! an unbounded hang.
+//!
+//! With no timeout configured ([`WatchdogPolicy::none`], the default)
+//! the guard is a direct call: no threads, no atomics on the leg path.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation flag handed to each guarded attempt.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether the deadline has passed; attempts poll this at their
+    /// cooperative checkpoints and return `None` when it is set.
+    pub fn cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Trips the token. Idempotent.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+}
+
+/// What a guarded leg produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardedOutcome<T> {
+    /// The attempt completed (possibly after retries).
+    Done(T),
+    /// Every attempt hit the deadline; `attempts` were made in total.
+    TimedOut {
+        /// How many attempts were cancelled before giving up.
+        attempts: u32,
+    },
+}
+
+/// Deadline-and-retry policy for one leg attempt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogPolicy {
+    /// Per-attempt deadline; `None` disables the watchdog entirely.
+    pub timeout: Option<Duration>,
+    /// Total attempt budget (first try + retries), at least 1.
+    pub max_attempts: u32,
+    /// Base backoff slept after the first cancelled attempt; doubles per
+    /// retry, capped at 2 s.
+    pub backoff: Duration,
+}
+
+/// Upper bound on a single backoff sleep.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+impl Default for WatchdogPolicy {
+    fn default() -> Self {
+        WatchdogPolicy::none()
+    }
+}
+
+impl WatchdogPolicy {
+    /// No deadline: `run` is a plain call with zero overhead.
+    #[must_use]
+    pub fn none() -> Self {
+        WatchdogPolicy { timeout: None, max_attempts: 3, backoff: Duration::from_millis(50) }
+    }
+
+    /// A watchdog with the given per-attempt deadline and the default
+    /// retry budget (3 attempts, 50 ms doubling backoff).
+    #[must_use]
+    pub fn with_timeout(timeout: Duration) -> Self {
+        WatchdogPolicy { timeout: Some(timeout), ..WatchdogPolicy::none() }
+    }
+
+    /// Parses `CAP_LEG_TIMEOUT` (fractional seconds, > 0). Unset means
+    /// no deadline.
+    ///
+    /// # Errors
+    /// A set-but-invalid value is a hard error naming the variable, so a
+    /// typo cannot silently disable the watchdog.
+    pub fn from_env() -> Result<Self, String> {
+        let Some(raw) = std::env::var_os("CAP_LEG_TIMEOUT") else {
+            return Ok(WatchdogPolicy::none());
+        };
+        let text = raw.to_string_lossy();
+        match parse_timeout_seconds(&text) {
+            Some(d) => Ok(WatchdogPolicy::with_timeout(d)),
+            None => Err(format!(
+                "CAP_LEG_TIMEOUT must be a positive number of seconds, got `{text}`"
+            )),
+        }
+    }
+
+    /// Resolves the effective policy: an explicit CLI `--leg-timeout`
+    /// (already parsed to a duration) wins over `CAP_LEG_TIMEOUT`.
+    ///
+    /// # Errors
+    /// Propagates the [`WatchdogPolicy::from_env`] error.
+    pub fn resolve(cli_timeout: Option<Duration>) -> Result<Self, String> {
+        match cli_timeout {
+            Some(d) => Ok(WatchdogPolicy::with_timeout(d)),
+            None => WatchdogPolicy::from_env(),
+        }
+    }
+
+    /// Runs one leg under this policy. `attempt` receives the token and
+    /// must return `None` if (and only if) it observed a cancellation.
+    pub fn run<T>(&self, attempt: impl Fn(&CancelToken) -> Option<T>) -> GuardedOutcome<T> {
+        let Some(timeout) = self.timeout else {
+            // No deadline: the token is never tripped, so a cooperative
+            // attempt always completes.
+            return match attempt(&CancelToken::new()) {
+                Some(v) => GuardedOutcome::Done(v),
+                None => GuardedOutcome::TimedOut { attempts: 1 },
+            };
+        };
+        let budget = self.max_attempts.max(1);
+        for attempt_no in 1..=budget {
+            let token = CancelToken::new();
+            let done = AtomicBool::new(false);
+            let result = std::thread::scope(|scope| {
+                let monitor_token = token.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    let deadline = Instant::now() + timeout;
+                    // Sleep in short slices so the monitor notices a
+                    // finished attempt promptly instead of holding the
+                    // scope open for the full deadline.
+                    let slice = (timeout / 10).min(Duration::from_millis(10)).max(Duration::from_millis(1));
+                    while !done.load(Ordering::Relaxed) {
+                        if Instant::now() >= deadline {
+                            monitor_token.cancel();
+                            return;
+                        }
+                        std::thread::sleep(slice);
+                    }
+                });
+                let result = attempt(&token);
+                done.store(true, Ordering::Relaxed);
+                result
+            });
+            if let Some(v) = result {
+                return GuardedOutcome::Done(v);
+            }
+            if attempt_no < budget {
+                let exp = attempt_no.saturating_sub(1).min(8);
+                std::thread::sleep((self.backoff * 2u32.pow(exp)).min(BACKOFF_CAP));
+            }
+        }
+        GuardedOutcome::TimedOut { attempts: budget }
+    }
+}
+
+/// Parses a strictly positive, finite fractional-seconds string.
+pub fn parse_timeout_seconds(text: &str) -> Option<Duration> {
+    let secs: f64 = text.trim().parse().ok()?;
+    if secs.is_finite() && secs > 0.0 {
+        Some(Duration::from_secs_f64(secs))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_timeout_is_a_direct_call() {
+        let out = WatchdogPolicy::none().run(|token| {
+            assert!(!token.cancelled());
+            Some(42u32)
+        });
+        assert_eq!(out, GuardedOutcome::Done(42));
+    }
+
+    #[test]
+    fn fast_attempt_completes_under_a_deadline() {
+        let out = WatchdogPolicy::with_timeout(Duration::from_secs(5)).run(|_| Some(7u32));
+        assert_eq!(out, GuardedOutcome::Done(7));
+    }
+
+    #[test]
+    fn stubborn_stall_times_out_with_bounded_attempts() {
+        let policy = WatchdogPolicy {
+            timeout: Some(Duration::from_millis(30)),
+            max_attempts: 2,
+            backoff: Duration::from_millis(1),
+        };
+        let started = Instant::now();
+        let out = policy.run(|token| -> Option<u32> {
+            // A cooperative stall that never finishes on its own.
+            while !token.cancelled() {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            None
+        });
+        assert_eq!(out, GuardedOutcome::TimedOut { attempts: 2 });
+        // Two 30 ms deadlines plus backoff — nowhere near a hang.
+        assert!(started.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn transient_stall_succeeds_on_retry() {
+        let tries = AtomicBool::new(false);
+        let policy = WatchdogPolicy {
+            timeout: Some(Duration::from_millis(50)),
+            max_attempts: 3,
+            backoff: Duration::from_millis(1),
+        };
+        let out = policy.run(|token| -> Option<u32> {
+            if !tries.swap(true, Ordering::Relaxed) {
+                // First attempt stalls until cancelled.
+                while !token.cancelled() {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                return None;
+            }
+            Some(9)
+        });
+        assert_eq!(out, GuardedOutcome::Done(9));
+    }
+
+    #[test]
+    fn timeout_parsing_is_strict() {
+        assert_eq!(parse_timeout_seconds("0.5"), Some(Duration::from_millis(500)));
+        assert_eq!(parse_timeout_seconds("2"), Some(Duration::from_secs(2)));
+        for bad in ["0", "-1", "abc", "", "inf", "nan"] {
+            assert_eq!(parse_timeout_seconds(bad), None, "{bad}");
+        }
+    }
+
+    // The sole test that mutates CAP_LEG_TIMEOUT, to avoid env races.
+    #[test]
+    fn cap_leg_timeout_env_is_validated_strictly() {
+        std::env::set_var("CAP_LEG_TIMEOUT", "1.5");
+        let policy = WatchdogPolicy::from_env().expect("valid");
+        assert_eq!(policy.timeout, Some(Duration::from_millis(1500)));
+        // An explicit CLI value wins over the environment.
+        let cli = WatchdogPolicy::resolve(Some(Duration::from_millis(250))).expect("valid");
+        assert_eq!(cli.timeout, Some(Duration::from_millis(250)));
+        for bad in ["0", "forever", "-2"] {
+            std::env::set_var("CAP_LEG_TIMEOUT", bad);
+            let err = WatchdogPolicy::from_env().expect_err(bad);
+            assert!(err.contains("CAP_LEG_TIMEOUT"), "{err}");
+            assert!(err.contains(bad), "{err}");
+        }
+        std::env::remove_var("CAP_LEG_TIMEOUT");
+        assert_eq!(WatchdogPolicy::from_env().expect("unset is fine").timeout, None);
+    }
+}

@@ -15,6 +15,8 @@
 //! capsim faults <app> [--seed N] [--jobs N] [--trace FILE]
 //!                                  fault-injection degradation campaign
 //! capsim trace-summary <file>      reduce a JSONL trace to counters
+//! capsim doctor [dir]              scan/repair a result cache directory
+//! capsim chaos <cache|queue|all>   crash/corruption self-test
 //! ```
 //!
 //! Scale is taken from `CAP_SCALE` (`smoke`/`default`/`full`). Sweeps
@@ -25,10 +27,19 @@
 //! as JSON Lines; `capsim trace-summary` reduces such a file. None of
 //! these knobs change report bytes — only wall-clock (and the trace
 //! file).
+//!
+//! Campaign commands (`sweep`, `faults`) are crash-safe: every completed
+//! leg is committed to a write-ahead journal under `results/journal/`
+//! (`CAP_JOURNAL_DIR` overrides), SIGINT/SIGTERM drain at the next leg
+//! boundary with a salvage summary, and `--resume` replays the journal
+//! to produce output byte-identical to an uninterrupted run.
+//! `--leg-timeout SECS` (or `CAP_LEG_TIMEOUT`) bounds each leg with a
+//! retrying watchdog. `capsim chaos` exercises all of this end to end
+//! against deterministic injected faults.
 
 use cap::core::experiments::{
     CacheExperiment, ExecPolicy, ExperimentScale, IntervalExperiment, QueueExperiment,
-    DEFAULT_SEED,
+    DEFAULT_SEED, SWEEP_RESULTS_VERSION,
 };
 use cap::core::extended::run_managed_combined;
 use cap::core::faults::FaultCampaign;
@@ -36,29 +47,43 @@ use cap::core::manager::ConfidencePolicy;
 use cap::core::policy::{PolicyConfig, PolicyKind};
 use cap::core::power::{queue_frontier, PowerModel};
 use cap::core::report::{cache_curves_table, degradation_table, queue_curves_table};
+use cap::core::CapError;
 use cap::obs::{recorder_from_env, summary::TraceSummary, JsonlRecorder, Recorder};
-use cap::par::ResultCache;
+use cap::par::{
+    drain_requested, watchdog::parse_timeout_seconds, Journal, JournalHeader, ResultCache,
+    WatchdogPolicy, CHAOS_KILL_EXIT, QUARANTINE_DIR,
+};
 use cap::workloads::App;
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, PoisonError};
+use std::time::Duration;
 
-const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|compare-policies|joint|power|headline|faults|trace-summary> [app] [options]
+const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|compare-policies|joint|power|headline|faults|trace-summary|doctor|chaos> [app] [options]
   list                 the 22 evaluation applications
   cache <app>          TPI vs L1/L2 boundary (Figure 7 row)
   queue <app>          TPI vs window size (Figure 10 row)
   sweep <cache|queue|all>  full-suite sweep on the parallel engine
-                       (--jobs N: worker count, --seed S: root seed)
+                       (--jobs N: worker count, --seed S: root seed,
+                        --resume: replay the leg journal, --leg-timeout SECS)
   managed <app>        Section 6 interval-adaptive run (--eager: no confidence,
                        --policy NAME: configuration manager, --pattern: §6 pattern detection)
   compare-policies <app>  one managed run per policy, tabulated
   joint <app>          online joint cache+queue management
   power <app>          performance/power frontier
   headline             paper-vs-measured headline numbers
-  faults <app>         clean-vs-faulty degradation campaign (--seed N, --jobs N, --policy NAME)
+  faults <app>         clean-vs-faulty degradation campaign (--seed N, --jobs N,
+                       --policy NAME, --resume, --leg-timeout SECS)
   trace-summary <file> reduce a JSONL decision trace to per-app counters
+  doctor [dir]         scan a result cache, quarantine damage (default results/cache)
+  chaos <cache|queue|all>  deterministic crash/corruption self-test over that sweep
+                       (--seed N, --jobs N; runs at smoke scale in temp dirs)
 policies: process-level | interval-greedy | confidence (default) | hysteresis
 scale via CAP_SCALE = smoke | default | full
 sweep memoization under results/cache (CAP_CACHE_DIR overrides, CAP_NO_CACHE=1 disables)
+campaign leg journals under results/journal (CAP_JOURNAL_DIR overrides); SIGINT/SIGTERM
+  drain at the next leg boundary and --resume replays completed legs byte-identically
+per-leg watchdog via --leg-timeout SECS or CAP_LEG_TIMEOUT
 decision tracing via --trace FILE (sweep/managed/faults) or CAP_TRACE=FILE";
 
 fn find_app(name: &str) -> Result<App, String> {
@@ -68,14 +93,16 @@ fn find_app(name: &str) -> Result<App, String> {
         .ok_or_else(|| format!("unknown application `{name}` (try `capsim list`)"))
 }
 
-/// Parsed `--jobs N` / `--seed S` / `--trace FILE` / `--policy NAME`
-/// trailing flags.
+/// Parsed `--jobs N` / `--seed S` / `--trace FILE` / `--policy NAME` /
+/// `--resume` / `--leg-timeout SECS` trailing flags.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 struct Flags {
     jobs: Option<usize>,
     seed: Option<u64>,
     trace: Option<String>,
     policy: Option<PolicyKind>,
+    resume: bool,
+    leg_timeout: Option<Duration>,
 }
 
 fn parse_flags(rest: &[&str]) -> Result<Flags, String> {
@@ -111,6 +138,13 @@ fn parse_flags(rest: &[&str]) -> Result<Flags, String> {
                     )
                 })?);
             }
+            "--resume" => flags.resume = true,
+            "--leg-timeout" => {
+                let v = it.next().ok_or_else(|| format!("--leg-timeout wants seconds\n{USAGE}"))?;
+                flags.leg_timeout = Some(parse_timeout_seconds(v).ok_or_else(|| {
+                    format!("--leg-timeout wants a positive number of seconds, got `{v}`\n{USAGE}")
+                })?);
+            }
             _ => return Err(format!("unknown flag `{flag}`\n{USAGE}")),
         }
     }
@@ -136,13 +170,60 @@ fn flag_recorder(flags: &Flags) -> Result<Option<Arc<dyn Recorder>>, String> {
 /// disables it, tracing to `--trace` (then `CAP_TRACE`) when given.
 fn exec_policy(flags: &Flags) -> Result<ExecPolicy, String> {
     let mut exec = ExecPolicy::from_env(flags.jobs).map_err(|e| e.to_string())?;
+    exec = exec.with_watchdog(WatchdogPolicy::resolve(flags.leg_timeout)?);
     if let Some(recorder) = flag_recorder(flags)? {
         exec = exec.with_recorder(recorder);
     }
     if exec.cache().is_none() && std::env::var_os("CAP_NO_CACHE").is_none() {
-        Ok(exec.cached(ResultCache::at("results/cache")))
+        let cache = ResultCache::at("results/cache");
+        cache.ensure_writable().map_err(|e| {
+            format!("results/cache is unusable: {e} (set CAP_CACHE_DIR or CAP_NO_CACHE=1)")
+        })?;
+        Ok(exec.cached(cache))
     } else {
         Ok(exec)
+    }
+}
+
+/// Directory for campaign leg journals: `CAP_JOURNAL_DIR`, defaulting to
+/// `results/journal`.
+fn journal_dir() -> PathBuf {
+    std::env::var_os("CAP_JOURNAL_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results/journal"))
+}
+
+/// Opens the write-ahead leg journal for a campaign command. Resume
+/// progress is reported on stderr so stdout stays byte-identical to an
+/// uninterrupted run.
+fn open_journal(file: &str, header: JournalHeader, resume: bool) -> Result<Journal, String> {
+    let dir = journal_dir();
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("cannot create journal directory `{}`: {e}", dir.display()))?;
+    let journal = Journal::begin(dir.join(file), header, resume)?;
+    if resume && !journal.is_empty() {
+        eprintln!(
+            "resuming: {} completed leg(s) replay from {}",
+            journal.len(),
+            journal.path().display()
+        );
+    }
+    Ok(journal)
+}
+
+/// Renders a campaign error. A graceful drain becomes a salvage summary
+/// naming the journal and the exact resume command.
+fn campaign_err(e: CapError, exec: &ExecPolicy, resume_cmd: &str) -> String {
+    if let CapError::Interrupted = e {
+        let (committed, path) = exec.journal().map_or((0, String::new()), |j| {
+            let j = j.lock().unwrap_or_else(PoisonError::into_inner);
+            (j.len(), j.path().display().to_string())
+        });
+        format!(
+            "interrupted: campaign drained at a leg boundary\n  journal: {path} ({committed} leg(s) committed)\n  resume with: {resume_cmd}"
+        )
+    } else {
+        e.to_string()
     }
 }
 
@@ -193,22 +274,33 @@ fn run(args: &[&str]) -> Result<String, String> {
         }
         ["sweep", kind, rest @ ..] => {
             let flags = parse_flags(rest)?;
-            let exec = exec_policy(&flags)?;
-            let seed = flags.seed.unwrap_or(DEFAULT_SEED);
-            if let Some(policy) = flags.policy {
-                // Sweeps hold every configuration fixed; the flag is
-                // validated but cannot change the curves.
-                let _ = writeln!(out, "policy: {policy} (sweeps are policy-independent)");
-            }
             let (do_cache, do_queue) = match *kind {
                 "cache" => (true, false),
                 "queue" => (false, true),
                 "all" => (true, true),
                 other => return Err(format!("unknown sweep kind `{other}`\n{USAGE}")),
             };
+            let seed = flags.seed.unwrap_or(DEFAULT_SEED);
+            let header = JournalHeader {
+                experiment: format!("sweep-{kind}"),
+                seed,
+                scale: scale.name().to_string(),
+                policy: None,
+                results_version: SWEEP_RESULTS_VERSION,
+            };
+            let file = format!("sweep-{kind}-{}-{seed:016x}.jsonl", scale.name());
+            let exec =
+                exec_policy(&flags)?.with_journal(open_journal(&file, header, flags.resume)?);
+            let resume_cmd = format!("capsim sweep {kind} --seed {seed} --resume");
+            if let Some(policy) = flags.policy {
+                // Sweeps hold every configuration fixed; the flag is
+                // validated but cannot change the curves.
+                let _ = writeln!(out, "policy: {policy} (sweeps are policy-independent)");
+            }
             if do_cache {
                 let exp = CacheExperiment::new(scale).map_err(|e| e.to_string())?.with_seed(seed);
-                let curves = exp.figure7_with(&exec).map_err(|e| e.to_string())?;
+                let curves =
+                    exp.figure7_with(&exec).map_err(|e| campaign_err(e, &exec, &resume_cmd))?;
                 let _ = writeln!(out, "== cache sweep: TPI vs L1 boundary, seed {seed:#x}");
                 let (int, fp): (Vec<_>, Vec<_>) = curves.iter().partition(|c| c.integer_panel);
                 let _ = writeln!(out, "{}", cache_curves_table("(a) integer benchmarks", &int));
@@ -224,7 +316,8 @@ fn run(args: &[&str]) -> Result<String, String> {
             }
             if do_queue {
                 let exp = QueueExperiment::new(scale).with_seed(seed);
-                let curves = exp.figure10_with(&exec).map_err(|e| e.to_string())?;
+                let curves =
+                    exp.figure10_with(&exec).map_err(|e| campaign_err(e, &exec, &resume_cmd))?;
                 let _ = writeln!(out, "== queue sweep: TPI vs window size, seed {seed:#x}");
                 let (int, fp): (Vec<_>, Vec<_>) = curves.iter().partition(|c| c.integer_panel);
                 let _ = writeln!(out, "{}", queue_curves_table("(a) integer benchmarks", &int));
@@ -246,6 +339,11 @@ fn run(args: &[&str]) -> Result<String, String> {
             let rest: Vec<&str> =
                 rest.iter().copied().filter(|&a| a != "--eager" && a != "--pattern").collect();
             let flags = parse_flags(&rest)?;
+            if flags.resume || flags.leg_timeout.is_some() {
+                return Err(format!(
+                    "--resume/--leg-timeout apply to the sweep and faults campaigns\n{USAGE}"
+                ));
+            }
             if eager && (flags.policy.is_some() || pattern) {
                 return Err(format!("--eager cannot be combined with --policy or --pattern\n{USAGE}"));
             }
@@ -287,6 +385,11 @@ fn run(args: &[&str]) -> Result<String, String> {
             if flags.policy.is_some() {
                 return Err(format!("compare-policies runs every policy; drop --policy\n{USAGE}"));
             }
+            if flags.resume || flags.leg_timeout.is_some() {
+                return Err(format!(
+                    "--resume/--leg-timeout apply to the sweep and faults campaigns\n{USAGE}"
+                ));
+            }
             let exec = exec_policy(&flags)?;
             let seed = flags.seed.unwrap_or(DEFAULT_SEED);
             let cmp = IntervalExperiment::new()
@@ -324,13 +427,30 @@ fn run(args: &[&str]) -> Result<String, String> {
         ["faults", name, rest @ ..] => {
             let app = find_app(name)?;
             let flags = parse_flags(rest)?;
-            let exec = exec_policy(&flags)?;
             let seed = flags.seed.unwrap_or(DEFAULT_SEED);
-            let mut campaign = FaultCampaign::new(app, seed);
-            if let Some(kind) = flags.policy {
-                campaign = campaign.with_policy(kind);
-            }
-            let report = campaign.run_with(&exec).map_err(|e| e.to_string())?;
+            let policy = flags.policy.unwrap_or(PolicyKind::Confidence);
+            let campaign = FaultCampaign::new(app, seed).with_policy(policy);
+            let header = JournalHeader {
+                experiment: format!("faults-{}", app.name()),
+                seed,
+                scale: scale.name().to_string(),
+                policy: Some(policy.name().to_string()),
+                results_version: SWEEP_RESULTS_VERSION,
+            };
+            let file = format!(
+                "faults-{}-{}-{seed:016x}-{}.jsonl",
+                app.name(),
+                scale.name(),
+                policy.name()
+            );
+            let exec =
+                exec_policy(&flags)?.with_journal(open_journal(&file, header, flags.resume)?);
+            let resume_cmd = format!(
+                "capsim faults {} --seed {seed} --policy {} --resume",
+                app.name(),
+                policy.name()
+            );
+            let report = campaign.run_with(&exec).map_err(|e| campaign_err(e, &exec, &resume_cmd))?;
             let _ = write!(out, "{}", degradation_table(&report));
             let _ = writeln!(out, "{}", report.to_json());
         }
@@ -358,19 +478,388 @@ fn run(args: &[&str]) -> Result<String, String> {
             let summary = TraceSummary::from_jsonl(&text)?;
             let _ = write!(out, "{}", summary.render());
         }
+        ["doctor", rest @ ..] => {
+            let dir = match rest {
+                [] => "results/cache",
+                [d] => *d,
+                _ => return Err(format!("doctor takes at most one directory\n{USAGE}")),
+            };
+            let report = ResultCache::at(dir).doctor()?;
+            let _ = writeln!(out, "cache doctor: {dir}");
+            let _ = writeln!(out, "  scanned:          {}", report.scanned);
+            let _ = writeln!(out, "  valid:            {}", report.valid);
+            let _ = writeln!(out, "  quarantined now:  {}", report.quarantined);
+            let _ = writeln!(out, "  misplaced:        {}", report.misplaced);
+            let _ = writeln!(out, "  quarantine total: {}", report.quarantine_total);
+        }
+        ["chaos", kind, rest @ ..] => {
+            if !matches!(*kind, "cache" | "queue" | "all") {
+                return Err(format!("unknown chaos target `{kind}` (expected cache, queue or all)\n{USAGE}"));
+            }
+            let flags = parse_flags(rest)?;
+            if flags.resume || flags.leg_timeout.is_some() || flags.trace.is_some() || flags.policy.is_some() {
+                return Err(format!("chaos accepts only --seed and --jobs\n{USAGE}"));
+            }
+            let harness = ChaosHarness::new(kind, &flags)?;
+            let _ = writeln!(out, "== chaos: sweep {kind}, seed {}", harness.seed);
+            eprintln!("chaos: recording uninterrupted reference run...");
+            let reference = harness.reference()?;
+            let scenarios: [(&str, Result<(), String>); 5] = [
+                ("kill+resume", harness.kill_and_resume(&reference)),
+                ("cache-corruption", harness.corruption_recovery(&reference)),
+                ("stall-recovery", harness.stall_recovery(&reference)),
+                ("stall-timeout+resume", harness.stall_timeout_and_resume(&reference)),
+                ("panic+resume", harness.panic_and_resume(&reference)),
+            ];
+            let mut failures = 0;
+            for (name, result) in scenarios {
+                match result {
+                    Ok(()) => {
+                        let _ = writeln!(out, "PASS {name}");
+                    }
+                    Err(why) => {
+                        failures += 1;
+                        let _ = writeln!(out, "FAIL {name}: {why}");
+                    }
+                }
+            }
+            if failures > 0 {
+                return Err(format!(
+                    "{out}chaos: {failures} scenario(s) failed (artifacts kept in {})",
+                    harness.root.display()
+                ));
+            }
+            let _ = std::fs::remove_dir_all(&harness.root);
+            let _ = writeln!(out, "chaos: all 5 scenarios passed");
+        }
         _ => return Err(USAGE.to_string()),
     }
     Ok(out)
 }
 
+/// `capsim chaos` — a deterministic crash/corruption self-test.
+///
+/// Re-runs `capsim sweep <kind>` as subprocesses under injected faults
+/// (simulated kills, stalls, panics, cache corruption) in throwaway
+/// journal/cache directories, asserting that every run either completes
+/// byte-identical to a clean reference or leaves a journal from which
+/// `--resume` reproduces the reference exactly.
+struct ChaosHarness {
+    exe: PathBuf,
+    kind: String,
+    seed: u64,
+    jobs: Option<usize>,
+    root: PathBuf,
+}
+
+impl ChaosHarness {
+    fn new(kind: &str, flags: &Flags) -> Result<Self, String> {
+        let exe = std::env::current_exe()
+            .map_err(|e| format!("chaos: cannot locate the capsim binary: {e}"))?;
+        let seed = flags.seed.unwrap_or(DEFAULT_SEED);
+        let root = std::env::temp_dir()
+            .join(format!("capsim-chaos-{}-{seed:x}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root)
+            .map_err(|e| format!("chaos: cannot create {}: {e}", root.display()))?;
+        Ok(ChaosHarness { exe, kind: kind.to_string(), seed, jobs: flags.jobs, root })
+    }
+
+    fn sweep_args(&self, resume: bool, leg_timeout: Option<&str>) -> Vec<String> {
+        let mut args =
+            vec!["sweep".into(), self.kind.clone(), "--seed".into(), self.seed.to_string()];
+        if let Some(jobs) = self.jobs {
+            args.extend(["--jobs".into(), jobs.to_string()]);
+        }
+        if resume {
+            args.push("--resume".into());
+        }
+        if let Some(secs) = leg_timeout {
+            args.extend(["--leg-timeout".into(), secs.into()]);
+        }
+        args
+    }
+
+    /// Spawns one `capsim` subprocess in a scrubbed environment: smoke
+    /// scale, the given journal dir, and either a throwaway cache dir or
+    /// no cache at all.
+    fn spawn(
+        &self,
+        args: &[String],
+        journal: &Path,
+        cache: Option<&Path>,
+        extra: &[(&str, String)],
+    ) -> Result<std::process::Output, String> {
+        let mut cmd = std::process::Command::new(&self.exe);
+        cmd.args(args);
+        for var in [
+            "CAP_CHAOS_PANIC",
+            "CAP_CHAOS_STALL",
+            "CAP_CHAOS_KILL_AFTER_LEG",
+            "CAP_LEG_TIMEOUT",
+            "CAP_TRACE",
+            "CAP_JOBS",
+            "CAP_CACHE_DIR",
+            "CAP_NO_CACHE",
+            "CAP_JOURNAL_DIR",
+            "RUST_BACKTRACE",
+        ] {
+            cmd.env_remove(var);
+        }
+        cmd.env("CAP_SCALE", "smoke");
+        cmd.env("CAP_JOURNAL_DIR", journal);
+        match cache {
+            Some(dir) => {
+                cmd.env("CAP_CACHE_DIR", dir);
+            }
+            None => {
+                cmd.env("CAP_NO_CACHE", "1");
+            }
+        }
+        for (key, value) in extra {
+            cmd.env(key, value);
+        }
+        cmd.output()
+            .map_err(|e| format!("chaos: cannot spawn {}: {e}", self.exe.display()))
+    }
+
+    /// The uninterrupted, fault-free run every scenario must reproduce.
+    fn reference(&self) -> Result<Vec<u8>, String> {
+        let out = self.spawn(&self.sweep_args(false, None), &self.root.join("ref-journal"), None, &[])?;
+        if !out.status.success() {
+            return Err(format!(
+                "chaos: reference run failed:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            ));
+        }
+        Ok(out.stdout)
+    }
+
+    /// A simulated kill at a seed-chosen leg boundary must leave a
+    /// journal from which `--resume` reproduces the reference bytes.
+    fn kill_and_resume(&self, reference: &[u8]) -> Result<(), String> {
+        eprintln!("chaos: scenario kill+resume...");
+        let journal = self.root.join("kill-journal");
+        let kill_after = 1 + self.seed % 10;
+        let out = self.spawn(
+            &self.sweep_args(false, None),
+            &journal,
+            None,
+            &[("CAP_CHAOS_KILL_AFTER_LEG", kill_after.to_string())],
+        )?;
+        if out.status.code() != Some(CHAOS_KILL_EXIT) {
+            return Err(format!(
+                "expected a simulated kill (exit {CHAOS_KILL_EXIT}) after leg {kill_after}, got {:?}",
+                out.status.code()
+            ));
+        }
+        let resumed = self.spawn(&self.sweep_args(true, None), &journal, None, &[])?;
+        if !resumed.status.success() {
+            return Err(format!(
+                "resume after kill failed:\n{}",
+                String::from_utf8_lossy(&resumed.stderr)
+            ));
+        }
+        if resumed.stdout != reference {
+            return Err("resumed output differs from the uninterrupted run".into());
+        }
+        Ok(())
+    }
+
+    /// Damages the first (sorted) committed cache entry under `dir`.
+    fn corrupt_one_entry(dir: &Path) -> Result<(), String> {
+        let mut stack = vec![dir.to_path_buf()];
+        let mut files = Vec::new();
+        while let Some(d) = stack.pop() {
+            let entries = std::fs::read_dir(&d)
+                .map_err(|e| format!("chaos: cannot read {}: {e}", d.display()))?;
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    if path.file_name().and_then(|n| n.to_str()) != Some(QUARANTINE_DIR) {
+                        stack.push(path);
+                    }
+                } else if path.extension().and_then(|e| e.to_str()) == Some("json") {
+                    files.push(path);
+                }
+            }
+        }
+        files.sort();
+        let target = files.first().ok_or("chaos: no cache entry to corrupt")?;
+        let text = std::fs::read(target).map_err(|e| e.to_string())?;
+        // Truncation mid-value: the checksum cannot verify.
+        std::fs::write(target, &text[..text.len() / 2]).map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    /// A corrupted cache entry must be quarantined and recomputed — same
+    /// bytes out — and `doctor` must flag further damage.
+    fn corruption_recovery(&self, reference: &[u8]) -> Result<(), String> {
+        eprintln!("chaos: scenario cache-corruption...");
+        let cache = self.root.join("cache");
+        let cold =
+            self.spawn(&self.sweep_args(false, None), &self.root.join("cc-j1"), Some(&cache), &[])?;
+        if !cold.status.success() {
+            return Err(format!(
+                "cold cached run failed:\n{}",
+                String::from_utf8_lossy(&cold.stderr)
+            ));
+        }
+        if cold.stdout != reference {
+            return Err("cached cold run differs from the no-cache reference".into());
+        }
+        Self::corrupt_one_entry(&cache)?;
+        let warm =
+            self.spawn(&self.sweep_args(false, None), &self.root.join("cc-j2"), Some(&cache), &[])?;
+        if !warm.status.success() {
+            return Err(format!(
+                "run over a corrupted cache failed:\n{}",
+                String::from_utf8_lossy(&warm.stderr)
+            ));
+        }
+        if warm.stdout != reference {
+            return Err("run over a corrupted cache differs from the reference".into());
+        }
+        let quarantined = std::fs::read_dir(cache.join(QUARANTINE_DIR))
+            .map(Iterator::count)
+            .unwrap_or(0);
+        if quarantined == 0 {
+            return Err("the corrupt entry was not quarantined".into());
+        }
+        Self::corrupt_one_entry(&cache)?;
+        let report = ResultCache::at(&cache).doctor()?;
+        if report.quarantined == 0 {
+            return Err("doctor found nothing to quarantine in a corrupted cache".into());
+        }
+        Ok(())
+    }
+
+    /// Stalled legs under a generous deadline must still complete with
+    /// reference bytes.
+    fn stall_recovery(&self, reference: &[u8]) -> Result<(), String> {
+        eprintln!("chaos: scenario stall-recovery...");
+        let out = self.spawn(
+            &self.sweep_args(false, Some("30")),
+            &self.root.join("stall-journal"),
+            None,
+            &[("CAP_CHAOS_STALL", format!("100:{}:20", self.seed))],
+        )?;
+        if !out.status.success() {
+            return Err(format!(
+                "stalled run should finish under a generous deadline:\n{}",
+                String::from_utf8_lossy(&out.stderr)
+            ));
+        }
+        if out.stdout != reference {
+            return Err("stalled run output differs from the reference".into());
+        }
+        Ok(())
+    }
+
+    /// Hopeless stalls under a tight deadline must fail naming the
+    /// timed-out leg; a chaos-free `--resume` must then reproduce the
+    /// reference.
+    fn stall_timeout_and_resume(&self, reference: &[u8]) -> Result<(), String> {
+        eprintln!("chaos: scenario stall-timeout+resume...");
+        let journal = self.root.join("timeout-journal");
+        let out = self.spawn(
+            &self.sweep_args(false, Some("0.05")),
+            &journal,
+            None,
+            &[("CAP_CHAOS_STALL", format!("20:{}:60000", self.seed))],
+        )?;
+        if out.status.success() {
+            return Err("a 60s stall under a 50ms deadline should fail".into());
+        }
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        if !stderr.contains("timed out") {
+            return Err(format!("expected a timed-out leg, got:\n{stderr}"));
+        }
+        let resumed = self.spawn(&self.sweep_args(true, None), &journal, None, &[])?;
+        if !resumed.status.success() {
+            return Err(format!(
+                "resume after timeout failed:\n{}",
+                String::from_utf8_lossy(&resumed.stderr)
+            ));
+        }
+        if resumed.stdout != reference {
+            return Err("resume after timeout differs from the reference".into());
+        }
+        Ok(())
+    }
+
+    /// Injected leg panics must never corrupt state: the run either
+    /// completes with reference bytes or a `--resume` reproduces them.
+    fn panic_and_resume(&self, reference: &[u8]) -> Result<(), String> {
+        eprintln!("chaos: scenario panic+resume...");
+        let journal = self.root.join("panic-journal");
+        let out = self.spawn(
+            &self.sweep_args(false, None),
+            &journal,
+            None,
+            &[("CAP_CHAOS_PANIC", format!("30:{}", self.seed))],
+        )?;
+        if out.status.success() {
+            return if out.stdout == reference {
+                Ok(())
+            } else {
+                Err("panic-free run differs from the reference".into())
+            };
+        }
+        let resumed = self.spawn(&self.sweep_args(true, None), &journal, None, &[])?;
+        if !resumed.status.success() {
+            return Err(format!(
+                "resume after panic failed:\n{}",
+                String::from_utf8_lossy(&resumed.stderr)
+            ));
+        }
+        if resumed.stdout != reference {
+            return Err("resume after panic differs from the reference".into());
+        }
+        Ok(())
+    }
+}
+
+/// SIGINT/SIGTERM flip the process-wide drain flag; campaigns stop
+/// dispatching at the next leg boundary, flush the journal and exit with
+/// a salvage summary naming the resume command.
+#[cfg(unix)]
+mod sig {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // A single atomic store: async-signal-safe.
+        cap::par::request_drain();
+    }
+
+    pub fn install() {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+}
+
 fn main() {
+    sig::install();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let refs: Vec<&str> = args.iter().map(String::as_str).collect();
     match run(&refs) {
         Ok(report) => print!("{report}"),
         Err(msg) => {
             eprintln!("{msg}");
-            std::process::exit(2);
+            // 130 = interrupted (the shell convention for SIGINT), so
+            // scripts can tell a drained campaign from a real failure.
+            std::process::exit(if drain_requested() { 130 } else { 2 });
         }
     }
 }
@@ -448,6 +937,13 @@ mod tests {
         assert_eq!(parse_flags(&[]).unwrap().jobs, None);
         let t = parse_flags(&["--trace", "out.jsonl"]).unwrap();
         assert_eq!(t.trace.as_deref(), Some("out.jsonl"));
+        let r = parse_flags(&["--resume", "--leg-timeout", "2.5"]).unwrap();
+        assert!(r.resume);
+        assert_eq!(r.leg_timeout, Some(std::time::Duration::from_millis(2500)));
+        assert!(!parse_flags(&[]).unwrap().resume);
+        assert!(parse_flags(&["--leg-timeout"]).unwrap_err().contains("usage:"));
+        assert!(parse_flags(&["--leg-timeout", "0"]).unwrap_err().contains("usage:"));
+        assert!(parse_flags(&["--leg-timeout", "soon"]).unwrap_err().contains("usage:"));
         assert!(parse_flags(&["--trace"]).unwrap_err().contains("usage:"));
         assert!(parse_flags(&["--jobs"]).unwrap_err().contains("usage:"));
         assert!(parse_flags(&["--jobs", "0"]).unwrap_err().contains("usage:"));
@@ -462,6 +958,38 @@ mod tests {
         assert!(run(&["sweep", "frobnicate"]).unwrap_err().contains("usage:"));
         assert!(run(&["sweep", "cache", "--jobs", "zero"]).unwrap_err().contains("usage:"));
         assert!(run(&["sweep", "queue", "--seed", "-7"]).unwrap_err().contains("usage:"));
+    }
+
+    #[test]
+    fn campaign_only_flags_are_rejected_elsewhere() {
+        assert!(run(&["managed", "gcc", "--resume"])
+            .unwrap_err()
+            .contains("sweep and faults"));
+        assert!(run(&["compare-policies", "gcc", "--leg-timeout", "5"])
+            .unwrap_err()
+            .contains("sweep and faults"));
+    }
+
+    #[test]
+    fn doctor_validates_arguments_and_scans() {
+        assert!(run(&["doctor", "a", "b"]).unwrap_err().contains("usage:"));
+        let dir = std::env::temp_dir().join(format!("capsim-doctor-ut-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = run(&["doctor", dir.to_str().unwrap()]).unwrap();
+        assert!(out.contains("scanned:"), "{out}");
+        assert!(out.contains("quarantine total: 0"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_validates_arguments() {
+        assert!(run(&["chaos"]).unwrap_err().contains("usage:"));
+        assert!(run(&["chaos", "frobnicate"]).unwrap_err().contains("chaos target"));
+        assert!(run(&["chaos", "queue", "--policy", "confidence"])
+            .unwrap_err()
+            .contains("only --seed"));
+        assert!(run(&["chaos", "queue", "--resume"]).unwrap_err().contains("only --seed"));
     }
 
     #[test]

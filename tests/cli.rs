@@ -4,12 +4,18 @@
 use std::process::{Command, Output};
 
 fn capsim(args: &[&str]) -> Output {
+    let journal_dir = std::env::temp_dir().join(format!("capsim-cli-journal-{}", std::process::id()));
     Command::new(env!("CARGO_BIN_EXE_capsim"))
         .args(args)
         .env("CAP_SCALE", "smoke")
         .env("CAP_NO_CACHE", "1")
+        .env("CAP_JOURNAL_DIR", journal_dir)
         .env_remove("CAP_JOBS")
         .env_remove("CAP_CACHE_DIR")
+        .env_remove("CAP_LEG_TIMEOUT")
+        .env_remove("CAP_CHAOS_PANIC")
+        .env_remove("CAP_CHAOS_STALL")
+        .env_remove("CAP_CHAOS_KILL_AFTER_LEG")
         .output()
         .expect("capsim spawns")
 }
@@ -101,6 +107,49 @@ fn unknown_cap_scale_is_rejected_with_a_clear_error() {
         assert!(stderr.contains(bad), "CAP_SCALE={bad} stderr echoes the value:\n{stderr}");
         assert!(!stderr.contains("panicked"), "CAP_SCALE={bad} must not panic:\n{stderr}");
     }
+}
+
+#[test]
+fn malformed_leg_timeout_fails_with_usage() {
+    assert_usage_failure(&["sweep", "queue", "--leg-timeout"]);
+    assert_usage_failure(&["sweep", "queue", "--leg-timeout", "0"]);
+    assert_usage_failure(&["sweep", "queue", "--leg-timeout", "soon"]);
+    assert_usage_failure(&["faults", "radar", "--leg-timeout", "-1"]);
+}
+
+#[test]
+fn campaign_flags_are_rejected_on_non_campaign_commands() {
+    let out = capsim(&["managed", "radar", "--resume"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("sweep and faults"), "{stderr}");
+    let out = capsim(&["compare-policies", "radar", "--leg-timeout", "2"]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn doctor_scans_an_empty_directory_cleanly() {
+    let dir = std::env::temp_dir().join(format!("capsim-cli-doctor-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = capsim(&["doctor", dir.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("scanned:          0"), "{text}");
+    assert!(text.contains("quarantine total: 0"), "{text}");
+    assert_usage_failure(&["doctor", "a", "b"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_rejects_bad_targets_and_flags() {
+    assert_usage_failure(&["chaos"]);
+    let out = capsim(&["chaos", "frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("chaos target"));
+    let out = capsim(&["chaos", "queue", "--resume"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("only --seed"));
 }
 
 #[test]

