@@ -787,6 +787,10 @@ impl ConfigPolicy for IntervalManager {
     fn label(&self) -> Option<&str> {
         self.label.as_deref()
     }
+
+    fn estimates_snapshot(&self) -> Vec<Option<f64>> {
+        self.estimates.clone()
+    }
 }
 
 /// One interval of a managed run.

@@ -99,6 +99,16 @@ pub trait ConfigPolicy {
 
     /// The run label attached to emitted events (usually the app name).
     fn label(&self) -> Option<&str>;
+
+    /// Snapshot of the per-configuration TPI estimates, in configuration
+    /// order (`None` where never sampled). Exists for the `cap-verify`
+    /// differential oracle, which compares estimate state bit-for-bit
+    /// against a reference model after every observed interval; not part
+    /// of the stable policy contract.
+    #[doc(hidden)]
+    fn estimates_snapshot(&self) -> Vec<Option<f64>> {
+        Vec::new()
+    }
 }
 
 /// The machinery every simple policy shares: sanitized EWMA estimates,
@@ -333,6 +343,10 @@ macro_rules! delegate_base {
 
         fn label(&self) -> Option<&str> {
             self.base.label.as_deref()
+        }
+
+        fn estimates_snapshot(&self) -> Vec<Option<f64>> {
+            self.base.estimates.clone()
         }
     };
 }

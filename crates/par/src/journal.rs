@@ -421,6 +421,96 @@ mod tests {
     }
 
     #[test]
+    fn any_single_byte_flip_is_survivable() {
+        // Exhaustive fault model: every byte of the journal, every bit.
+        // Whatever the flip hits — header, leg name, checksum, value,
+        // newline — resume must either fail with a clean structural
+        // error or come back with each surviving leg bit-identical to
+        // what was written; re-appending the dropped legs must then
+        // restore the clean run's exact values. The leg names are
+        // pairwise more than one bit apart, so no flip can silently
+        // turn one leg into another.
+        let path = tmp_path("bitflip");
+        let legs: [(&str, Vec<f64>); 3] = [
+            ("alpha", vec![1.25, -0.5, 1.0 / 3.0]),
+            ("bravo", vec![0.1, 3.0e17]),
+            ("charlie", vec![-9.75]),
+        ];
+        let mut j = Journal::begin(&path, header(), false).unwrap();
+        for (leg, value) in &legs {
+            j.append(leg, value).unwrap();
+        }
+        drop(j);
+        let clean = std::fs::read(&path).unwrap();
+        let clean_bits: Vec<Vec<u64>> = {
+            let reference = Journal::begin(&path, header(), true).unwrap();
+            legs.iter()
+                .map(|(leg, _)| {
+                    reference
+                        .lookup(leg)
+                        .unwrap()
+                        .as_array()
+                        .unwrap()
+                        .iter()
+                        .map(|v| v.as_f64().unwrap().to_bits())
+                        .collect()
+                })
+                .collect()
+        };
+
+        let flip_path = path.parent().unwrap().join("bitflip-case.jsonl");
+        for offset in 0..clean.len() {
+            for bit in 0..8 {
+                let mut bytes = clean.clone();
+                bytes[offset] ^= 1 << bit;
+                std::fs::write(&flip_path, &bytes).unwrap();
+                let mut resumed = match Journal::begin(&flip_path, header(), true) {
+                    // Header or encoding damage: a clean refusal is a
+                    // correct outcome; nothing was silently trusted.
+                    Err(e) => {
+                        assert!(!e.is_empty());
+                        continue;
+                    }
+                    Ok(j) => j,
+                };
+                for ((leg, value), bits) in legs.iter().zip(&clean_bits) {
+                    match resumed.lookup(leg) {
+                        // Dropped (or renamed by the flip): recompute.
+                        None => resumed.append(leg, value).unwrap(),
+                        Some(v) => {
+                            let got: Vec<u64> = v
+                                .as_array()
+                                .unwrap()
+                                .iter()
+                                .map(|x| x.as_f64().unwrap().to_bits())
+                                .collect();
+                            assert_eq!(
+                                &got, bits,
+                                "offset {offset} bit {bit}: surviving leg {leg} must be bit-identical"
+                            );
+                        }
+                    }
+                }
+                for ((leg, _), bits) in legs.iter().zip(&clean_bits) {
+                    let got: Vec<u64> = resumed
+                        .lookup(leg)
+                        .unwrap()
+                        .as_array()
+                        .unwrap()
+                        .iter()
+                        .map(|x| x.as_f64().unwrap().to_bits())
+                        .collect();
+                    assert_eq!(
+                        &got, bits,
+                        "offset {offset} bit {bit}: {leg} must replay the clean value after repair"
+                    );
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
     fn garbage_file_is_rejected_with_a_clear_error() {
         let path = tmp_path("garbage");
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();

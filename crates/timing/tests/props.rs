@@ -1,0 +1,143 @@
+//! Structural property tests over the timing models, companion to
+//! `paper_claims.rs`: where that file checks the paper's quantitative
+//! claims, this one pins the *shape* of the models — monotonicity in
+//! every size knob, and no NaN, infinite, or non-positive delay
+//! anywhere on the valid configuration grid. These are the properties
+//! the adaptive policies implicitly rely on: a policy searching a curve
+//! with a NaN hole or a non-monotone clock model would make decisions
+//! the paper's reasoning does not cover.
+
+use cap_timing::cacti::CacheTimingModel;
+use cap_timing::cam::CamTimingModel;
+use cap_timing::queue::{QueueTimingModel, ENTRY_INCREMENT, MAX_ENTRIES, PAPER_SIZES};
+use cap_timing::units::{Mm, Ns};
+use cap_timing::wire::{best_delay, BufferedWire, Wire};
+use cap_timing::Technology;
+use proptest::prelude::*;
+
+fn arb_tech() -> impl Strategy<Value = Technology> {
+    (0.08f64..0.5).prop_map(Technology::um)
+}
+
+fn finite_positive(d: Ns, what: &str) {
+    assert!(d.value().is_finite(), "{what} is not finite: {d}");
+    assert!(d.value() > 0.0, "{what} is not positive: {d}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A longer wire is never faster, whichever way it is driven.
+    #[test]
+    fn wire_delay_monotone_in_length(a in 0.05f64..30.0, b in 0.05f64..30.0, tech in arb_tech()) {
+        let (short, long) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(
+            Wire::new(Mm(short)).unbuffered_delay() <= Wire::new(Mm(long)).unbuffered_delay()
+        );
+        prop_assert!(
+            BufferedWire::optimal(Wire::new(Mm(short)), tech).delay()
+                <= BufferedWire::optimal(Wire::new(Mm(long)), tech).delay()
+        );
+        prop_assert!(best_delay(Wire::new(Mm(short)), tech) <= best_delay(Wire::new(Mm(long)), tech));
+    }
+
+    /// CACTI access and cycle times are monotone in the L1/L2 boundary:
+    /// growing the L1 (more ways below the boundary) never speeds it up.
+    #[test]
+    fn cacti_monotone_in_boundary(tech in arb_tech()) {
+        let m = CacheTimingModel::isca98(tech);
+        let ks: Vec<usize> = m.boundaries().collect();
+        for w in ks.windows(2) {
+            prop_assert!(
+                m.l1_access(w[0]).unwrap() <= m.l1_access(w[1]).unwrap(),
+                "l1_access not monotone at boundary {}", w[1]
+            );
+            prop_assert!(
+                m.cycle_time(w[0]).unwrap() <= m.cycle_time(w[1]).unwrap(),
+                "cycle_time not monotone at boundary {}", w[1]
+            );
+        }
+    }
+
+    /// The cache data bus only gets slower with more subarrays hanging
+    /// off it.
+    #[test]
+    fn cacti_bus_monotone_in_subarrays(tech in arb_tech(), n in 1usize..32) {
+        let m = CacheTimingModel::isca98(tech);
+        // The bus spans at most the geometry's increment count.
+        let n = 1 + n % (m.geometry().increments - 1);
+        prop_assert!(m.bus_delay(n).unwrap() <= m.bus_delay(n + 1).unwrap());
+    }
+
+    /// Queue wakeup and select delays are monotone in window size.
+    #[test]
+    fn queue_monotone_in_entries(tech in arb_tech(), a in 1usize..16, b in 1usize..16) {
+        let m = QueueTimingModel::new(tech);
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        let (small, large) = (small * ENTRY_INCREMENT, large * ENTRY_INCREMENT);
+        prop_assert!(m.wakeup_delay(small).unwrap() <= m.wakeup_delay(large).unwrap());
+        prop_assert!(m.select_delay(small).unwrap() <= m.select_delay(large).unwrap());
+        prop_assert!(m.cycle_time(small).unwrap() <= m.cycle_time(large).unwrap());
+    }
+
+    /// Every delay on the whole valid configuration grid is finite and
+    /// strictly positive — no NaN holes, no free lunches — across the
+    /// technology range.
+    #[test]
+    fn no_nan_or_negative_over_the_grid(tech in arb_tech()) {
+        let cache = CacheTimingModel::isca98(tech);
+        for k in cache.boundaries() {
+            finite_positive(cache.l1_access(k).unwrap(), "l1_access");
+            finite_positive(cache.cycle_time(k).unwrap(), "cache cycle_time");
+            finite_positive(cache.l2_access(k).unwrap(), "l2_access");
+            assert!(cache.l2_hit_cycles(k).unwrap() > 0);
+            assert!(cache.miss_cycles(k).unwrap() > 0);
+        }
+        let queue = QueueTimingModel::new(tech);
+        let mut entries = ENTRY_INCREMENT;
+        while entries <= MAX_ENTRIES {
+            finite_positive(queue.wakeup_delay(entries).unwrap(), "wakeup_delay");
+            finite_positive(queue.select_delay(entries).unwrap(), "select_delay");
+            finite_positive(queue.cycle_time(entries).unwrap(), "queue cycle_time");
+            let parts = queue.wakeup_components(entries).unwrap();
+            finite_positive(parts.total(), "wakeup components total");
+            entries += ENTRY_INCREMENT;
+        }
+        let cam = CamTimingModel::tlb(tech);
+        for n in [16, 32, 64, 128] {
+            finite_positive(cam.lookup_delay(n).unwrap(), "cam lookup_delay");
+        }
+    }
+
+    /// Out-of-range configurations are rejected with an error — never a
+    /// panic, never a garbage number.
+    #[test]
+    fn invalid_configs_error_cleanly(tech in arb_tech()) {
+        let cache = CacheTimingModel::isca98(tech);
+        let end = cache.boundaries().end;
+        prop_assert!(cache.cycle_time(0).is_err());
+        prop_assert!(cache.cycle_time(end).is_err());
+        prop_assert!(cache.l1_access(end + 7).is_err());
+        let queue = QueueTimingModel::new(tech);
+        prop_assert!(queue.cycle_time(0).is_err());
+        prop_assert!(queue.cycle_time(ENTRY_INCREMENT + 1).is_err(), "non-multiple of the increment");
+        prop_assert!(queue.cycle_time(MAX_ENTRIES + ENTRY_INCREMENT).is_err());
+    }
+}
+
+#[test]
+fn paper_size_curves_are_monotone_end_to_end() {
+    // The exact grid the experiments sweep, at the exact evaluated
+    // technology: each curve must be nondecreasing point to point.
+    let queue = QueueTimingModel::default();
+    let cycles: Vec<Ns> = PAPER_SIZES.iter().map(|&s| queue.cycle_time(s).unwrap()).collect();
+    for w in cycles.windows(2) {
+        assert!(w[0] <= w[1], "paper-size queue curve dips: {w:?}");
+    }
+    let cache = CacheTimingModel::isca98(Technology::isca98_evaluation());
+    let cycles: Vec<Ns> =
+        cache.boundaries().map(|k| cache.cycle_time(k).unwrap()).collect();
+    for w in cycles.windows(2) {
+        assert!(w[0] <= w[1], "cache boundary curve dips: {w:?}");
+    }
+}

@@ -1,0 +1,208 @@
+//! Mutation self-test: prove the differential oracle can actually see.
+//!
+//! A verifier that never fires is indistinguishable from a correct
+//! system — unless you feed it a known bug. `--self-check` runs the
+//! production `interval-greedy` policy against a *deliberately wrong*
+//! shadow model with a planted off-by-one (its exploration loop visits
+//! `0..n-1`, never the last configuration). The check passes only if
+//! the differential driver detects the divergence, shrinks it to a
+//! minimal repro, writes the repro to disk, and replaying that file
+//! reproduces the identical divergence text twice. If the planted bug
+//! ever survives undetected, the verifier itself is broken — and that
+//! is reported as the failure.
+
+use crate::rng::Rng;
+use crate::scenario::{Scenario, StreamKind};
+use crate::shrink::{shrink, DEFAULT_SHRINK_BUDGET};
+use cap_core::manager::{ManagerDecision, SwitchOutcome};
+use cap_core::policy::{PolicyConfig, PolicyKind};
+use std::path::{Path, PathBuf};
+
+/// The self-check's stable property name (used in its repro file).
+pub const SELF_CHECK_PROPERTY: &str = "selfcheck/planted-explore-bug";
+
+/// Scenarios tried before concluding the detector is blind. The planted
+/// bug diverges during exploration, so one case should suffice; the
+/// margin is paranoia, not need.
+const DETECTION_BUDGET: u64 = 50;
+
+/// The shadow model: `interval-greedy` with the planted off-by-one.
+/// Exploration scans `0..n-1`, so the last configuration is never
+/// proposed for its seeding sample.
+struct ShadowGreedy {
+    estimates: Vec<Option<f64>>,
+}
+
+impl ShadowGreedy {
+    fn new(n: usize) -> Self {
+        ShadowGreedy { estimates: vec![None; n] }
+    }
+
+    fn observe(&mut self, config: usize, tpi_ns: f64) -> ManagerDecision {
+        if tpi_ns.is_finite() && tpi_ns > 0.0 {
+            self.estimates[config] = Some(match self.estimates[config] {
+                Some(prev) => prev + 0.5 * (tpi_ns - prev),
+                None => tpi_ns,
+            });
+        }
+        // The planted bug: the exploration scan stops one short.
+        for i in 0..self.estimates.len() - 1 {
+            if self.estimates[i].is_none() {
+                return ManagerDecision::SwitchTo(i);
+            }
+        }
+        let mut best: Option<(usize, f64)> = None;
+        for (i, e) in self.estimates.iter().enumerate() {
+            if let Some(v) = *e {
+                if best.is_none_or(|(_, w)| v.total_cmp(&w).is_lt()) {
+                    best = Some((i, v));
+                }
+            }
+        }
+        match best {
+            Some((b, _)) if b != config => ManagerDecision::SwitchTo(b),
+            _ => ManagerDecision::Stay,
+        }
+    }
+}
+
+/// Lockstep production `interval-greedy` vs the shadow. `Err` carries
+/// the divergence — which here is the *desired* outcome.
+///
+/// Returns `Ok(true)` (no divergence) only if the planted bug went
+/// unseen over this scenario.
+pub(crate) fn planted_bug_check(sc: &Scenario) -> Result<bool, String> {
+    let mut prod = PolicyConfig::new(PolicyKind::IntervalGreedy)
+        .build(sc.num_configs, cap_obs::noop(), None)
+        .map_err(|e| format!("construction failed: {e}"))?;
+    let mut shadow = ShadowGreedy::new(sc.num_configs);
+    let mut at = 0usize;
+    for t in 0..sc.steps() {
+        let tpi = sc.sample(t, at);
+        let dp = prod.observe(at, tpi);
+        let ds = shadow.observe(at, tpi);
+        if dp != ds {
+            return Err(format!(
+                "step {t}: production {dp:?} vs planted-bug shadow {ds:?}"
+            ));
+        }
+        if let ManagerDecision::SwitchTo(c) = dp {
+            if c != at {
+                prod.record_switch_outcome(c, SwitchOutcome::Succeeded);
+                at = c;
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// What a successful self-check proved.
+#[derive(Debug, Clone)]
+pub struct SelfCheckReport {
+    /// Case index at which the planted bug was first detected.
+    pub detected_case: u64,
+    /// Interval count of the shrunk repro scenario.
+    pub shrunk_steps: usize,
+    /// Configuration count of the shrunk repro scenario.
+    pub shrunk_configs: usize,
+    /// The divergence message the repro reproduces.
+    pub divergence: String,
+    /// Where the repro file was written.
+    pub repro_path: PathBuf,
+}
+
+/// Runs the self-check: plant, detect, shrink, write, replay. `Err`
+/// means the verifier failed to prove itself (couldn't detect the
+/// planted bug, or the repro didn't replay deterministically).
+pub fn run_self_check(seed: u64, out_dir: &Path) -> Result<SelfCheckReport, String> {
+    let (case, scenario) = (0..DETECTION_BUDGET)
+        .find_map(|case| {
+            let mut rng = Rng::for_case(seed, SELF_CHECK_PROPERTY, case);
+            let sc = Scenario::generate(&mut rng, PolicyKind::IntervalGreedy, StreamKind::Queue, false);
+            planted_bug_check(&sc).is_err().then_some((case, sc))
+        })
+        .ok_or_else(|| {
+            format!(
+                "planted off-by-one went UNDETECTED over {DETECTION_BUDGET} scenarios — \
+                 the differential oracle is blind"
+            )
+        })?;
+
+    let small = shrink(&scenario, |s| planted_bug_check(s).is_err(), DEFAULT_SHRINK_BUDGET);
+    let divergence = match planted_bug_check(&small) {
+        Err(d) => d,
+        Ok(_) => return Err("shrinking lost the planted-bug divergence".to_string()),
+    };
+
+    // Write the repro and replay it from the bytes on disk, twice: the
+    // whole point of a repro file is deterministic reproduction.
+    let body = {
+        let sc_json = small.to_json();
+        format!(
+            "{{\"cap_verify_repro\":1,\"property\":\"{SELF_CHECK_PROPERTY}\",\"case\":{case},{}",
+            sc_json.strip_prefix('{').unwrap_or(&sc_json)
+        )
+    };
+    let repro_path = out_dir.join("cap-verify-repro-selfcheck.json");
+    std::fs::write(&repro_path, &body)
+        .map_err(|e| format!("cannot write {}: {e}", repro_path.display()))?;
+    let read_back =
+        std::fs::read_to_string(&repro_path).map_err(|e| format!("cannot re-read repro: {e}"))?;
+    for round in 0..2 {
+        match crate::engine::replay(&read_back, out_dir)? {
+            crate::engine::ReplayOutcome::Reproduced(m) => {
+                let expected = format!("{SELF_CHECK_PROPERTY}: {divergence}");
+                if m != expected {
+                    return Err(format!(
+                        "replay round {round} produced a different divergence:\n  {m}\n  vs\n  {expected}"
+                    ));
+                }
+            }
+            crate::engine::ReplayOutcome::Clean => {
+                return Err(format!("replay round {round} did not reproduce the divergence"));
+            }
+        }
+    }
+
+    Ok(SelfCheckReport {
+        detected_case: case,
+        shrunk_steps: small.steps(),
+        shrunk_configs: small.num_configs,
+        divergence,
+        repro_path,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_planted_bug_is_detected_shrunk_and_replayed() {
+        let dir = std::env::temp_dir().join(format!("cap-verify-selfcheck-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let report = run_self_check(1, &dir).unwrap();
+        assert!(report.shrunk_steps <= 8, "shrink should bite: {report:?}");
+        assert!(report.shrunk_configs <= 3);
+        assert!(report.divergence.contains("planted-bug shadow"));
+        let _ = std::fs::remove_file(&report.repro_path);
+    }
+
+    #[test]
+    fn the_detector_stays_quiet_before_the_divergent_step() {
+        // Sanity: the detector fires because of the planted bug, not
+        // because the harness is trigger-happy. With three
+        // configurations, step 0 is an agreed explore-switch for both
+        // sides; the divergence needs the later exploration steps.
+        let sc = Scenario {
+            policy: PolicyKind::IntervalGreedy,
+            kind: StreamKind::Queue,
+            num_configs: 3,
+            landscape: vec![vec![1.0, 2.0, 3.0]],
+            corrupt: vec![None],
+            switch_faults: Vec::new(),
+            mask_at: None,
+        };
+        assert_eq!(planted_bug_check(&sc), Ok(true));
+    }
+}

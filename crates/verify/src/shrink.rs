@@ -1,0 +1,163 @@
+//! Greedy scenario shrinking: reduce a failing fuzz case to a minimal
+//! repro while preserving the failure.
+//!
+//! The shrinker repeatedly proposes structurally smaller variants of
+//! the current scenario — fewer intervals, fewer configurations, fewer
+//! fault-plan entries, rounder numbers — re-runs the failing property
+//! on each, and keeps the first variant that still fails, restarting
+//! from it. It stops at a fixpoint (no candidate still fails) or when
+//! the evaluation budget runs out. Everything is deterministic: the
+//! same failure always shrinks to the same repro.
+
+use crate::scenario::{Scenario, SwitchPlan};
+
+/// Default candidate-evaluation budget: generous for these scenario
+/// sizes (≤ 120 steps × 8 configs) while bounding pathological cases.
+pub const DEFAULT_SHRINK_BUDGET: usize = 4000;
+
+/// Structurally smaller variants of `sc`, most aggressive first.
+fn candidates(sc: &Scenario) -> Vec<Scenario> {
+    let mut out = Vec::new();
+    let steps = sc.steps();
+
+    // Halve the stream, then peel single steps (front half first: the
+    // failure usually needs a prefix, so dropping the tail is cheap).
+    if steps > 1 {
+        let mut half = sc.clone();
+        half.landscape.truncate(steps / 2);
+        half.corrupt.truncate(steps / 2);
+        out.push(half);
+        let mut minus_one = sc.clone();
+        minus_one.landscape.pop();
+        minus_one.corrupt.pop();
+        out.push(minus_one);
+        for i in 0..steps.min(48) {
+            let mut cand = sc.clone();
+            cand.landscape.remove(i);
+            cand.corrupt.remove(i);
+            if let Some((step, _)) = &mut cand.mask_at {
+                if *step > i {
+                    *step -= 1;
+                }
+            }
+            out.push(cand);
+        }
+    }
+
+    // Drop the highest configuration column.
+    if sc.num_configs > 2 {
+        let mut cand = sc.clone();
+        cand.num_configs -= 1;
+        for row in &mut cand.landscape {
+            row.pop();
+        }
+        if let Some((_, configs)) = &mut cand.mask_at {
+            configs.retain(|&c| c < cand.num_configs);
+            if configs.is_empty() || configs.len() >= cand.num_configs {
+                cand.mask_at = None;
+            }
+        }
+        out.push(cand);
+    }
+
+    // Neutralize fault-plan pieces one at a time.
+    if sc.mask_at.is_some() {
+        let mut cand = sc.clone();
+        cand.mask_at = None;
+        out.push(cand);
+    }
+    for (i, c) in sc.corrupt.iter().enumerate() {
+        if c.is_some() {
+            let mut cand = sc.clone();
+            cand.corrupt[i] = None;
+            out.push(cand);
+        }
+    }
+    if sc.switch_faults.iter().any(|f| *f != SwitchPlan::Succeed) {
+        let mut all_clean = sc.clone();
+        all_clean.switch_faults.clear();
+        out.push(all_clean);
+        for (i, f) in sc.switch_faults.iter().enumerate() {
+            if *f != SwitchPlan::Succeed {
+                let mut cand = sc.clone();
+                cand.switch_faults[i] = SwitchPlan::Succeed;
+                out.push(cand);
+            }
+        }
+    }
+
+    // Round the landscape to three decimals (one shot; either the
+    // failure survives rounder numbers or it keeps the exact bits).
+    let rounded: Vec<Vec<f64>> = sc
+        .landscape
+        .iter()
+        .map(|row| row.iter().map(|v| (v * 1000.0).round() / 1000.0).collect())
+        .collect();
+    if rounded != sc.landscape {
+        let mut cand = sc.clone();
+        cand.landscape = rounded;
+        out.push(cand);
+    }
+
+    out
+}
+
+/// Shrinks `original` (which must fail `fails`) to a smaller scenario
+/// that still fails, within `budget` property evaluations.
+pub fn shrink<F: Fn(&Scenario) -> bool>(original: &Scenario, fails: F, budget: usize) -> Scenario {
+    let mut cur = original.clone();
+    let mut evals = 0usize;
+    'outer: loop {
+        for cand in candidates(&cur) {
+            if evals >= budget {
+                break 'outer;
+            }
+            if cand == cur {
+                continue;
+            }
+            evals += 1;
+            if fails(&cand) {
+                cur = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+    use crate::scenario::StreamKind;
+    use cap_core::policy::PolicyKind;
+
+    #[test]
+    fn shrinks_a_value_triggered_failure_to_one_step_two_configs() {
+        let mut rng = Rng::for_case(7, "shrink-unit", 0);
+        let mut sc = Scenario::generate(&mut rng, PolicyKind::Confidence, StreamKind::Queue, true);
+        let mid = sc.steps() / 2;
+        sc.landscape[mid][0] = 1.0e9; // the "bug trigger"
+        let fails = |s: &Scenario| s.landscape.iter().any(|row| row.iter().any(|&v| v > 1.0e6));
+        assert!(fails(&sc));
+        let small = shrink(&sc, fails, DEFAULT_SHRINK_BUDGET);
+        assert!(fails(&small));
+        assert_eq!(small.steps(), 1, "{}", small.to_json());
+        assert_eq!(small.num_configs, 2);
+        assert!(small.corrupt.iter().all(Option::is_none));
+        assert!(small.switch_faults.iter().all(|f| *f == SwitchPlan::Succeed));
+        assert!(small.mask_at.is_none());
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let mut rng = Rng::for_case(7, "shrink-det", 0);
+        let mut sc = Scenario::generate(&mut rng, PolicyKind::Hysteresis, StreamKind::Cache, true);
+        sc.landscape[0][0] = -0.0; // sanitize-reject trigger
+        let fails = |s: &Scenario| s.landscape.iter().any(|row| row.iter().any(|v| *v <= 0.0));
+        let a = shrink(&sc, fails, DEFAULT_SHRINK_BUDGET);
+        let b = shrink(&sc, fails, DEFAULT_SHRINK_BUDGET);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+}

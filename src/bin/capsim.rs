@@ -17,6 +17,8 @@
 //! capsim trace-summary <file>      reduce a JSONL trace to counters
 //! capsim doctor [dir]              scan/repair a result cache directory
 //! capsim chaos <cache|queue|all>   crash/corruption self-test
+//! capsim verify [--cases N] [--seed S] [--replay FILE] [--self-check]
+//!                                  differential-oracle + property-fuzz suite
 //! ```
 //!
 //! Scale is taken from `CAP_SCALE` (`smoke`/`default`/`full`). Sweeps
@@ -53,13 +55,14 @@ use cap::par::{
     drain_requested, watchdog::parse_timeout_seconds, Journal, JournalHeader, ResultCache,
     WatchdogPolicy, CHAOS_KILL_EXIT, QUARANTINE_DIR,
 };
+use cap::verify::{replay, run_self_check, run_verify, ReplayOutcome, VerifyConfig};
 use cap::workloads::App;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, PoisonError};
 use std::time::Duration;
 
-const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|compare-policies|joint|power|headline|faults|trace-summary|doctor|chaos> [app] [options]
+const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|compare-policies|joint|power|headline|faults|trace-summary|doctor|chaos|verify> [app] [options]
   list                 the 22 evaluation applications
   cache <app>          TPI vs L1/L2 boundary (Figure 7 row)
   queue <app>          TPI vs window size (Figure 10 row)
@@ -78,6 +81,12 @@ const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|compare-polic
   doctor [dir]         scan a result cache, quarantine damage (default results/cache)
   chaos <cache|queue|all>  deterministic crash/corruption self-test over that sweep
                        (--seed N, --jobs N; runs at smoke scale in temp dirs)
+  verify               differential oracle + property-fuzzing suite: every policy
+                       vs its reference model, plus metamorphic invariants
+                       (--cases N: fuzz cases per property, --seed S: root seed,
+                        --replay FILE: re-run a shrunk repro file,
+                        --self-check: plant a known bug, prove it is detected;
+                        repro files land in CAP_VERIFY_DIR, default cwd)
 policies: process-level | interval-greedy | confidence (default) | hysteresis
 scale via CAP_SCALE = smoke | default | full
 sweep memoization under results/cache (CAP_CACHE_DIR overrides, CAP_NO_CACHE=1 disables)
@@ -225,6 +234,66 @@ fn campaign_err(e: CapError, exec: &ExecPolicy, resume_cmd: &str) -> String {
     } else {
         e.to_string()
     }
+}
+
+/// Parsed `capsim verify` options. The defaults give a quick but
+/// non-trivial local run; CI and the acceptance gate pass explicit
+/// `--cases`/`--seed`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct VerifyOpts {
+    cases: u64,
+    seed: u64,
+    replay: Option<String>,
+    self_check: bool,
+}
+
+impl VerifyOpts {
+    fn parse(rest: &[&str]) -> Result<Self, String> {
+        let mut opts = VerifyOpts { cases: 1000, seed: 1, replay: None, self_check: false };
+        let mut it = rest.iter();
+        while let Some(&flag) = it.next() {
+            match flag {
+                "--cases" => {
+                    let v = it.next().ok_or_else(|| format!("--cases wants a value\n{USAGE}"))?;
+                    opts.cases = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| {
+                            format!("--cases wants a positive integer, got `{v}`\n{USAGE}")
+                        })?;
+                }
+                "--seed" => {
+                    let v = it.next().ok_or_else(|| format!("--seed wants a value\n{USAGE}"))?;
+                    opts.seed = v.parse().map_err(|_| {
+                        format!("--seed wants an unsigned integer, got `{v}`\n{USAGE}")
+                    })?;
+                }
+                "--replay" => {
+                    let v =
+                        it.next().ok_or_else(|| format!("--replay wants a file path\n{USAGE}"))?;
+                    opts.replay = Some((*v).to_string());
+                }
+                "--self-check" => opts.self_check = true,
+                other => return Err(format!("unknown verify flag `{other}`\n{USAGE}")),
+            }
+        }
+        if opts.replay.is_some() && opts.self_check {
+            return Err(format!("--replay and --self-check are mutually exclusive\n{USAGE}"));
+        }
+        Ok(opts)
+    }
+}
+
+/// Where `capsim verify` writes repro files and journal scratch:
+/// `CAP_VERIFY_DIR`, defaulting to the current directory.
+fn verify_out_dir() -> Result<PathBuf, String> {
+    let dir = std::env::var_os("CAP_VERIFY_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("cannot create verify directory `{}`: {e}", dir.display()))?;
+    Ok(dir)
 }
 
 /// Executes a parsed command line and renders the report.
@@ -531,6 +600,72 @@ fn run(args: &[&str]) -> Result<String, String> {
             }
             let _ = std::fs::remove_dir_all(&harness.root);
             let _ = writeln!(out, "chaos: all 5 scenarios passed");
+        }
+        ["verify", rest @ ..] => {
+            let opts = VerifyOpts::parse(rest)?;
+            let out_dir = verify_out_dir()?;
+            if let Some(path) = &opts.replay {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read repro `{path}`: {e}"))?;
+                match replay(&text, &out_dir)? {
+                    ReplayOutcome::Reproduced(message) => {
+                        return Err(format!("replay: REPRODUCED\n  {message}"));
+                    }
+                    ReplayOutcome::Clean => {
+                        let _ = writeln!(out, "replay: clean — the property passes on this repro");
+                    }
+                }
+            } else if opts.self_check {
+                let report = run_self_check(opts.seed, &out_dir)
+                    .map_err(|e| format!("self-check FAILED: {e}"))?;
+                let _ = writeln!(
+                    out,
+                    "self-check: planted off-by-one detected at case {}, shrunk to {} step(s) x {} config(s)",
+                    report.detected_case, report.shrunk_steps, report.shrunk_configs
+                );
+                let _ = writeln!(out, "  divergence: {}", report.divergence);
+                let _ = writeln!(out, "  repro replayed twice from disk, byte-identical outcome");
+                let _ = std::fs::remove_file(&report.repro_path);
+            } else {
+                let cfg = VerifyConfig { cases: opts.cases, seed: opts.seed, out_dir };
+                eprintln!("verify: {} cases/property, seed {}", cfg.cases, cfg.seed);
+                let report = run_verify(&cfg, &mut |p| {
+                    let status = match &p.failure {
+                        Some(f) => format!("FAILED at case {}", f.case),
+                        None if p.skipped > 0 => {
+                            format!("ok ({} cases, {} skipped)", p.cases_run, p.skipped)
+                        }
+                        None => format!("ok ({} cases)", p.cases_run),
+                    };
+                    eprintln!("verify: {:<34} {status}", p.name);
+                });
+                let total: u64 = report.properties.iter().map(|p| p.cases_run).sum();
+                let skipped: u64 = report.properties.iter().map(|p| p.skipped).sum();
+                if report.failed() {
+                    let mut msg = String::new();
+                    let _ = writeln!(msg, "verify: FAILED (seed {})", report.seed);
+                    for p in report.properties.iter().filter(|p| p.failure.is_some()) {
+                        let f = p.failure.as_ref().unwrap();
+                        let _ = writeln!(msg, "  {} (case {}):", p.name, f.case);
+                        let _ = writeln!(msg, "    {}", f.message);
+                        if let Some(path) = &f.repro_path {
+                            let _ = writeln!(
+                                msg,
+                                "    repro: {} (re-run with `capsim verify --replay {}`)",
+                                path.display(),
+                                path.display()
+                            );
+                        }
+                    }
+                    return Err(msg);
+                }
+                let _ = writeln!(
+                    out,
+                    "verify: {} properties passed, seed {} ({total} cases run, {skipped} skipped by guards)",
+                    report.properties.len(),
+                    report.seed
+                );
+            }
         }
         _ => return Err(USAGE.to_string()),
     }
@@ -990,6 +1125,54 @@ mod tests {
             .unwrap_err()
             .contains("only --seed"));
         assert!(run(&["chaos", "queue", "--resume"]).unwrap_err().contains("only --seed"));
+    }
+
+    #[test]
+    fn verify_flags_parse_and_reject() {
+        let d = VerifyOpts::parse(&[]).unwrap();
+        assert_eq!(d.cases, 1000);
+        assert_eq!(d.seed, 1);
+        assert!(d.replay.is_none());
+        assert!(!d.self_check);
+        let f = VerifyOpts::parse(&["--cases", "50", "--seed", "9"]).unwrap();
+        assert_eq!((f.cases, f.seed), (50, 9));
+        let r = VerifyOpts::parse(&["--replay", "repro.json"]).unwrap();
+        assert_eq!(r.replay.as_deref(), Some("repro.json"));
+        assert!(VerifyOpts::parse(&["--self-check"]).unwrap().self_check);
+        assert!(VerifyOpts::parse(&["--cases"]).unwrap_err().contains("usage:"));
+        assert!(VerifyOpts::parse(&["--cases", "0"]).unwrap_err().contains("usage:"));
+        assert!(VerifyOpts::parse(&["--seed", "nope"]).unwrap_err().contains("usage:"));
+        assert!(VerifyOpts::parse(&["--jobs", "2"]).unwrap_err().contains("usage:"));
+        assert!(VerifyOpts::parse(&["--replay", "x", "--self-check"])
+            .unwrap_err()
+            .contains("mutually exclusive"));
+    }
+
+    #[test]
+    fn verify_replay_rejects_missing_and_malformed_files() {
+        assert!(run(&["verify", "--replay", "/nonexistent/repro.json"])
+            .unwrap_err()
+            .contains("cannot read"));
+        let dir = std::env::temp_dir().join(format!("capsim-verify-ut-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("not-a-repro.json");
+        std::fs::write(&bad, "{\"hello\":1}").unwrap();
+        assert!(run(&["verify", "--replay", bad.to_str().unwrap()])
+            .unwrap_err()
+            .contains("not a cap-verify repro"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verify_smoke_run_passes_and_reports_every_property() {
+        let dir = std::env::temp_dir().join(format!("capsim-verify-run-ut-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("CAP_VERIFY_DIR", &dir);
+        let out = run(&["verify", "--cases", "3", "--seed", "5"]).unwrap();
+        std::env::remove_var("CAP_VERIFY_DIR");
+        assert!(out.contains("29 properties passed"), "{out}");
+        assert!(out.contains("seed 5"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //! * [`obs`] — the observability layer: structured decision/switch/sweep
 //!   trace events, a zero-cost `Recorder` with JSONL and ring-buffer
 //!   sinks, and the `capsim trace-summary` reducer.
+//! * [`verify`] — the differential oracle and property-fuzzing
+//!   subsystem: reference models for every configuration policy,
+//!   metamorphic invariants, deterministic seeded fuzzing with greedy
+//!   shrinking, and the `capsim verify` mutation self-check.
 //!
 //! # Quickstart
 //!
@@ -49,4 +53,5 @@ pub use cap_ooo as ooo;
 pub use cap_par as par;
 pub use cap_timing as timing;
 pub use cap_trace as trace;
+pub use cap_verify as verify;
 pub use cap_workloads as workloads;

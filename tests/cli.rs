@@ -1,31 +1,10 @@
 //! Process-level CLI contract tests for `capsim`: bad input exits
 //! non-zero with usage text, and the documented happy paths run.
 
-use std::process::{Command, Output};
+mod common;
 
-fn capsim(args: &[&str]) -> Output {
-    let journal_dir = std::env::temp_dir().join(format!("capsim-cli-journal-{}", std::process::id()));
-    Command::new(env!("CARGO_BIN_EXE_capsim"))
-        .args(args)
-        .env("CAP_SCALE", "smoke")
-        .env("CAP_NO_CACHE", "1")
-        .env("CAP_JOURNAL_DIR", journal_dir)
-        .env_remove("CAP_JOBS")
-        .env_remove("CAP_CACHE_DIR")
-        .env_remove("CAP_LEG_TIMEOUT")
-        .env_remove("CAP_CHAOS_PANIC")
-        .env_remove("CAP_CHAOS_STALL")
-        .env_remove("CAP_CHAOS_KILL_AFTER_LEG")
-        .output()
-        .expect("capsim spawns")
-}
-
-fn assert_usage_failure(args: &[&str]) {
-    let out = capsim(args);
-    assert!(!out.status.success(), "capsim {args:?} should fail");
-    let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("usage:"), "capsim {args:?} stderr lacks usage text:\n{stderr}");
-}
+use common::{assert_usage_failure, capsim, Capsim};
+use std::process::Command;
 
 #[test]
 fn unknown_subcommand_fails_with_usage() {
@@ -76,13 +55,7 @@ fn figure_binary_rejects_malformed_jobs() {
 #[test]
 fn malformed_cap_jobs_env_is_rejected_with_a_clear_error() {
     for bad in ["abc", "0", "-3", "1.5"] {
-        let out = Command::new(env!("CARGO_BIN_EXE_capsim"))
-            .args(["sweep", "cache"])
-            .env("CAP_SCALE", "smoke")
-            .env("CAP_NO_CACHE", "1")
-            .env("CAP_JOBS", bad)
-            .output()
-            .expect("capsim spawns");
+        let out = Capsim::new(&["sweep", "cache"]).env("CAP_JOBS", bad).run();
         assert!(!out.status.success(), "CAP_JOBS={bad} must be rejected");
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(stderr.contains("CAP_JOBS"), "CAP_JOBS={bad} stderr names the variable:\n{stderr}");
@@ -94,13 +67,7 @@ fn malformed_cap_jobs_env_is_rejected_with_a_clear_error() {
 #[test]
 fn unknown_cap_scale_is_rejected_with_a_clear_error() {
     for bad in ["ful", "SMOKE", "1"] {
-        let out = Command::new(env!("CARGO_BIN_EXE_capsim"))
-            .args(["sweep", "cache"])
-            .env("CAP_SCALE", bad)
-            .env("CAP_NO_CACHE", "1")
-            .env_remove("CAP_JOBS")
-            .output()
-            .expect("capsim spawns");
+        let out = Capsim::new(&["sweep", "cache"]).env("CAP_SCALE", bad).run();
         assert!(!out.status.success(), "CAP_SCALE={bad} must be rejected, not fall back");
         let stderr = String::from_utf8_lossy(&out.stderr);
         assert!(stderr.contains("CAP_SCALE"), "CAP_SCALE={bad} stderr names the variable:\n{stderr}");
@@ -129,9 +96,7 @@ fn campaign_flags_are_rejected_on_non_campaign_commands() {
 
 #[test]
 fn doctor_scans_an_empty_directory_cleanly() {
-    let dir = std::env::temp_dir().join(format!("capsim-cli-doctor-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = common::tmp_dir("cli-doctor");
     let out = capsim(&["doctor", dir.to_str().unwrap()]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
@@ -185,8 +150,7 @@ fn compare_policies_lists_the_whole_catalog() {
 
 #[test]
 fn trace_flag_round_trips_through_trace_summary() {
-    let dir = std::env::temp_dir().join(format!("capsim-trace-cli-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = common::tmp_dir("trace-cli");
     let trace = dir.join("managed.jsonl");
     let trace_arg = trace.to_str().unwrap();
 
@@ -223,8 +187,7 @@ fn trace_summary_rejects_missing_and_malformed_input() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
 
-    let dir = std::env::temp_dir().join(format!("capsim-badtrace-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = common::tmp_dir("badtrace");
     let bad = dir.join("bad.jsonl");
     std::fs::write(&bad, "{\"ev\":\"future-event-kind\"}\nnot json\n").unwrap();
     let out = capsim(&["trace-summary", bad.to_str().unwrap()]);

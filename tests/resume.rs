@@ -5,59 +5,24 @@
 //! exits the process from inside the journal append), so the journal on
 //! disk is exactly what a real crash would leave behind.
 
-use std::path::{Path, PathBuf};
-use std::process::{Command, Output};
+mod common;
 
-/// Mirror of `cap::par::CHAOS_KILL_EXIT`, asserted here so a drifting
-/// constant fails loudly instead of masking a real crash.
-const KILL_EXIT: i32 = 86;
+use common::{tmp_dir, Capsim, KILL_EXIT};
+use std::path::Path;
 
-fn tmp(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("capsim-resume-{tag}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    dir
-}
-
-fn capsim(
-    args: &[&str],
-    journal: &Path,
-    cache: Option<&Path>,
-    kill_after: Option<u64>,
-) -> Output {
-    let mut cmd = Command::new(env!("CARGO_BIN_EXE_capsim"));
-    cmd.args(args)
-        .env("CAP_SCALE", "smoke")
-        .env("CAP_JOURNAL_DIR", journal)
-        .env_remove("CAP_JOBS")
-        .env_remove("CAP_LEG_TIMEOUT")
-        .env_remove("CAP_TRACE")
-        .env_remove("CAP_CHAOS_PANIC")
-        .env_remove("CAP_CHAOS_STALL");
-    match cache {
-        Some(dir) => {
-            cmd.env("CAP_CACHE_DIR", dir);
-        }
-        None => {
-            cmd.env("CAP_NO_CACHE", "1");
-        }
+fn sweep(args: &[&str], journal: &Path, cache: Option<&Path>) -> Capsim {
+    let mut cmd = Capsim::new(args).journal(journal);
+    if let Some(dir) = cache {
+        cmd = cmd.cache(dir);
     }
-    match kill_after {
-        Some(k) => {
-            cmd.env("CAP_CHAOS_KILL_AFTER_LEG", k.to_string());
-        }
-        None => {
-            cmd.env_remove("CAP_CHAOS_KILL_AFTER_LEG");
-        }
-    }
-    cmd.output().expect("capsim spawns")
+    cmd
 }
 
 /// Kill `capsim sweep queue` at a seed-chosen leg boundary, resume, and
 /// require byte equality with an uninterrupted reference run.
 fn assert_sweep_resume_equivalence(jobs: &str, warm: bool) {
     let tag = format!("sweep-j{jobs}-{}", if warm { "warm" } else { "cold" });
-    let root = tmp(&tag);
+    let root = tmp_dir(&tag);
     let cache_dir = root.join("cache");
     let cache = warm.then_some(cache_dir.as_path());
     let seed = 21u64;
@@ -68,10 +33,10 @@ fn assert_sweep_resume_equivalence(jobs: &str, warm: bool) {
     if warm {
         // Populate the cache first; the killed run then journals its
         // cache hits, so the journal and the cache agree leg for leg.
-        let prime = capsim(&args, &root.join("prime-journal"), cache, None);
+        let prime = sweep(&args, &root.join("prime-journal"), cache).run();
         assert!(prime.status.success(), "{tag} prime: {}", String::from_utf8_lossy(&prime.stderr));
     }
-    let reference = capsim(&args, &root.join("ref-journal"), cache, None);
+    let reference = sweep(&args, &root.join("ref-journal"), cache).run();
     assert!(
         reference.status.success(),
         "{tag} reference: {}",
@@ -79,7 +44,7 @@ fn assert_sweep_resume_equivalence(jobs: &str, warm: bool) {
     );
 
     let journal = root.join("journal");
-    let killed = capsim(&args, &journal, cache, Some(kill_after));
+    let killed = sweep(&args, &journal, cache).kill_after(kill_after).run();
     assert_eq!(
         killed.status.code(),
         Some(KILL_EXIT),
@@ -87,7 +52,7 @@ fn assert_sweep_resume_equivalence(jobs: &str, warm: bool) {
         String::from_utf8_lossy(&killed.stderr)
     );
 
-    let resumed = capsim(&resume_args, &journal, cache, None);
+    let resumed = sweep(&resume_args, &journal, cache).run();
     assert!(
         resumed.status.success(),
         "{tag} resume: {}",
@@ -122,9 +87,9 @@ fn sweep_resume_is_byte_identical_parallel_warm() {
 
 #[test]
 fn faults_resume_is_byte_identical() {
-    let root = tmp("faults");
+    let root = tmp_dir("faults");
     let args = ["faults", "radar", "--seed", "5", "--jobs", "2"];
-    let reference = capsim(&args, &root.join("ref-journal"), None, None);
+    let reference = sweep(&args, &root.join("ref-journal"), None).run();
     assert!(
         reference.status.success(),
         "reference: {}",
@@ -132,15 +97,15 @@ fn faults_resume_is_byte_identical() {
     );
 
     let journal = root.join("journal");
-    let killed = capsim(&args, &journal, None, Some(1));
+    let killed = sweep(&args, &journal, None).kill_after(1).run();
     assert_eq!(killed.status.code(), Some(KILL_EXIT));
 
-    let resumed = capsim(
+    let resumed = sweep(
         &["faults", "radar", "--seed", "5", "--jobs", "2", "--resume"],
         &journal,
         None,
-        None,
-    );
+    )
+    .run();
     assert!(resumed.status.success(), "resume: {}", String::from_utf8_lossy(&resumed.stderr));
     assert_eq!(resumed.stdout, reference.stdout);
     let _ = std::fs::remove_dir_all(&root);
@@ -151,9 +116,9 @@ fn resume_under_a_different_identity_is_refused() {
     // The journal filename is keyed by (kind, scale, seed), so a header
     // mismatch can only arise from a file copied or renamed into place —
     // exactly what must never be silently replayed.
-    let root = tmp("identity");
+    let root = tmp_dir("identity");
     let journal = root.join("journal");
-    let killed = capsim(&["sweep", "queue", "--seed", "21"], &journal, None, Some(2));
+    let killed = sweep(&["sweep", "queue", "--seed", "21"], &journal, None).kill_after(2).run();
     assert_eq!(killed.status.code(), Some(KILL_EXIT));
 
     std::fs::copy(
@@ -161,7 +126,7 @@ fn resume_under_a_different_identity_is_refused() {
         journal.join("sweep-queue-smoke-0000000000000016.jsonl"),
     )
     .unwrap();
-    let other = capsim(&["sweep", "queue", "--seed", "22", "--resume"], &journal, None, None);
+    let other = sweep(&["sweep", "queue", "--seed", "22", "--resume"], &journal, None).run();
     assert!(!other.status.success(), "a foreign journal must not be replayed");
     let stderr = String::from_utf8_lossy(&other.stderr);
     assert!(stderr.contains("different run"), "{stderr}");
@@ -174,9 +139,9 @@ fn interrupted_salvage_names_the_resume_command() {
     // command. SIGTERM delivery is racy to test portably, so this drives
     // the same drain path via the chaos kill, then checks the journal is
     // replayable by the advertised command line.
-    let root = tmp("salvage");
+    let root = tmp_dir("salvage");
     let journal = root.join("journal");
-    let killed = capsim(&["sweep", "queue", "--seed", "21"], &journal, None, Some(3));
+    let killed = sweep(&["sweep", "queue", "--seed", "21"], &journal, None).kill_after(3).run();
     assert_eq!(killed.status.code(), Some(KILL_EXIT));
     let file = journal.join("sweep-queue-smoke-0000000000000015.jsonl");
     assert!(file.exists(), "journal file exists at the documented path");

@@ -3,6 +3,8 @@
 //! event per counted switch) and must never perturb it (traced and
 //! untraced runs produce identical reports).
 
+mod common;
+
 use cap::core::experiments::{CacheExperiment, ExecPolicy, ExperimentScale, IntervalExperiment};
 use cap::core::manager::ConfidencePolicy;
 use cap::obs::summary::TraceSummary;
@@ -75,8 +77,7 @@ fn tracing_does_not_perturb_a_cache_sweep() {
 
 #[test]
 fn jsonl_trace_round_trips_through_the_summary_reducer() {
-    let dir = std::env::temp_dir().join(format!("cap-trace-test-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = common::tmp_dir("trace-jsonl");
     let path = dir.join("managed.jsonl");
     let recorder = Arc::new(JsonlRecorder::create(&path).unwrap());
     let exec = ExecPolicy::serial().with_recorder(recorder);
