@@ -79,19 +79,23 @@ impl AdaptiveCacheHierarchy {
         Self::with_geometry(CacheGeometry::isca98(), boundary)
     }
 
-    /// Creates a hierarchy over an arbitrary (validated) geometry.
+    /// Creates a hierarchy over an arbitrary geometry, validating it
+    /// first.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the geometry fails [`CacheGeometry::validate`] — callers
-    /// constructing custom geometries should validate first.
-    pub fn with_geometry(geometry: CacheGeometry, boundary: Boundary) -> Self {
-        geometry.validate().expect("invalid cache geometry");
+    /// Returns [`CacheError::Timing`] if the geometry fails
+    /// [`CacheGeometry::validate`].
+    pub fn try_with_geometry(
+        geometry: CacheGeometry,
+        boundary: Boundary,
+    ) -> Result<Self, CacheError> {
+        geometry.validate()?;
         let total_ways = geometry.increments * geometry.increment_assoc;
         let sets = (0..geometry.sets())
             .map(|_| CacheSet { ways: vec![None; total_ways] })
             .collect();
-        AdaptiveCacheHierarchy {
+        Ok(AdaptiveCacheHierarchy {
             geometry,
             boundary,
             sets,
@@ -99,7 +103,20 @@ impl AdaptiveCacheHierarchy {
             stats: CacheStats::new(),
             way_hits: vec![0; total_ways],
             dead_increments: 0,
-        }
+        })
+    }
+
+    /// Creates a hierarchy over an arbitrary (validated) geometry — a
+    /// convenience wrapper over
+    /// [`AdaptiveCacheHierarchy::try_with_geometry`] for geometries known
+    /// valid, such as [`CacheGeometry::isca98`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry fails [`CacheGeometry::validate`] — callers
+    /// constructing custom geometries should prefer the fallible variant.
+    pub fn with_geometry(geometry: CacheGeometry, boundary: Boundary) -> Self {
+        Self::try_with_geometry(geometry, boundary).expect("invalid cache geometry")
     }
 
     /// The structure's geometry.

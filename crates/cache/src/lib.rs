@@ -22,7 +22,9 @@
 //! * [`stats`] — access outcome counters;
 //! * [`perf`] — the blocking-cache TPI model (paper §5.1 methodology);
 //! * [`sim`] — drivers that run an address stream through one or many
-//!   boundary configurations.
+//!   boundary configurations;
+//! * [`multisweep`] — the single-pass stack-distance engine that answers
+//!   every boundary from one traversal, bit-identical to [`sim::sweep`].
 //!
 //! # Example
 //!
@@ -46,6 +48,7 @@ pub mod config;
 pub mod error;
 pub mod hierarchy;
 pub mod inclusive;
+pub mod multisweep;
 pub mod perf;
 pub mod sim;
 pub mod stats;

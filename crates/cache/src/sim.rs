@@ -109,7 +109,7 @@ pub fn sweep_point<S: AddressStream>(
     timing: &CacheTimingModel,
     params: PerfParams,
 ) -> Result<SweepPoint, CacheError> {
-    let mut cache = AdaptiveCacheHierarchy::with_geometry(*timing.geometry(), boundary);
+    let mut cache = AdaptiveCacheHierarchy::try_with_geometry(*timing.geometry(), boundary)?;
     let stats = run(stream, refs, &mut cache);
     let tpi = evaluate(&stats, boundary, timing, params)?;
     Ok(SweepPoint { boundary, stats, tpi })

@@ -121,6 +121,57 @@ impl ExperimentScale {
 /// The deterministic root seed used by all experiments unless overridden.
 pub const DEFAULT_SEED: u64 = 0x15CA_1998;
 
+/// Which sweep engine computes a configuration curve.
+///
+/// Results are bit-identical between engines (held as an invariant by
+/// `cap-verify` and the crate's tests); the choice affects only
+/// wall-clock and the shape of the leg stream — single-pass computes one
+/// whole curve per leg, the legacy engine one configuration per leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SweepEngine {
+    /// One traversal per application answers every configuration: the
+    /// cache study classifies each reference by stack distance
+    /// ([`cap_cache::multisweep`]), the queue study replays one recorded
+    /// instruction tape through every window ([`cap_ooo::multisweep`]).
+    #[default]
+    SinglePass,
+    /// One full simulation per (application, configuration) pair — the
+    /// original fan-out, kept as the reference and the fallback.
+    Legacy,
+}
+
+impl SweepEngine {
+    /// The engine selected by `CAP_SWEEP_ENGINE` (`single-pass` or
+    /// `legacy`; unset means single-pass).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapError::Environment`] for an unknown value.
+    pub fn from_env() -> Result<Self, CapError> {
+        match std::env::var("CAP_SWEEP_ENGINE") {
+            Err(_) => Ok(SweepEngine::SinglePass),
+            Ok(v) => match v.as_str() {
+                "single-pass" => Ok(SweepEngine::SinglePass),
+                "legacy" => Ok(SweepEngine::Legacy),
+                other => Err(CapError::Environment {
+                    message: format!(
+                        "CAP_SWEEP_ENGINE={other:?} is not a known engine \
+                         (expected single-pass or legacy)"
+                    ),
+                }),
+            },
+        }
+    }
+
+    /// The engine's canonical name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SweepEngine::SinglePass => "single-pass",
+            SweepEngine::Legacy => "legacy",
+        }
+    }
+}
+
 /// Bump whenever simulator, workload, or timing semantics change: it is
 /// baked into every result-cache key, so old cached sweeps stop
 /// replaying the moment the physics moves.
@@ -147,6 +198,7 @@ pub struct ExecPolicy {
     journal: Option<Arc<Mutex<Journal>>>,
     watchdog: WatchdogPolicy,
     chaos: Option<ChaosInjector>,
+    sweep_engine: SweepEngine,
 }
 
 impl ExecPolicy {
@@ -159,6 +211,7 @@ impl ExecPolicy {
             journal: None,
             watchdog: WatchdogPolicy::none(),
             chaos: None,
+            sweep_engine: SweepEngine::default(),
         }
     }
 
@@ -204,12 +257,21 @@ impl ExecPolicy {
         self
     }
 
+    /// Selects the sweep engine (results are identical; see
+    /// [`SweepEngine`]).
+    #[must_use]
+    pub fn with_sweep_engine(mut self, engine: SweepEngine) -> Self {
+        self.sweep_engine = engine;
+        self
+    }
+
     /// The policy selected by the environment: `jobs` (CLI `--jobs`)
     /// falls back to `CAP_JOBS`, then to the machine's parallelism; the
     /// cache comes from `CAP_CACHE_DIR` unless `CAP_NO_CACHE` is set;
     /// tracing comes from `CAP_TRACE` (a JSONL output path); the
     /// watchdog deadline from `CAP_LEG_TIMEOUT`; chaos injection from
-    /// `CAP_CHAOS_PANIC` / `CAP_CHAOS_STALL`.
+    /// `CAP_CHAOS_PANIC` / `CAP_CHAOS_STALL`; the sweep engine from
+    /// `CAP_SWEEP_ENGINE`.
     ///
     /// A cache directory named by `CAP_CACHE_DIR` is probed for
     /// writability up front, so a campaign fails before its first leg —
@@ -236,7 +298,8 @@ impl ExecPolicy {
                 message: format!("CAP_CACHE_DIR is unusable: {e}"),
             })?;
         }
-        Ok(ExecPolicy { jobs, cache, recorder, journal: None, watchdog, chaos })
+        let sweep_engine = SweepEngine::from_env()?;
+        Ok(ExecPolicy { jobs, cache, recorder, journal: None, watchdog, chaos, sweep_engine })
     }
 
     /// The worker count.
@@ -262,6 +325,11 @@ impl ExecPolicy {
     /// The per-leg watchdog policy.
     pub fn watchdog(&self) -> &WatchdogPolicy {
         &self.watchdog
+    }
+
+    /// The sweep engine in effect.
+    pub fn sweep_engine(&self) -> SweepEngine {
+        self.sweep_engine
     }
 
     pub(crate) fn pool(&self) -> Pool {
@@ -603,6 +671,35 @@ impl CacheExperiment {
         })
     }
 
+    /// The whole curve in one traversal: the single-pass engine
+    /// classifies every reference by stack distance and answers all
+    /// boundaries at once ([`cap_cache::multisweep`]). Falls back to the
+    /// legacy per-boundary path when the one-pass preconditions do not
+    /// hold, so the output is bit-identical to a serial fold over
+    /// [`CacheExperiment::leg`] either way.
+    fn curve_points_single_pass(&self, app: App) -> Result<Vec<CachePoint>, CapError> {
+        let profile = app.memory_profile();
+        let points = cap_cache::multisweep::sweep_one_pass(
+            || profile.build(self.seed ^ app.seed_salt()),
+            self.scale.cache_refs(),
+            Boundary::paper_sweep(),
+            &self.timing,
+            PerfParams::isca98(profile.insts_per_ref),
+        )?;
+        Ok(points
+            .into_iter()
+            .map(|p| CachePoint {
+                l1_kb: p.boundary.l1_kb(),
+                l1_assoc: p.boundary.l1_assoc(),
+                cycle_ns: p.tpi.cycle.value(),
+                tpi_ns: p.tpi.total_tpi().value(),
+                tpi_miss_ns: p.tpi.miss_tpi.value(),
+                l1_miss_ratio: p.stats.l1_miss_ratio(),
+                global_miss_ratio: p.stats.global_miss_ratio(),
+            })
+            .collect())
+    }
+
     /// The result-cache identity of one application's curve.
     fn curve_key(&self, app: App) -> CacheKey {
         let boundaries: Vec<Boundary> = Boundary::paper_sweep().collect();
@@ -650,13 +747,17 @@ impl CacheExperiment {
         let key = self.curve_key(app);
         let canon = key.canonical();
         exec.memo(&key, CacheCurve::from_json, || {
-            let points = exec
-                .pool()
-                .ordered_map(Boundary::paper_sweep().collect(), |i, b| {
-                    exec.guarded(&format!("{canon}|point={i}"), || self.leg(app, b))
-                })
-                .into_iter()
-                .collect::<Result<Vec<_>, _>>()?;
+            let points = match exec.sweep_engine() {
+                SweepEngine::SinglePass => exec
+                    .guarded(&format!("{canon}|curve"), || self.curve_points_single_pass(app))?,
+                SweepEngine::Legacy => exec
+                    .pool()
+                    .ordered_map(Boundary::paper_sweep().collect(), |i, b| {
+                        exec.guarded(&format!("{canon}|point={i}"), || self.leg(app, b))
+                    })
+                    .into_iter()
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
             Ok(Self::assemble_curve(app, points))
         })
     }
@@ -696,18 +797,38 @@ impl CacheExperiment {
             .collect();
 
         let boundaries: Vec<Boundary> = Boundary::paper_sweep().collect();
-        let legs: Vec<(usize, usize, App, Boundary)> = apps
-            .iter()
-            .enumerate()
-            .filter(|(slot, _)| curves[*slot].is_none())
-            .flat_map(|(slot, &app)| {
-                boundaries.iter().enumerate().map(move |(i, &b)| (slot, i, app, b))
-            })
-            .collect();
+        // Under the single-pass engine one leg computes a whole curve, so
+        // the pool spans applications; the legacy engine fans out every
+        // (app × boundary) pair.
+        let legs: Vec<(usize, usize, App, Option<Boundary>)> = match exec.sweep_engine() {
+            SweepEngine::SinglePass => apps
+                .iter()
+                .enumerate()
+                .filter(|(slot, _)| curves[*slot].is_none())
+                .map(|(slot, &app)| (slot, 0, app, None))
+                .collect(),
+            SweepEngine::Legacy => apps
+                .iter()
+                .enumerate()
+                .filter(|(slot, _)| curves[*slot].is_none())
+                .flat_map(|(slot, &app)| {
+                    boundaries.iter().enumerate().map(move |(i, &b)| (slot, i, app, Some(b)))
+                })
+                .collect(),
+        };
         let slot_of: Vec<usize> = legs.iter().map(|&(slot, ..)| slot).collect();
         let batch = exec.pool().ordered_map_drain(legs, |_, (slot, i, app, b)| {
-            let label = format!("{}|point={i}", keys[slot].canonical());
-            (slot, exec.guarded(&label, || self.leg(app, b)))
+            let canon = keys[slot].canonical();
+            match b {
+                Some(b) => {
+                    let label = format!("{canon}|point={i}");
+                    (slot, exec.guarded(&label, || self.leg(app, b)).map(|p| vec![p]))
+                }
+                None => {
+                    let label = format!("{canon}|curve");
+                    (slot, exec.guarded(&label, || self.curve_points_single_pass(app)))
+                }
+            }
         });
 
         // Commit every curve whose legs all finished — even when another
@@ -724,7 +845,7 @@ impl CacheExperiment {
         let mut failed: Option<CapError> = None;
         for (idx, item) in results.into_iter().enumerate() {
             match item {
-                Some((slot, Ok(point))) => fresh_points[slot].push(point),
+                Some((slot, Ok(points))) => fresh_points[slot].extend(points),
                 Some((slot, Err(e))) => {
                     whole[slot] = false;
                     failed.get_or_insert(e);
@@ -937,6 +1058,29 @@ impl QueueExperiment {
         })
     }
 
+    /// The whole curve from one generated stream: the single-pass engine
+    /// records the instruction tape once and replays a cursor per window
+    /// size ([`cap_ooo::multisweep`]), bit-identical to a serial fold
+    /// over [`QueueExperiment::leg`].
+    fn curve_points_single_pass(&self, app: App) -> Result<Vec<QueuePoint>, CapError> {
+        let stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
+        let points = cap_ooo::multisweep::multisweep(
+            stream,
+            self.scale.queue_insts(),
+            WindowSize::paper_sweep(),
+            &self.timing,
+        )?;
+        Ok(points
+            .into_iter()
+            .map(|p| QueuePoint {
+                entries: p.window.entries(),
+                cycle_ns: p.cycle.value(),
+                ipc: p.stats.ipc(),
+                tpi_ns: p.tpi.value(),
+            })
+            .collect())
+    }
+
     /// The result-cache identity of one application's curve.
     fn curve_key(&self, app: App) -> CacheKey {
         let windows: Vec<WindowSize> = WindowSize::paper_sweep().collect();
@@ -985,13 +1129,17 @@ impl QueueExperiment {
         let key = self.curve_key(app);
         let canon = key.canonical();
         exec.memo(&key, QueueCurve::from_json, || {
-            let points = exec
-                .pool()
-                .ordered_map(WindowSize::paper_sweep().collect(), |i, w| {
-                    exec.guarded(&format!("{canon}|point={i}"), || self.leg(app, w))
-                })
-                .into_iter()
-                .collect::<Result<Vec<_>, _>>()?;
+            let points = match exec.sweep_engine() {
+                SweepEngine::SinglePass => exec
+                    .guarded(&format!("{canon}|curve"), || self.curve_points_single_pass(app))?,
+                SweepEngine::Legacy => exec
+                    .pool()
+                    .ordered_map(WindowSize::paper_sweep().collect(), |i, w| {
+                        exec.guarded(&format!("{canon}|point={i}"), || self.leg(app, w))
+                    })
+                    .into_iter()
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
             Ok(Self::assemble_curve(app, points))
         })
     }
@@ -1031,18 +1179,38 @@ impl QueueExperiment {
             .collect();
 
         let windows: Vec<WindowSize> = WindowSize::paper_sweep().collect();
-        let legs: Vec<(usize, usize, App, WindowSize)> = apps
-            .iter()
-            .enumerate()
-            .filter(|(slot, _)| curves[*slot].is_none())
-            .flat_map(|(slot, &app)| {
-                windows.iter().enumerate().map(move |(i, &w)| (slot, i, app, w))
-            })
-            .collect();
+        // Under the single-pass engine one leg computes a whole curve, so
+        // the pool spans applications; the legacy engine fans out every
+        // (app × window) pair.
+        let legs: Vec<(usize, usize, App, Option<WindowSize>)> = match exec.sweep_engine() {
+            SweepEngine::SinglePass => apps
+                .iter()
+                .enumerate()
+                .filter(|(slot, _)| curves[*slot].is_none())
+                .map(|(slot, &app)| (slot, 0, app, None))
+                .collect(),
+            SweepEngine::Legacy => apps
+                .iter()
+                .enumerate()
+                .filter(|(slot, _)| curves[*slot].is_none())
+                .flat_map(|(slot, &app)| {
+                    windows.iter().enumerate().map(move |(i, &w)| (slot, i, app, Some(w)))
+                })
+                .collect(),
+        };
         let slot_of: Vec<usize> = legs.iter().map(|&(slot, ..)| slot).collect();
         let batch = exec.pool().ordered_map_drain(legs, |_, (slot, i, app, w)| {
-            let label = format!("{}|point={i}", keys[slot].canonical());
-            (slot, exec.guarded(&label, || self.leg(app, w)))
+            let canon = keys[slot].canonical();
+            match w {
+                Some(w) => {
+                    let label = format!("{canon}|point={i}");
+                    (slot, exec.guarded(&label, || self.leg(app, w)).map(|p| vec![p]))
+                }
+                None => {
+                    let label = format!("{canon}|curve");
+                    (slot, exec.guarded(&label, || self.curve_points_single_pass(app)))
+                }
+            }
         });
 
         // Commit every curve whose legs all finished — even when another
@@ -1059,7 +1227,7 @@ impl QueueExperiment {
         let mut failed: Option<CapError> = None;
         for (idx, item) in results.into_iter().enumerate() {
             match item {
-                Some((slot, Ok(point))) => fresh_points[slot].push(point),
+                Some((slot, Ok(points))) => fresh_points[slot].extend(points),
                 Some((slot, Err(e))) => {
                     whole[slot] = false;
                     failed.get_or_insert(e);
@@ -1302,7 +1470,7 @@ impl IntervalExperiment {
         };
         exec.memo(&key, <Vec<f64>>::from_json, || {
             let cycle = self.timing.cycle_time(window)?;
-            let mut core = OooCore::new(CoreConfig::isca98(window)?);
+            let mut core = OooCore::try_new(CoreConfig::isca98(window)?)?;
             let mut stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
             let samples = record_intervals(&mut core, &mut stream, intervals, PAPER_INTERVAL_INSTS)?;
             Ok(samples.iter().map(|s| s.tpi(cycle).value()).collect())
@@ -1357,7 +1525,7 @@ impl IntervalExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn ilp_variation(&self, app: App, intervals: u64) -> Result<(f64, f64, f64), CapError> {
-        let mut core = OooCore::new(CoreConfig::isca98(128)?);
+        let mut core = OooCore::try_new(CoreConfig::isca98(128)?)?;
         let mut stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
         let samples = record_intervals(&mut core, &mut stream, intervals, PAPER_INTERVAL_INSTS)?;
         let ipcs: Vec<f64> = samples.iter().map(|s| s.insts as f64 / s.cycles as f64).collect();

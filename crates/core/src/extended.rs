@@ -234,7 +234,7 @@ impl CombinedExperiment {
         let ilp = app.ilp_profile();
         let mut ipcs = Vec::new();
         for w in WindowSize::paper_sweep() {
-            let mut core = OooCore::new(CoreConfig::isca98(w.entries())?);
+            let mut core = OooCore::try_new(CoreConfig::isca98(w.entries())?)?;
             let mut stream = ilp.build(self.seed ^ app.seed_salt());
             ipcs.push((w.entries(), core.run(&mut stream, self.scale.queue_insts()).ipc()));
         }
@@ -327,7 +327,7 @@ pub fn asynchronous_study(scale: ExperimentScale, seed: u64) -> Result<Vec<Async
     for app in App::cache_suite() {
         let profile = app.memory_profile();
         let mut stream = profile.build(seed ^ app.seed_salt());
-        let mut cache = AdaptiveCacheHierarchy::with_geometry(*timing.geometry(), boundary);
+        let mut cache = AdaptiveCacheHierarchy::try_with_geometry(*timing.geometry(), boundary)?;
         for _ in 0..scale.cache_refs() / 4 {
             let r = stream.next_ref();
             cache.access(r);
@@ -539,8 +539,14 @@ pub fn run_managed_combined(
     let mut mem_stream = mem.build(seed ^ app.seed_salt());
     let mut inst_stream = app.ilp_profile().build(seed ^ app.seed_salt());
 
-    let mut cache = AdaptiveCacheHierarchy::with_geometry(*cache_timing.geometry(), boundaries[0]);
-    let mut core = OooCore::new(CoreConfig::isca98(windows[0])?);
+    let mut cache =
+        AdaptiveCacheHierarchy::try_with_geometry(*cache_timing.geometry(), boundaries[0])?;
+    // The manager may later grow the window to any catalog size, so the
+    // physical window is the largest one; start shrunk to windows[0]
+    // (immediate: the window is empty).
+    let largest = *windows.last().expect("paper sweep is non-empty");
+    let mut core = OooCore::try_new(CoreConfig::isca98(largest)?)?;
+    core.request_resize(WindowSize::new(windows[0])?)?;
     let mut cache_mgr = IntervalManager::new(boundaries.len(), 31, policy)?;
     let mut queue_mgr = IntervalManager::new(windows.len(), 37, policy)?;
     let mut cache_cfg = 0usize;

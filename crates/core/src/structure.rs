@@ -80,7 +80,12 @@ impl QueueStructure {
         if initial >= sizes.len() {
             return Err(CapError::UnknownConfiguration { index: initial, available: sizes.len() });
         }
-        let core = OooCore::new(CoreConfig::isca98(sizes[initial].entries())?);
+        // The physical window must cover every configuration the manager
+        // can select, so build the core at the largest catalog size and
+        // shrink to the initial one (immediate: the window is empty).
+        let largest = *sizes.last().expect("paper sweep is non-empty");
+        let mut core = OooCore::try_new(CoreConfig::isca98(largest.entries())?)?;
+        core.request_resize(sizes[initial])?;
         Ok(QueueStructure { core, sizes, timing, current: initial })
     }
 
@@ -156,7 +161,8 @@ impl CacheStructure {
         if initial >= boundaries.len() {
             return Err(CapError::UnknownConfiguration { index: initial, available: boundaries.len() });
         }
-        let cache = AdaptiveCacheHierarchy::with_geometry(*timing.geometry(), boundaries[initial]);
+        let cache =
+            AdaptiveCacheHierarchy::try_with_geometry(*timing.geometry(), boundaries[initial])?;
         Ok(CacheStructure { cache, boundaries, timing, current: initial })
     }
 

@@ -18,21 +18,110 @@
 //!
 //! Progress is guaranteed: the window head's producers are always already
 //! committed, so the head is always issuable.
+//!
+//! # Wakeup bookkeeping
+//!
+//! Readiness is tracked *incrementally* rather than by scanning the whole
+//! window every cycle: each entry counts its outstanding producers, a
+//! producer's issue schedules completion wakeups for its registered
+//! consumers, and entries whose count reaches zero enter an oldest-first
+//! ready queue. Per-cycle work is proportional to the instructions that
+//! actually commit, issue, complete or dispatch — not to window
+//! occupancy — which is what makes large-window sweeps affordable. The
+//! schedule is provably identical to the naive full scan (an instruction
+//! issued this cycle completes no earlier than the next, so readiness
+//! never changes mid-cycle); [`crate::reference::ScanCore`] keeps the
+//! scan implementation alive and `cap-verify` diffs the two at scale.
 
 use crate::config::{CoreConfig, WindowSize};
 use crate::error::OooError;
 use cap_trace::inst::{Inst, InstStream};
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
 const NOT_ISSUED: u64 = u64::MAX;
 
-#[derive(Debug, Clone, Copy)]
+/// Sentinel terminating an entry's intrusive waiter list.
+const NO_WAITER: u64 = u64::MAX;
+
+#[derive(Debug, Clone)]
 struct Entry {
     inst: Inst,
-    dispatch_cycle: u64,
     /// Cycle at which the result becomes available; `NOT_ISSUED` before
     /// issue.
     done_cycle: u64,
+    /// Producers not yet known complete. Zero means issuable.
+    outstanding: u32,
+    /// Head of the intrusive list of consumers to wake when this entry
+    /// issues: `(consumer seq << 1) | dep slot`, or [`NO_WAITER`].
+    /// Consumers register only while the producer is un-issued; at issue
+    /// the list is walked into the completion calendar. Intrusive links
+    /// keep registration allocation-free — the hot path of every
+    /// dependent dispatch.
+    waiter_head: u64,
+    /// The continuation of the producer's waiter list this entry sits in,
+    /// one link per dependence slot.
+    next_waiter: [u64; 2],
+}
+
+/// The completion calendar: a ring of buckets indexed by cycle. Latencies
+/// are small, so scheduling and draining are O(1) per event — no heap.
+#[derive(Debug, Clone, Default)]
+struct Calendar {
+    /// `buckets[t % len]` holds the wakeups for cycle `t`; the ring is
+    /// kept longer than the largest in-flight latency, so slots never
+    /// collide.
+    buckets: Vec<Vec<(u64, u64)>>,
+    scratch: Vec<(u64, u64)>,
+}
+
+impl Calendar {
+    fn with_capacity(horizon: usize) -> Self {
+        Calendar { buckets: vec![Vec::new(); horizon.max(2)], scratch: Vec::new() }
+    }
+
+    /// Schedules consumer `seq` to wake at cycle `t` (`t >= now`).
+    fn schedule(&mut self, now: u64, t: u64, seq: u64) {
+        let needed = (t - now) as usize + 1;
+        if needed > self.buckets.len() {
+            self.grow(needed.next_power_of_two());
+        }
+        let len = self.buckets.len() as u64;
+        self.buckets[(t % len) as usize].push((t, seq));
+    }
+
+    /// Extends the ring, re-binning in-flight events.
+    fn grow(&mut self, new_len: usize) {
+        let old = std::mem::replace(&mut self.buckets, vec![Vec::new(); new_len]);
+        let len = new_len as u64;
+        for bucket in old {
+            for (t, seq) in bucket {
+                self.buckets[(t % len) as usize].push((t, seq));
+            }
+        }
+    }
+
+    /// Takes every wakeup scheduled for cycle `now`. The bucket is
+    /// swapped out through a scratch buffer so a latency-zero reschedule
+    /// during processing lands in the (empty) live bucket, not the batch
+    /// being iterated; return the batch via [`Calendar::put_back`] so its
+    /// capacity is reused.
+    fn take_bucket(&mut self, now: u64) -> Vec<(u64, u64)> {
+        let len = self.buckets.len() as u64;
+        let bucket = &mut self.buckets[(now % len) as usize];
+        std::mem::swap(bucket, &mut self.scratch);
+        std::mem::take(&mut self.scratch)
+    }
+
+    fn put_back(&mut self, mut batch: Vec<(u64, u64)>) {
+        batch.clear();
+        self.scratch = batch;
+    }
+
+    fn has_events_at(&self, now: u64) -> bool {
+        let len = self.buckets.len() as u64;
+        !self.buckets[(now % len) as usize].is_empty()
+    }
 }
 
 /// Aggregate results of a run.
@@ -64,28 +153,49 @@ pub struct OooCore {
     active_window: usize,
     pending_shrink: Option<usize>,
     window: VecDeque<Entry>,
+    /// Un-issued entries with no outstanding producers, oldest first.
+    ready: BinaryHeap<Reverse<u64>>,
+    /// Completion calendar of `(cycle, consumer seq)` wakeups.
+    wakeups: Calendar,
     cycle: u64,
     committed: u64,
     next_seq: Option<u64>,
 }
 
 impl OooCore {
-    /// Creates a core.
+    /// Creates a core. The configured window is the *physical* size: the
+    /// entries that exist in hardware, which is both the initial active
+    /// size and the largest size [`OooCore::request_resize`] accepts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OooError::InvalidWidth`] if the configuration fails
+    /// [`CoreConfig::validate`].
+    pub fn try_new(config: CoreConfig) -> Result<Self, OooError> {
+        config.validate()?;
+        Ok(OooCore {
+            config,
+            active_window: config.window.entries(),
+            pending_shrink: None,
+            window: VecDeque::with_capacity(config.window.entries()),
+            ready: BinaryHeap::new(),
+            wakeups: Calendar::with_capacity(16),
+            cycle: 0,
+            committed: 0,
+            next_seq: None,
+        })
+    }
+
+    /// Creates a core, panicking on an invalid configuration — a
+    /// convenience wrapper over [`OooCore::try_new`] for the common case
+    /// of a configuration produced by [`CoreConfig::isca98`], which is
+    /// already validated.
     ///
     /// # Panics
     ///
     /// Panics if the configuration fails [`CoreConfig::validate`].
     pub fn new(config: CoreConfig) -> Self {
-        config.validate().expect("invalid core configuration");
-        OooCore {
-            config,
-            active_window: config.window.entries(),
-            pending_shrink: None,
-            window: VecDeque::with_capacity(config.window.entries()),
-            cycle: 0,
-            committed: 0,
-            next_seq: None,
-        }
+        Self::try_new(config).expect("invalid core configuration")
     }
 
     /// The static configuration.
@@ -118,16 +228,24 @@ impl OooCore {
         self.window.len()
     }
 
-    /// Requests a window reconfiguration. Growth takes effect immediately;
-    /// a shrink stalls dispatch until the entries beyond the new size have
-    /// drained (paper §5.1), then takes effect.
+    /// Requests a window reconfiguration. Growth takes effect
+    /// immediately; a shrink stalls dispatch until the entries beyond the
+    /// new size have drained (paper §5.1), then takes effect — if the
+    /// window is already within the new size, it takes effect at once.
+    /// A newer request supersedes a still-draining shrink.
     ///
     /// # Errors
     ///
-    /// Returns [`OooError::InvalidWindow`] if `new` is invalid.
+    /// Returns [`OooError::InvalidWindow`] if `new` exceeds the physical
+    /// window the core was built with (`config().window`) — the adaptive
+    /// structure can disable fabricated entries, never add ones that do
+    /// not exist. The core's state is unchanged on error.
     pub fn request_resize(&mut self, new: WindowSize) -> Result<(), OooError> {
         let n = new.entries();
-        if n >= self.active_window {
+        if n > self.config.window.entries() {
+            return Err(OooError::InvalidWindow { entries: n });
+        }
+        if n >= self.active_window || self.window.len() <= n {
             self.active_window = n;
             self.pending_shrink = None;
         } else {
@@ -136,23 +254,29 @@ impl OooCore {
         Ok(())
     }
 
-    fn producer_done(&self, dep: u64, now: u64) -> bool {
-        match self.window.front() {
-            None => true,
-            Some(front) if dep < front.inst.seq => true,
-            Some(front) => {
-                let idx = (dep - front.inst.seq) as usize;
-                // Producers always precede consumers, so the index is in
-                // range for any dep of a windowed instruction.
-                self.window[idx].done_cycle <= now
-            }
-        }
+    fn index_of(&self, seq: u64) -> usize {
+        let front = self.window.front().expect("windowed seq implies non-empty window");
+        (seq - front.inst.seq) as usize
     }
 
-    fn ready(&self, e: &Entry, now: u64) -> bool {
-        e.done_cycle == NOT_ISSUED
-            && e.dispatch_cycle < now
-            && e.inst.deps().all(|d| self.producer_done(d, now))
+    /// Delivers every completion scheduled for `now`: the registered
+    /// consumer loses one outstanding producer and becomes ready when
+    /// none remain.
+    fn drain_wakeups(&mut self, now: u64) {
+        if !self.wakeups.has_events_at(now) {
+            return;
+        }
+        let batch = self.wakeups.take_bucket(now);
+        for &(t, seq) in &batch {
+            debug_assert_eq!(t, now, "calendar slot holds only its own cycle");
+            let idx = self.index_of(seq);
+            let e = &mut self.window[idx];
+            e.outstanding -= 1;
+            if e.outstanding == 0 {
+                self.ready.push(Reverse(seq));
+            }
+        }
+        self.wakeups.put_back(batch);
     }
 
     /// Advances the machine one cycle, dispatching from `stream` as window
@@ -161,6 +285,10 @@ impl OooCore {
     pub fn step<S: InstStream>(&mut self, stream: &mut S) -> usize {
         self.cycle += 1;
         let now = self.cycle;
+
+        // 0. Deliver completions scheduled for this cycle: producers
+        // finishing now make their registered consumers ready.
+        self.drain_wakeups(now);
 
         // 1. Commit.
         let mut retired = 0;
@@ -175,17 +303,34 @@ impl OooCore {
             }
         }
 
-        // 2. Wakeup + select + issue, oldest first.
+        // 2. Wakeup + select + issue, oldest first. Everything issuable
+        // this cycle is already in the ready queue: an instruction issued
+        // now completes next cycle at the earliest, so no entry becomes
+        // ready mid-phase.
         let mut issued = 0;
-        for i in 0..self.window.len() {
-            if issued == self.config.issue_width {
-                break;
+        while issued < self.config.issue_width {
+            let Some(&Reverse(seq)) = self.ready.peek() else { break };
+            self.ready.pop();
+            let front_seq = self.window.front().expect("ready entry is windowed").inst.seq;
+            let idx = (seq - front_seq) as usize;
+            let done = now + u64::from(self.window[idx].inst.latency);
+            self.window[idx].done_cycle = done;
+            // Walk the waiter list into the completion calendar.
+            let mut cur = std::mem::replace(&mut self.window[idx].waiter_head, NO_WAITER);
+            while cur != NO_WAITER {
+                let (cseq, slot) = (cur >> 1, (cur & 1) as usize);
+                let cidx = (cseq - front_seq) as usize;
+                cur = self.window[cidx].next_waiter[slot];
+                self.wakeups.schedule(now, done, cseq);
             }
-            let e = self.window[i];
-            if e.done_cycle == NOT_ISSUED && self.ready(&e, now) {
-                self.window[i].done_cycle = now + u64::from(e.inst.latency);
-                issued += 1;
+            // Instructions carry latency >= 1, so `done > now` and this is
+            // a no-op; it keeps the schedule identical to the full scan
+            // even for hand-built zero-latency instructions, where a
+            // consumer may chain in the same cycle.
+            if done <= now {
+                self.drain_wakeups(now);
             }
+            issued += 1;
         }
 
         // 3. Apply a drained shrink, then dispatch.
@@ -203,7 +348,37 @@ impl OooCore {
                     assert_eq!(inst.seq, expect, "instruction stream must be contiguous");
                 }
                 self.next_seq = Some(inst.seq + 1);
-                self.window.push_back(Entry { inst, dispatch_cycle: now, done_cycle: NOT_ISSUED });
+                let mut outstanding = 0;
+                let mut next_waiter = [NO_WAITER; 2];
+                let front_seq = self.window.front().map(|e| e.inst.seq);
+                for (slot, dep) in inst.deps().enumerate() {
+                    let Some(front) = front_seq else { continue };
+                    if dep < front {
+                        continue; // producer already committed
+                    }
+                    let idx = (dep - front) as usize;
+                    let p = &mut self.window[idx];
+                    if p.done_cycle == NOT_ISSUED {
+                        // Splice into the producer's waiter list.
+                        next_waiter[slot] = p.waiter_head;
+                        p.waiter_head = (inst.seq << 1) | slot as u64;
+                        outstanding += 1;
+                    } else if p.done_cycle > now {
+                        let done = p.done_cycle;
+                        self.wakeups.schedule(now, done, inst.seq);
+                        outstanding += 1;
+                    }
+                }
+                self.window.push_back(Entry {
+                    inst,
+                    done_cycle: NOT_ISSUED,
+                    outstanding,
+                    waiter_head: NO_WAITER,
+                    next_waiter,
+                });
+                if outstanding == 0 {
+                    self.ready.push(Reverse(inst.seq));
+                }
                 fetched += 1;
             }
         }
@@ -229,6 +404,7 @@ impl OooCore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::ScanCore;
     use cap_trace::inst::{IlpParams, SegmentIlp};
 
     /// A fixed list of instructions, then independent filler.
@@ -329,7 +505,12 @@ mod tests {
 
     #[test]
     fn grow_is_immediate_shrink_drains() {
-        let mut core = OooCore::new(CoreConfig::isca98(32).unwrap());
+        // Physical window 128: start small, grow within the physical
+        // range, then shrink and watch the drain.
+        let mut core = OooCore::new(CoreConfig::isca98(128).unwrap());
+        core.request_resize(WindowSize::new(32).unwrap()).unwrap();
+        assert_eq!(core.active_window(), 32, "empty window shrinks at once");
+        assert!(!core.resize_pending());
         core.request_resize(WindowSize::new(128).unwrap()).unwrap();
         assert_eq!(core.active_window(), 128);
         assert!(!core.resize_pending());
@@ -351,6 +532,60 @@ mod tests {
         // And the machine keeps committing afterwards.
         let stats = core.run(&mut s, 1000);
         assert_eq!(stats.committed, 1000);
+    }
+
+    #[test]
+    fn resize_beyond_physical_window_rejected() {
+        // The docs promised OooError::InvalidWindow; the body used to be
+        // infallible. Regression: growing past the fabricated entries
+        // must fail and leave the core untouched.
+        let mut core = OooCore::new(CoreConfig::isca98(64).unwrap());
+        let err = core.request_resize(WindowSize::new(128).unwrap()).unwrap_err();
+        assert_eq!(err, OooError::InvalidWindow { entries: 128 });
+        assert_eq!(core.active_window(), 64);
+        assert!(!core.resize_pending());
+        // The physical maximum itself is legal.
+        core.request_resize(WindowSize::new(64).unwrap()).unwrap();
+        assert_eq!(core.active_window(), 64);
+    }
+
+    #[test]
+    fn grow_during_pending_shrink_cancels_it() {
+        let mut core = OooCore::new(CoreConfig::isca98(128).unwrap());
+        let mut s = ListStream::new(chain(1_000_000, 4));
+        for _ in 0..40 {
+            core.step(&mut s);
+        }
+        assert!(core.occupancy() > 64);
+        core.request_resize(WindowSize::new(16).unwrap()).unwrap();
+        assert!(core.resize_pending());
+        // Growing back (to anything >= the still-active size) cancels the
+        // drain; dispatch resumes immediately.
+        core.request_resize(WindowSize::new(128).unwrap()).unwrap();
+        assert!(!core.resize_pending());
+        assert_eq!(core.active_window(), 128);
+        // A *smaller* target during a drain supersedes the old one.
+        core.request_resize(WindowSize::new(16).unwrap()).unwrap();
+        core.request_resize(WindowSize::new(64).unwrap()).unwrap();
+        assert!(core.resize_pending(), "occupancy still above 64");
+        while core.resize_pending() {
+            core.step(&mut s);
+        }
+        assert_eq!(core.active_window(), 64, "latest request wins");
+        // An invalid request during a drain changes nothing.
+        core.request_resize(WindowSize::new(16).unwrap()).unwrap();
+        let before = core.active_window();
+        assert!(core.request_resize(WindowSize::new(256).unwrap()).is_err());
+        assert_eq!(core.active_window(), before);
+        assert!(core.resize_pending());
+    }
+
+    #[test]
+    fn try_new_rejects_zero_widths() {
+        let mut c = CoreConfig::isca98(64).unwrap();
+        c.issue_width = 0;
+        assert_eq!(OooCore::try_new(c).unwrap_err(), OooError::InvalidWidth { what: "issue" });
+        assert!(OooCore::try_new(CoreConfig::isca98(64).unwrap()).is_ok());
     }
 
     #[test]
@@ -381,6 +616,61 @@ mod tests {
         for _ in 0..200 {
             core.step(&mut s);
             assert!(core.occupancy() <= 16);
+        }
+    }
+
+    #[test]
+    fn matches_reference_scan_core_cycle_for_cycle() {
+        // The incremental-wakeup engine against the naive full-scan
+        // reference, compared at every step over diverse dependence
+        // structures (cap-verify fuzzes the same pairing at scale).
+        let mut cases: Vec<(IlpParams, u64)> = Vec::new();
+        for seed in 0..4u64 {
+            cases.push((IlpParams::balanced(), seed));
+        }
+        let mut serial = IlpParams::balanced();
+        serial.cross_dep_prob = 1.0;
+        serial.burst_chain_len = 1;
+        cases.push((serial, 5));
+        let mut sparse = IlpParams::balanced();
+        sparse.cross_dep_prob = 0.0;
+        sparse.far_dep_prob = 0.5;
+        cases.push((sparse, 6));
+        for (params, seed) in cases {
+            for w in [16usize, 48, 128] {
+                let mut fast = OooCore::new(CoreConfig::isca98(w).unwrap());
+                let mut slow = ScanCore::new(CoreConfig::isca98(w).unwrap());
+                let mut s1 = SegmentIlp::new(params, seed).unwrap();
+                let mut s2 = SegmentIlp::new(params, seed).unwrap();
+                for step in 0..3000 {
+                    let a = fast.step(&mut s1);
+                    let b = slow.step(&mut s2);
+                    assert_eq!(a, b, "retire count diverged at step {step} (w={w}, seed={seed})");
+                    assert_eq!(fast.committed(), slow.committed());
+                    assert_eq!(fast.occupancy(), slow.occupancy());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_resizes() {
+        let mut fast = OooCore::new(CoreConfig::isca98(128).unwrap());
+        let mut slow = ScanCore::new(CoreConfig::isca98(128).unwrap());
+        let mut s1 = SegmentIlp::new(IlpParams::balanced(), 9).unwrap();
+        let mut s2 = SegmentIlp::new(IlpParams::balanced(), 9).unwrap();
+        let sizes = [16usize, 128, 64, 32, 128, 48];
+        for (round, &n) in sizes.iter().enumerate() {
+            let w = WindowSize::new(n).unwrap();
+            fast.request_resize(w).unwrap();
+            slow.request_resize(w).unwrap();
+            assert_eq!(fast.active_window(), slow.active_window(), "round {round}");
+            assert_eq!(fast.resize_pending(), slow.resize_pending(), "round {round}");
+            for _ in 0..500 {
+                assert_eq!(fast.step(&mut s1), slow.step(&mut s2));
+            }
+            assert_eq!(fast.cycles(), slow.cycles());
+            assert_eq!(fast.committed(), slow.committed());
         }
     }
 

@@ -7,8 +7,9 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum OooError {
-    /// A window size that is not a positive multiple of 16 within the
-    /// modelled range was requested.
+    /// An unusable window size was requested: not a positive multiple of
+    /// 16 within the modelled range, or larger than the physical window
+    /// a core was built with.
     InvalidWindow {
         /// The requested number of entries.
         entries: usize,
@@ -26,7 +27,11 @@ impl fmt::Display for OooError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OooError::InvalidWindow { entries } => {
-                write!(f, "window size {entries} is not a positive multiple of 16 within 16..=256")
+                write!(
+                    f,
+                    "window size {entries} is not usable here (must be a positive multiple of \
+                     16 within 16..=256 and at most the core's physical window)"
+                )
             }
             OooError::InvalidWidth { what } => write!(f, "pipeline width must be positive: {what}"),
             OooError::ZeroIntervalLength => write!(f, "interval length must be positive"),

@@ -14,7 +14,11 @@
 //!   the entries in the portion to be disabled (paper §5.1: "before we
 //!   reconfigure to a smaller queue size, entries in the portion of the
 //!   queue to be disabled must first issue");
-//! * interval TPI recording for the Section 6 snapshots (Figures 12–13).
+//! * interval TPI recording for the Section 6 snapshots (Figures 12–13);
+//! * a **single-pass window sweep** ([`multisweep`]) that replays one
+//!   recorded instruction tape through every window size, and the
+//!   preserved full-scan engine ([`reference`]) that pins the fast core's
+//!   schedule differentially.
 //!
 //! The cycle time of each window size comes from
 //! [`cap_timing::QueueTimingModel`]; combining it with measured IPC gives
@@ -42,7 +46,9 @@ pub mod config;
 pub mod core;
 pub mod error;
 pub mod interval;
+pub mod multisweep;
 pub mod perf;
+pub mod reference;
 
 pub use config::{CoreConfig, WindowSize};
 pub use core::{OooCore, RunStats};

@@ -72,7 +72,7 @@ pub fn sweep_point<S: InstStream>(
     window: WindowSize,
     timing: &QueueTimingModel,
 ) -> Result<QueueSweepPoint, OooError> {
-    let mut core = OooCore::new(CoreConfig::isca98(window.entries())?);
+    let mut core = OooCore::try_new(CoreConfig::isca98(window.entries())?)?;
     let stats = core.run(&mut stream, insts);
     let (cycle, t) = tpi(window, stats, timing)?;
     Ok(QueueSweepPoint { window, stats, cycle, tpi: t })

@@ -1,0 +1,130 @@
+//! A shared, lazily materialized instruction tape.
+//!
+//! A window sweep replays the *same* instruction stream at every window
+//! size. The legacy path re-synthesizes the stream per configuration by
+//! cloning a pristine generator; [`InstTape`] instead records the
+//! generator's output once and hands out independent [`TapeCursor`]s, so
+//! the synthesis cost is paid a single time per sweep.
+//!
+//! The tape is lazy: it generates only as far as its furthest cursor has
+//! read. Different window sizes drain slightly different prefixes (a
+//! core fetches `committed + occupancy` instructions), so the tape ends
+//! up holding the longest prefix any configuration needed — no
+//! over-generation, no truncation.
+//!
+//! Cursors borrow the tape immutably and may be created freely; the
+//! recorded instructions are identical to what the wrapped generator
+//! would have produced, so a simulation driven by a cursor is
+//! bit-identical to one driven by a fresh generator clone.
+
+use crate::inst::{Inst, InstStream};
+use std::cell::RefCell;
+
+struct TapeInner<S> {
+    gen: S,
+    buf: Vec<Inst>,
+}
+
+/// A recorded instruction stream that many cursors can replay.
+///
+/// # Example
+///
+/// ```
+/// use cap_trace::inst::{IlpParams, SegmentIlp};
+/// use cap_trace::tape::InstTape;
+/// use cap_trace::InstStream;
+///
+/// let tape = InstTape::new(SegmentIlp::new(IlpParams::balanced(), 7)?);
+/// let a: Vec<_> = tape.cursor().take_insts(100);
+/// let b: Vec<_> = tape.cursor().take_insts(100);
+/// assert_eq!(a, b, "every cursor replays the same prefix");
+/// assert_eq!(tape.generated(), 100, "generated once, not twice");
+/// # Ok::<(), cap_trace::TraceError>(())
+/// ```
+pub struct InstTape<S> {
+    inner: RefCell<TapeInner<S>>,
+}
+
+impl<S: InstStream> InstTape<S> {
+    /// Wraps a generator. Nothing is generated until a cursor reads.
+    pub fn new(gen: S) -> Self {
+        InstTape { inner: RefCell::new(TapeInner { gen, buf: Vec::new() }) }
+    }
+
+    /// A new cursor positioned at the start of the stream.
+    pub fn cursor(&self) -> TapeCursor<'_, S> {
+        TapeCursor { tape: self, pos: 0 }
+    }
+
+    /// How many instructions have been materialized so far.
+    pub fn generated(&self) -> usize {
+        self.inner.borrow().buf.len()
+    }
+
+    fn get(&self, index: usize) -> Inst {
+        let mut inner = self.inner.borrow_mut();
+        while inner.buf.len() <= index {
+            let inst = inner.gen.next_inst();
+            inner.buf.push(inst);
+        }
+        inner.buf[index]
+    }
+}
+
+/// An [`InstStream`] replaying an [`InstTape`] from the beginning.
+pub struct TapeCursor<'a, S> {
+    tape: &'a InstTape<S>,
+    pos: usize,
+}
+
+impl<S: InstStream> InstStream for TapeCursor<'_, S> {
+    fn next_inst(&mut self) -> Inst {
+        let inst = self.tape.get(self.pos);
+        self.pos += 1;
+        inst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{IlpParams, SegmentIlp};
+
+    fn gen(seed: u64) -> SegmentIlp {
+        SegmentIlp::new(IlpParams::balanced(), seed).unwrap()
+    }
+
+    #[test]
+    fn cursor_replays_generator_exactly() {
+        let direct = gen(3).take_insts(5000);
+        let tape = InstTape::new(gen(3));
+        let replayed = tape.cursor().take_insts(5000);
+        assert_eq!(direct, replayed);
+    }
+
+    #[test]
+    fn interleaved_cursors_agree() {
+        let tape = InstTape::new(gen(9));
+        let mut a = tape.cursor();
+        let mut b = tape.cursor();
+        for i in 0..1000u64 {
+            // b trails a by one instruction; both must see the same seqs.
+            let x = a.next_inst();
+            assert_eq!(x.seq, i);
+            if i > 0 {
+                assert_eq!(b.next_inst().seq, i - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn tape_grows_to_furthest_reader_only() {
+        let tape = InstTape::new(gen(1));
+        let _ = tape.cursor().take_insts(10);
+        assert_eq!(tape.generated(), 10);
+        let _ = tape.cursor().take_insts(300);
+        assert_eq!(tape.generated(), 300);
+        let _ = tape.cursor().take_insts(50);
+        assert_eq!(tape.generated(), 300, "shorter reads reuse the buffer");
+    }
+}

@@ -13,6 +13,7 @@ use crate::invariants::{
     curve_best_invariants, greedy_equals_degenerate_confidence, journal_replay_roundtrip,
     offline_optima_match_series, oracle_bound, reference_oracle_bound,
 };
+use crate::multisweep::{cache_one_pass_vs_legacy, core_vs_scan_reference, queue_tape_vs_legacy};
 use crate::rng::Rng;
 use crate::scenario::{Scenario, StreamKind};
 use crate::shrink::{shrink, DEFAULT_SHRINK_BUDGET};
@@ -27,6 +28,10 @@ const JOURNAL_CASE_CAP: u64 = 200;
 /// Intervals for the offline-optima differential (one deterministic
 /// case; the managed simulation makes it the costliest single check).
 const OFFLINE_INTERVALS: u64 = 12;
+/// Cap on the sweep-engine differentials: every case runs real
+/// simulators over all 8 paper configurations twice, so past this the
+/// simulators — not the property — dominate run time.
+const SWEEP_CASE_CAP: u64 = 150;
 
 /// One verification run's tuning.
 #[derive(Debug, Clone)]
@@ -262,6 +267,22 @@ pub fn run_verify(cfg: &VerifyConfig, progress: &mut dyn FnMut(&PropertyReport))
     });
     push(r, progress);
 
+    // Single-pass sweep engines: each fast path pinned bit-for-bit to
+    // its per-configuration reference (simulator-bound; capped).
+    let sweep_cases = cfg.cases.min(SWEEP_CASE_CAP);
+    let r = run_seeded_property("sweep/cache/one-pass-vs-legacy", cfg, sweep_cases, &|rng, _| {
+        cache_one_pass_vs_legacy(rng)
+    });
+    push(r, progress);
+    let r = run_seeded_property("sweep/queue/tape-vs-legacy", cfg, sweep_cases, &|rng, _| {
+        queue_tape_vs_legacy(rng)
+    });
+    push(r, progress);
+    let r = run_seeded_property("sweep/ooo/core-vs-scan", cfg, sweep_cases, &|rng, _| {
+        core_vs_scan_reference(rng)
+    });
+    push(r, progress);
+
     VerifyReport { seed: cfg.seed, properties }
 }
 
@@ -323,6 +344,11 @@ pub fn replay(text: &str, scratch: &Path) -> Result<ReplayOutcome, String> {
         "offline/optima-vs-series" => {
             outcome_of(offline_optima_match_series(App::Compress, OFFLINE_INTERVALS).map(|()| true))
         }
+        "sweep/cache/one-pass-vs-legacy" => {
+            outcome_of(cache_one_pass_vs_legacy(&mut rng).map(|()| true))
+        }
+        "sweep/queue/tape-vs-legacy" => outcome_of(queue_tape_vs_legacy(&mut rng).map(|()| true)),
+        "sweep/ooo/core-vs-scan" => outcome_of(core_vs_scan_reference(&mut rng).map(|()| true)),
         other => Err(format!("repro names an unknown property {other:?}")),
     }
 }
@@ -347,8 +373,9 @@ mod tests {
         }
         assert!(!report.failed());
         assert_eq!(lines, report.properties.len());
-        // 16 diff + 8 oracle + 2 equiv + curve + journal + offline.
-        assert_eq!(report.properties.len(), 29);
+        // 16 diff + 8 oracle + 2 equiv + curve + journal + offline
+        // + 3 sweep-engine differentials.
+        assert_eq!(report.properties.len(), 32);
     }
 
     #[test]

@@ -18,7 +18,11 @@
 //! * a leg journal replays every value bit-for-bit
 //!   ([`invariants::journal_replay_roundtrip`]);
 //! * the experiment layer's offline optima equal a from-scratch
-//!   recomputation ([`invariants::offline_optima_match_series`]).
+//!   recomputation ([`invariants::offline_optima_match_series`]);
+//! * the single-pass sweep engines (stack-distance cache multisweep,
+//!   shared-tape queue multisweep, incremental-wakeup core) are
+//!   bit-identical to their per-configuration reference paths
+//!   ([`multisweep`]).
 //!
 //! Everything is deterministic: cases are a pure function of
 //! `(seed, property, case)` ([`rng::Rng::for_case`]), failures shrink
@@ -30,6 +34,7 @@
 pub mod diff;
 pub mod engine;
 pub mod invariants;
+pub mod multisweep;
 pub mod reference;
 pub mod rng;
 pub mod scenario;

@@ -19,6 +19,8 @@
 //! capsim chaos <cache|queue|all>   crash/corruption self-test
 //! capsim verify [--cases N] [--seed S] [--replay FILE] [--self-check]
 //!                                  differential-oracle + property-fuzz suite
+//! capsim bench [--quick] [--seed S] [--out FILE]
+//!                                  time the sweep engines, emit BENCH_sweep.json
 //! ```
 //!
 //! Scale is taken from `CAP_SCALE` (`smoke`/`default`/`full`). Sweeps
@@ -40,7 +42,7 @@
 //! against deterministic injected faults.
 
 use cap::core::experiments::{
-    CacheExperiment, ExecPolicy, ExperimentScale, IntervalExperiment, QueueExperiment,
+    CacheExperiment, ExecPolicy, ExperimentScale, IntervalExperiment, QueueExperiment, SweepEngine,
     DEFAULT_SEED, SWEEP_RESULTS_VERSION,
 };
 use cap::core::extended::run_managed_combined;
@@ -62,7 +64,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, PoisonError};
 use std::time::Duration;
 
-const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|compare-policies|joint|power|headline|faults|trace-summary|doctor|chaos|verify> [app] [options]
+const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|compare-policies|joint|power|headline|faults|trace-summary|doctor|chaos|verify|bench> [app] [options]
   list                 the 22 evaluation applications
   cache <app>          TPI vs L1/L2 boundary (Figure 7 row)
   queue <app>          TPI vs window size (Figure 10 row)
@@ -87,6 +89,10 @@ const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|compare-polic
                         --replay FILE: re-run a shrunk repro file,
                         --self-check: plant a known bug, prove it is detected;
                         repro files land in CAP_VERIFY_DIR, default cwd)
+  bench                time full cold sweeps under both engines plus a warm
+                       (memoized) replay; writes a machine-readable summary
+                       (--quick: force smoke scale, --seed S: root seed,
+                        --out FILE: summary path, default BENCH_sweep.json)
 policies: process-level | interval-greedy | confidence (default) | hysteresis
 scale via CAP_SCALE = smoke | default | full
 sweep memoization under results/cache (CAP_CACHE_DIR overrides, CAP_NO_CACHE=1 disables)
@@ -667,9 +673,117 @@ fn run(args: &[&str]) -> Result<String, String> {
                 );
             }
         }
+        ["bench", rest @ ..] => {
+            let opts = BenchOpts::parse(rest)?;
+            let scale = if opts.quick { ExperimentScale::Smoke } else { scale };
+            run_bench(&mut out, scale, &opts)?;
+        }
         _ => return Err(USAGE.to_string()),
     }
     Ok(out)
+}
+
+/// Parsed `capsim bench` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BenchOpts {
+    quick: bool,
+    seed: u64,
+    out: String,
+}
+
+impl BenchOpts {
+    fn parse(rest: &[&str]) -> Result<Self, String> {
+        let mut opts =
+            BenchOpts { quick: false, seed: DEFAULT_SEED, out: "BENCH_sweep.json".to_string() };
+        let mut it = rest.iter();
+        while let Some(&flag) = it.next() {
+            match flag {
+                "--quick" => opts.quick = true,
+                "--seed" => {
+                    let v = it.next().ok_or_else(|| format!("--seed wants a value\n{USAGE}"))?;
+                    opts.seed = v.parse().map_err(|_| {
+                        format!("--seed wants an unsigned integer, got `{v}`\n{USAGE}")
+                    })?;
+                }
+                "--out" => {
+                    let v = it.next().ok_or_else(|| format!("--out wants a file path\n{USAGE}"))?;
+                    opts.out = (*v).to_string();
+                }
+                other => return Err(format!("unknown bench flag `{other}`\n{USAGE}")),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// `capsim bench` — wall-clock timing of the full-suite sweeps.
+///
+/// Times a cold (uncached, unjournaled, serial) `figure7 + figure10`
+/// run under each sweep engine, then a warm replay of the single-pass
+/// run from a throwaway result cache, and writes the measurements as
+/// JSON. Timings are the one output in the whole CLI that is *not* a
+/// pure function of the command line — they measure this machine — so
+/// they are never compared against goldens; the JSON exists for CI
+/// artifacts and README refreshes.
+fn run_bench(out: &mut String, scale: ExperimentScale, opts: &BenchOpts) -> Result<(), String> {
+    use std::time::Instant;
+    let cache_exp =
+        CacheExperiment::new(scale).map_err(|e| e.to_string())?.with_seed(opts.seed);
+    let queue_exp = QueueExperiment::new(scale).with_seed(opts.seed);
+
+    let cold = |engine: SweepEngine| -> Result<(f64, f64), String> {
+        let exec = ExecPolicy::serial().with_sweep_engine(engine);
+        let t = Instant::now();
+        cache_exp.figure7_with(&exec).map_err(|e| e.to_string())?;
+        let cache_s = t.elapsed().as_secs_f64();
+        let t = Instant::now();
+        queue_exp.figure10_with(&exec).map_err(|e| e.to_string())?;
+        Ok((cache_s, t.elapsed().as_secs_f64()))
+    };
+    let (legacy_cache, legacy_queue) = cold(SweepEngine::Legacy)?;
+    let (sp_cache, sp_queue) = cold(SweepEngine::SinglePass)?;
+
+    // Warm: replay both figures from a populated result cache.
+    let warm_dir =
+        std::env::temp_dir().join(format!("capsim-bench-{}-{:x}", std::process::id(), opts.seed));
+    let warm = (|| -> Result<f64, String> {
+        let exec = ExecPolicy::serial()
+            .with_sweep_engine(SweepEngine::SinglePass)
+            .cached(ResultCache::at(&warm_dir));
+        cache_exp.figure7_with(&exec).map_err(|e| e.to_string())?;
+        queue_exp.figure10_with(&exec).map_err(|e| e.to_string())?;
+        let t = Instant::now();
+        cache_exp.figure7_with(&exec).map_err(|e| e.to_string())?;
+        queue_exp.figure10_with(&exec).map_err(|e| e.to_string())?;
+        Ok(t.elapsed().as_secs_f64())
+    })();
+    let _ = std::fs::remove_dir_all(&warm_dir);
+    let warm = warm?;
+
+    let legacy_total = legacy_cache + legacy_queue;
+    let sp_total = sp_cache + sp_queue;
+    let speedup = if sp_total > 0.0 { legacy_total / sp_total } else { f64::INFINITY };
+    let _ = writeln!(out, "== sweep bench: scale {}, seed {:#x}", scale.name(), opts.seed);
+    let _ = writeln!(
+        out,
+        "  legacy       cold: cache {legacy_cache:.2} s + queue {legacy_queue:.2} s = {legacy_total:.2} s"
+    );
+    let _ = writeln!(
+        out,
+        "  single-pass  cold: cache {sp_cache:.2} s + queue {sp_queue:.2} s = {sp_total:.2} s"
+    );
+    let _ = writeln!(out, "  single-pass  warm (result cache): {warm:.3} s");
+    let _ = writeln!(out, "  cold speedup: {speedup:.2}x");
+
+    let json = format!(
+        "{{\n  \"scale\": \"{}\",\n  \"seed\": {},\n  \"engines\": {{\n    \"legacy\": {{ \"cache_cold_s\": {legacy_cache:.6}, \"queue_cold_s\": {legacy_queue:.6}, \"total_cold_s\": {legacy_total:.6} }},\n    \"single-pass\": {{ \"cache_cold_s\": {sp_cache:.6}, \"queue_cold_s\": {sp_queue:.6}, \"total_cold_s\": {sp_total:.6}, \"warm_s\": {warm:.6} }}\n  }},\n  \"cold_speedup\": {speedup:.4}\n}}\n",
+        scale.name(),
+        opts.seed,
+    );
+    std::fs::write(&opts.out, json)
+        .map_err(|e| format!("cannot write bench summary `{}`: {e}", opts.out))?;
+    let _ = writeln!(out, "  wrote {}", opts.out);
+    Ok(())
 }
 
 /// `capsim chaos` — a deterministic crash/corruption self-test.
@@ -1170,7 +1284,7 @@ mod tests {
         std::env::set_var("CAP_VERIFY_DIR", &dir);
         let out = run(&["verify", "--cases", "3", "--seed", "5"]).unwrap();
         std::env::remove_var("CAP_VERIFY_DIR");
-        assert!(out.contains("29 properties passed"), "{out}");
+        assert!(out.contains("32 properties passed"), "{out}");
         assert!(out.contains("seed 5"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -91,7 +91,9 @@ proptest! {
     #[test]
     fn queue_resize_always_drains(from in 0usize..8, to in 0usize..8, seed in 0u64..100) {
         let sizes = [16, 32, 48, 64, 80, 96, 112, 128];
-        let mut core = OooCore::new(CoreConfig::isca98(sizes[from]).unwrap());
+        // Physical window = the largest size the sweep can request.
+        let mut core = OooCore::new(CoreConfig::isca98(128).unwrap());
+        core.request_resize(cap::ooo::WindowSize::new(sizes[from]).unwrap()).unwrap();
         let mut stream = SegmentIlp::new(IlpParams::balanced(), seed).unwrap();
         let _ = core.run(&mut stream, 2000);
         core.request_resize(cap::ooo::WindowSize::new(sizes[to]).unwrap()).unwrap();
