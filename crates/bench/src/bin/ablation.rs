@@ -2,35 +2,34 @@
 //! process-level choice and the per-interval oracle, with and without
 //! confidence gating — on the two phased applications.
 
-use cap_bench::{banner, emit_json, exec_from_args};
+use cap_bench::emit_json;
 use cap_core::experiments::IntervalExperiment;
 use cap_core::manager::ConfidencePolicy;
 use cap_workloads::App;
 
 fn main() {
-    let exec = exec_from_args();
-    banner("Ablation", "interval-adaptive manager (Section 6 extension)");
-    let exp = IntervalExperiment::new();
-    let intervals = 600;
-    println!(
-        "{:>8} {:>12} {:>14} {:>12} {:>12} {:>9}",
-        "app", "policy", "process (ns)", "managed (ns)", "oracle (ns)", "switches"
-    );
-    let mut all = Vec::new();
-    for app in [App::Turb3d, App::Vortex, App::Compress, App::Appcg] {
-        for (name, policy, explore) in [
-            ("confident", ConfidencePolicy::default_policy(), 50),
-            ("eager", ConfidencePolicy::none(), 50),
-        ] {
-            let r = exp
-                .adaptive_comparison_with(app, intervals, policy, explore, &exec)
-                .expect("valid configuration");
-            println!(
-                "{:>8} {:>12} {:>14.3} {:>12.3} {:>12.3} {:>9}",
-                r.app, name, r.process_level_tpi, r.managed_tpi, r.oracle_tpi, r.switches
-            );
-            all.push((name, r));
+    cap_bench::run("Ablation", "interval-adaptive manager (Section 6 extension)", |exec, _| {
+        let exp = IntervalExperiment::new();
+        let intervals = 600;
+        println!(
+            "{:>8} {:>12} {:>14} {:>12} {:>12} {:>9}",
+            "app", "policy", "process (ns)", "managed (ns)", "oracle (ns)", "switches"
+        );
+        let mut all = Vec::new();
+        for app in [App::Turb3d, App::Vortex, App::Compress, App::Appcg] {
+            for (name, policy, explore) in [
+                ("confident", ConfidencePolicy::default_policy(), 50),
+                ("eager", ConfidencePolicy::none(), 50),
+            ] {
+                let r = exp.adaptive_comparison_with(app, intervals, policy, explore, exec)?;
+                println!(
+                    "{:>8} {:>12} {:>14.3} {:>12.3} {:>12.3} {:>9}",
+                    r.app, name, r.process_level_tpi, r.managed_tpi, r.oracle_tpi, r.switches
+                );
+                all.push((name, r));
+            }
         }
-    }
-    emit_json("ablation", &all);
+        emit_json("ablation", &all);
+        Ok(())
+    });
 }

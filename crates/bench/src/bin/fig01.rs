@@ -3,7 +3,7 @@
 //! subarrays — unbuffered versus Bakoglu-optimal repeaters at 0.25, 0.18
 //! and 0.12 µm.
 
-use cap_bench::{banner, emit_json};
+use cap_bench::emit_json;
 use cap_timing::wire::{cache_bus_length, BufferedWire, Wire};
 use cap_timing::Technology;
 use serde::Serialize;
@@ -50,14 +50,15 @@ fn print_panel(label: &str, rows: &[Row]) {
 }
 
 fn main() {
-    // Pure timing-model evaluation — nothing to parallelize, but `--jobs`
-    // is accepted so every figure binary shares one CLI.
-    let _ = cap_bench::exec_from_args();
-    banner("Figure 1", "cache wire delay vs number of subarrays (ns)");
-    let a = panel(2048);
-    let b = panel(4096);
-    print_panel("a: 2KB subarrays", &a);
-    print_panel("b: 4KB subarrays", &b);
-    emit_json("fig01a", &a);
-    emit_json("fig01b", &b);
+    // Pure timing-model evaluation — nothing to parallelize, but the
+    // shared runner keeps the CLI contract of every figure binary.
+    cap_bench::run("Figure 1", "cache wire delay vs number of subarrays (ns)", |_, _| {
+        let a = panel(2048);
+        let b = panel(4096);
+        print_panel("a: 2KB subarrays", &a);
+        print_panel("b: 4KB subarrays", &b);
+        emit_json("fig01a", &a);
+        emit_json("fig01b", &b);
+        Ok(())
+    });
 }

@@ -2,7 +2,7 @@
 //! function of the number of entries and technology (R10000-style entry
 //! ≈ 60 bytes of single-ported RAM equivalent).
 
-use cap_bench::{banner, emit_json};
+use cap_bench::emit_json;
 use cap_timing::wire::{queue_bus_length, r10000_entry_equivalent_bytes, BufferedWire, Wire};
 use cap_timing::Technology;
 use serde::Serialize;
@@ -17,38 +17,39 @@ struct Row {
 }
 
 fn main() {
-    // Pure timing-model evaluation — nothing to parallelize, but `--jobs`
-    // is accepted so every figure binary shares one CLI.
-    let _ = cap_bench::exec_from_args();
-    banner("Figure 2", "integer queue wire delay vs entries (ns)");
-    println!(
-        "R10000 entry area: {:.1} bytes of single-ported RAM equivalent\n",
-        r10000_entry_equivalent_bytes()
-    );
-    let techs = Technology::paper_sweep();
-    let rows: Vec<Row> = (1..=13)
-        .map(|i| {
-            let entries = 15 + (i - 1) * 4; // 15..63, matching the figure's axis
-            let wire = Wire::new(queue_bus_length(entries).expect("valid geometry"));
-            let buf = |t: Technology| BufferedWire::optimal(wire, t).delay().value();
-            Row {
-                entries,
-                unbuffered_ns: wire.unbuffered_delay().value(),
-                buffered_025_ns: buf(techs[0]),
-                buffered_018_ns: buf(techs[1]),
-                buffered_012_ns: buf(techs[2]),
-            }
-        })
-        .collect();
-    println!(
-        "{:>8} {:>12} {:>14} {:>14} {:>14}",
-        "entries", "unbuffered", "buffers 0.25u", "buffers 0.18u", "buffers 0.12u"
-    );
-    for r in &rows {
+    // Pure timing-model evaluation — nothing to parallelize, but the
+    // shared runner keeps the CLI contract of every figure binary.
+    cap_bench::run("Figure 2", "integer queue wire delay vs entries (ns)", |_, _| {
         println!(
-            "{:>8} {:>12.3} {:>14.3} {:>14.3} {:>14.3}",
-            r.entries, r.unbuffered_ns, r.buffered_025_ns, r.buffered_018_ns, r.buffered_012_ns
+            "R10000 entry area: {:.1} bytes of single-ported RAM equivalent\n",
+            r10000_entry_equivalent_bytes()
         );
-    }
-    emit_json("fig02", &rows);
+        let techs = Technology::paper_sweep();
+        let rows: Vec<Row> = (1..=13)
+            .map(|i| {
+                let entries = 15 + (i - 1) * 4; // 15..63, matching the figure's axis
+                let wire = Wire::new(queue_bus_length(entries).expect("valid geometry"));
+                let buf = |t: Technology| BufferedWire::optimal(wire, t).delay().value();
+                Row {
+                    entries,
+                    unbuffered_ns: wire.unbuffered_delay().value(),
+                    buffered_025_ns: buf(techs[0]),
+                    buffered_018_ns: buf(techs[1]),
+                    buffered_012_ns: buf(techs[2]),
+                }
+            })
+            .collect();
+        println!(
+            "{:>8} {:>12} {:>14} {:>14} {:>14}",
+            "entries", "unbuffered", "buffers 0.25u", "buffers 0.18u", "buffers 0.12u"
+        );
+        for r in &rows {
+            println!(
+                "{:>8} {:>12.3} {:>14.3} {:>14.3} {:>14.3}",
+                r.entries, r.unbuffered_ns, r.buffered_025_ns, r.buffered_018_ns, r.buffered_012_ns
+            );
+        }
+        emit_json("fig02", &rows);
+        Ok(())
+    });
 }

@@ -2,24 +2,24 @@
 //! for (a) integer and (b) floating-point benchmarks, boundary fixed
 //! throughout execution.
 
-use cap_bench::{banner, emit_json, exec_from_args, scale};
+use cap_bench::{emit_csv, emit_json};
 use cap_core::experiments::CacheExperiment;
-use cap_core::report::cache_curves_table;
+use cap_core::report::{cache_curve_csv, cache_curves_table};
 
 fn main() {
-    let exec = exec_from_args();
-    banner("Figure 7", "average TPI vs L1 D-cache size (ns), fixed boundary");
-    let exp = CacheExperiment::new(scale()).expect("evaluation geometry is valid");
-    let curves = exp.figure7_with(&exec).expect("paper sweep is valid");
-    let (int, fp): (Vec<_>, Vec<_>) = curves.iter().partition(|c| c.integer_panel);
-    println!("{}", cache_curves_table("(a) integer benchmarks", &int));
-    println!("{}", cache_curves_table("(b) floating point / CMU / NAS benchmarks", &fp));
-    for c in &curves {
-        let best = c.best();
-        println!("  {:>9}: best L1 {:>2} KB ({}-way), TPI {:.3} ns", c.app, best.l1_kb, best.l1_assoc, best.tpi_ns);
-    }
-    emit_json("fig07", &curves);
-    for c in &curves {
-        cap_bench::emit_csv(&format!("fig07_{}", c.app), &cap_core::report::cache_curve_csv(c));
-    }
+    cap_bench::run("Figure 7", "average TPI vs L1 D-cache size (ns), fixed boundary", |exec, scale| {
+        let curves = CacheExperiment::new(scale)?.figure7_with(exec)?;
+        let (int, fp): (Vec<_>, Vec<_>) = curves.iter().partition(|c| c.integer_panel);
+        println!("{}", cache_curves_table("(a) integer benchmarks", &int));
+        println!("{}", cache_curves_table("(b) floating point / CMU / NAS benchmarks", &fp));
+        for c in &curves {
+            let best = c.best();
+            println!("  {:>9}: best L1 {:>2} KB ({}-way), TPI {:.3} ns", c.app, best.l1_kb, best.l1_assoc, best.tpi_ns);
+        }
+        emit_json("fig07", &curves);
+        for c in &curves {
+            emit_csv(&format!("fig07_{}", c.app), &cache_curve_csv(c));
+        }
+        Ok(())
+    });
 }

@@ -2,15 +2,15 @@
 //! configuration (16 KB 4-way L1) and the process-level adaptive scheme,
 //! per application and overall average.
 
-use cap_bench::{banner, emit_json, exec_from_args, scale};
+use cap_bench::emit_json;
 use cap_core::experiments::CacheExperiment;
 use cap_core::report::bar_chart_table;
 
 fn main() {
-    let exec = exec_from_args();
-    banner("Figure 8", "average TPImiss (ns): conventional vs process-level adaptive");
-    let exp = CacheExperiment::new(scale()).expect("evaluation geometry is valid");
-    let chart = exp.figure8_with(&exec).expect("paper sweep is valid");
-    println!("{}", bar_chart_table("TPImiss per application", "ns", &chart));
-    emit_json("fig08", &chart);
+    cap_bench::run("Figure 8", "average TPImiss (ns): conventional vs process-level adaptive", |exec, scale| {
+        let chart = CacheExperiment::new(scale)?.figure8_with(exec)?;
+        println!("{}", bar_chart_table("TPImiss per application", "ns", &chart));
+        emit_json("fig08", &chart);
+        Ok(())
+    });
 }

@@ -2,16 +2,16 @@
 //! configuration and the process-level adaptive scheme, per application
 //! and overall average.
 
-use cap_bench::{banner, emit_json, exec_from_args, scale};
+use cap_bench::{emit_csv, emit_json};
 use cap_core::experiments::CacheExperiment;
-use cap_core::report::bar_chart_table;
+use cap_core::report::{bar_chart_csv, bar_chart_table};
 
 fn main() {
-    let exec = exec_from_args();
-    banner("Figure 9", "average TPI (ns): conventional vs process-level adaptive");
-    let exp = CacheExperiment::new(scale()).expect("evaluation geometry is valid");
-    let chart = exp.figure9_with(&exec).expect("paper sweep is valid");
-    println!("{}", bar_chart_table("TPI per application", "ns", &chart));
-    emit_json("fig09", &chart);
-    cap_bench::emit_csv("fig09", &cap_core::report::bar_chart_csv(&chart));
+    cap_bench::run("Figure 9", "average TPI (ns): conventional vs process-level adaptive", |exec, scale| {
+        let chart = CacheExperiment::new(scale)?.figure9_with(exec)?;
+        println!("{}", bar_chart_table("TPI per application", "ns", &chart));
+        emit_json("fig09", &chart);
+        emit_csv("fig09", &bar_chart_csv(&chart));
+        Ok(())
+    });
 }

@@ -2,16 +2,16 @@
 //! configuration (64-entry queue) and the process-level adaptive scheme,
 //! per application and overall average.
 
-use cap_bench::{banner, emit_json, exec_from_args, scale};
+use cap_bench::{emit_csv, emit_json};
 use cap_core::experiments::QueueExperiment;
-use cap_core::report::bar_chart_table;
+use cap_core::report::{bar_chart_csv, bar_chart_table};
 
 fn main() {
-    let exec = exec_from_args();
-    banner("Figure 11", "average TPI (ns): conventional (64-entry) vs process-level adaptive");
-    let exp = QueueExperiment::new(scale());
-    let chart = exp.figure11_with(&exec).expect("paper sweep is valid");
-    println!("{}", bar_chart_table("TPI per application", "ns", &chart));
-    emit_json("fig11", &chart);
-    cap_bench::emit_csv("fig11", &cap_core::report::bar_chart_csv(&chart));
+    cap_bench::run("Figure 11", "average TPI (ns): conventional (64-entry) vs process-level adaptive", |exec, scale| {
+        let chart = QueueExperiment::new(scale).figure11_with(exec)?;
+        println!("{}", bar_chart_table("TPI per application", "ns", &chart));
+        emit_json("fig11", &chart);
+        emit_csv("fig11", &bar_chart_csv(&chart));
+        Ok(())
+    });
 }

@@ -3,23 +3,24 @@
 //! run over the same interval streams, reported as per-app TPI and
 //! switch counts. The confidence rows reproduce the Section 6 manager.
 
-use cap_bench::{banner, emit_json, exec_from_args};
+use cap_bench::emit_json;
 use cap_core::experiments::IntervalExperiment;
 use cap_workloads::App;
 
 fn main() {
-    let exec = exec_from_args();
-    banner("Policies", "configuration-management policy comparison");
-    let exp = IntervalExperiment::new();
-    let intervals = 600;
-    println!("{:>8} {:>16} {:>12} {:>10}", "app", "policy", "TPI (ns)", "switches");
-    let mut all = Vec::new();
-    for app in [App::Turb3d, App::Vortex, App::Compress, App::Appcg] {
-        let cmp = exp.compare_policies_with(app, intervals, &exec).expect("valid configuration");
-        for row in &cmp.rows {
-            println!("{:>8} {:>16} {:>12.3} {:>10}", cmp.app, row.policy, row.tpi_ns, row.switches);
+    cap_bench::run("Policies", "configuration-management policy comparison", |exec, _| {
+        let exp = IntervalExperiment::new();
+        let intervals = 600;
+        println!("{:>8} {:>16} {:>12} {:>10}", "app", "policy", "TPI (ns)", "switches");
+        let mut all = Vec::new();
+        for app in [App::Turb3d, App::Vortex, App::Compress, App::Appcg] {
+            let cmp = exp.compare_policies_with(app, intervals, exec)?;
+            for row in &cmp.rows {
+                println!("{:>8} {:>16} {:>12.3} {:>10}", cmp.app, row.policy, row.tpi_ns, row.switches);
+            }
+            all.push(cmp);
         }
-        all.push(cmp);
-    }
-    emit_json("policies", &all);
+        emit_json("policies", &all);
+        Ok(())
+    });
 }

@@ -10,8 +10,31 @@
 #![warn(missing_docs)]
 
 use cap_core::experiments::{ExecPolicy, ExperimentScale};
+use cap_core::CapError;
 use serde::Serialize;
 use std::path::PathBuf;
+
+/// Runs one figure binary end to end: parse `--jobs`, resolve the
+/// scale, print the banner, then hand control to the figure body.
+///
+/// This is the whole `main()` of every `figNN` binary — argument and
+/// environment validation exit 2 before any output, and a body error
+/// exits 1 with a clean message instead of a panic backtrace. The body
+/// receives the shared [`ExecPolicy`] (jobs, cache, tracing) and the
+/// [`ExperimentScale`], and prints the figure's bytes itself.
+pub fn run(
+    figure: &str,
+    what: &str,
+    body: impl FnOnce(&ExecPolicy, ExperimentScale) -> Result<(), CapError>,
+) {
+    let exec = exec_from_args();
+    let scale = scale();
+    banner(figure, what);
+    if let Err(e) = body(&exec, scale) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
 
 /// The experiment scale selected by `CAP_SCALE` (default: `default`).
 ///

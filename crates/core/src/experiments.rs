@@ -19,6 +19,7 @@ use crate::clock::{DynamicClock, DEFAULT_SWITCH_PENALTY_CYCLES};
 use crate::error::CapError;
 use crate::manager::{run_managed_queue, ConfidencePolicy, ManagedRun};
 use crate::metrics::{BarChart, BarPair};
+use crate::plan::{self, Executor, ExperimentSpec, Leg, LegId};
 use crate::policy::{PolicyConfig, PolicyKind};
 use crate::replay::{field, FromJson};
 use crate::structure::{AdaptiveStructure, QueueStructure};
@@ -34,8 +35,7 @@ use cap_obs::{
     LegTimeoutEvent, Recorder,
 };
 use cap_par::{
-    BatchResult, CacheKey, ChaosInjector, GuardedOutcome, Journal, Pool, ResultCache,
-    WatchdogPolicy,
+    CacheKey, ChaosInjector, GuardedOutcome, Journal, Pool, ResultCache, WatchdogPolicy,
 };
 use cap_timing::cacti::CacheTimingModel;
 use cap_timing::queue::QueueTimingModel;
@@ -412,7 +412,7 @@ impl ExecPolicy {
 
     /// Result-cache lookup with probe classification emitted to the
     /// recorder. Returns the decoded value on a clean hit.
-    fn probe_cache(&self, key: &CacheKey) -> Option<Value> {
+    pub(crate) fn probe_cache(&self, key: &CacheKey) -> Option<Value> {
         let cache = self.cache.as_ref()?;
         let (value, outcome) = cache.probe(key);
         if self.recorder.enabled() {
@@ -433,7 +433,7 @@ impl ExecPolicy {
     }
 
     /// Result-cache store with the write result emitted to the recorder.
-    fn store_cache<T: Serialize>(&self, key: &CacheKey, value: &T) {
+    pub(crate) fn store_cache<T: Serialize>(&self, key: &CacheKey, value: &T) {
         if let Some(cache) = &self.cache {
             let ok = cache.store(key, value);
             if self.recorder.enabled() {
@@ -446,38 +446,25 @@ impl ExecPolicy {
         }
     }
 
-    /// Curve-level memoization wrapper: replay the journal, decode a
-    /// cache hit, or compute and store. Cache failures (missing,
-    /// corrupt, unwritable) silently fall back to computing.
-    ///
-    /// A cache hit is also committed to the journal: resume bookkeeping
-    /// must not depend on whether a leg was computed or memoized, so a
-    /// warm rerun and a cold rerun journal the same leg sequence.
-    fn memo<T, D, C>(&self, key: &CacheKey, decode: D, compute: C) -> Result<T, CapError>
-    where
-        T: Serialize,
-        D: Fn(&Value) -> Option<T>,
-        C: FnOnce() -> Result<T, CapError>,
-    {
-        let leg = key.canonical();
-        if let Some(hit) = self.journal_lookup(&leg).as_ref().and_then(&decode) {
-            return Ok(hit);
-        }
-        if let Some(hit) = self.probe_cache(key).as_ref().and_then(&decode) {
-            self.journal_append(&leg, &hit);
-            return Ok(hit);
-        }
-        let value = compute()?;
-        self.journal_append(&leg, &value);
-        self.store_cache(key, &value);
-        Ok(value)
-    }
 }
 
 impl Default for ExecPolicy {
     fn default() -> Self {
         Self::serial()
     }
+}
+
+/// Decodes one resolved plan-leg value back into its typed form. The
+/// executor only resolves legs whose values pass the leg's validator,
+/// so failure here means the validator and decoder drifted apart — a
+/// programming error reported as [`CapError::InvalidParameter`], never
+/// a panic.
+pub(crate) fn decode_leg<T>(
+    value: &Value,
+    what: &'static str,
+    decode: impl Fn(&Value) -> Option<T>,
+) -> Result<T, CapError> {
+    decode(value).ok_or(CapError::InvalidParameter { what })
 }
 
 // Decoders for cache and journal replay. The generic `FromJson` trait
@@ -728,6 +715,35 @@ impl CacheExperiment {
         }
     }
 
+    /// One application's curve as a content-addressed plan leg. The
+    /// compute closure owns the sweep-engine dispatch and the guarded
+    /// leg labels (`…|curve` / `…|point=i`), so a plan-built sweep is
+    /// leg-for-leg identical to the historical driver.
+    pub(crate) fn curve_leg(&self, app: App) -> Leg {
+        let key = self.curve_key(app);
+        let canon = key.canonical();
+        let me = self.clone();
+        Leg::cached(
+            key,
+            move |exec| {
+                let points = match exec.sweep_engine() {
+                    SweepEngine::SinglePass => exec.guarded(&format!("{canon}|curve"), || {
+                        me.curve_points_single_pass(app)
+                    })?,
+                    SweepEngine::Legacy => exec
+                        .pool()
+                        .ordered_map(Boundary::paper_sweep().collect(), |i, b| {
+                            exec.guarded(&format!("{canon}|point={i}"), || me.leg(app, b))
+                        })
+                        .into_iter()
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                Ok(plan::to_value(&Self::assemble_curve(app, points)))
+            },
+            |v| CacheCurve::from_json(v).is_some(),
+        )
+    }
+
     /// Sweeps every boundary for one application (one Figure 7 curve).
     ///
     /// # Errors
@@ -737,29 +753,18 @@ impl CacheExperiment {
         self.sweep_with(app, &ExecPolicy::serial())
     }
 
-    /// [`CacheExperiment::sweep`] under an execution policy: boundary
-    /// legs fan out across the pool and merge in boundary order.
+    /// [`CacheExperiment::sweep`] under an execution policy: a one-leg
+    /// plan over the [`Executor`] kernel, which contributes journal
+    /// replay and result-cache memoization.
     ///
     /// # Errors
     ///
     /// Propagates timing-model errors.
     pub fn sweep_with(&self, app: App, exec: &ExecPolicy) -> Result<CacheCurve, CapError> {
-        let key = self.curve_key(app);
-        let canon = key.canonical();
-        exec.memo(&key, CacheCurve::from_json, || {
-            let points = match exec.sweep_engine() {
-                SweepEngine::SinglePass => exec
-                    .guarded(&format!("{canon}|curve"), || self.curve_points_single_pass(app))?,
-                SweepEngine::Legacy => exec
-                    .pool()
-                    .ordered_map(Boundary::paper_sweep().collect(), |i, b| {
-                        exec.guarded(&format!("{canon}|point={i}"), || self.leg(app, b))
-                    })
-                    .into_iter()
-                    .collect::<Result<Vec<_>, _>>()?,
-            };
-            Ok(Self::assemble_curve(app, points))
-        })
+        let mut spec = ExperimentSpec::new("cache-sweep");
+        let id = spec.leg(self.curve_leg(app));
+        let run = Executor::run(&spec, exec)?;
+        decode_leg(run.value(id), "cache curve replay", CacheCurve::from_json)
     }
 
     /// All 21 Figure 7 curves.
@@ -771,108 +776,34 @@ impl CacheExperiment {
         self.figure7_with(&ExecPolicy::serial())
     }
 
-    /// [`CacheExperiment::figure7`] under an execution policy. All
-    /// (app × boundary) legs of cache-missing curves are submitted to
-    /// the pool as one batch — 168 independent legs at full fan-out —
-    /// then merged back into per-app curves in suite order.
+    /// [`CacheExperiment::figure7`] under an execution policy: a plan of
+    /// one content-addressed curve leg per application, executed by the
+    /// one [`Executor`] kernel — curves already journaled or cached
+    /// replay, the rest run as one pool batch, and completed curves are
+    /// committed even when another leg fails or the batch drains, so
+    /// `--resume` replays finished work instead of recomputing it.
     ///
     /// # Errors
     ///
     /// Propagates timing-model errors.
     pub fn figure7_with(&self, exec: &ExecPolicy) -> Result<Vec<CacheCurve>, CapError> {
-        let apps: Vec<App> = App::cache_suite().collect();
-        let keys: Vec<CacheKey> = apps.iter().map(|&app| self.curve_key(app)).collect();
-        let mut curves: Vec<Option<CacheCurve>> = keys
-            .iter()
-            .map(|key| {
-                if let Some(hit) =
-                    exec.journal_lookup(&key.canonical()).as_ref().and_then(CacheCurve::from_json)
-                {
-                    return Some(hit);
-                }
-                let hit = exec.probe_cache(key).as_ref().and_then(CacheCurve::from_json)?;
-                exec.journal_append(&key.canonical(), &hit);
-                Some(hit)
-            })
-            .collect();
-
-        let boundaries: Vec<Boundary> = Boundary::paper_sweep().collect();
-        // Under the single-pass engine one leg computes a whole curve, so
-        // the pool spans applications; the legacy engine fans out every
-        // (app × boundary) pair.
-        let legs: Vec<(usize, usize, App, Option<Boundary>)> = match exec.sweep_engine() {
-            SweepEngine::SinglePass => apps
-                .iter()
-                .enumerate()
-                .filter(|(slot, _)| curves[*slot].is_none())
-                .map(|(slot, &app)| (slot, 0, app, None))
-                .collect(),
-            SweepEngine::Legacy => apps
-                .iter()
-                .enumerate()
-                .filter(|(slot, _)| curves[*slot].is_none())
-                .flat_map(|(slot, &app)| {
-                    boundaries.iter().enumerate().map(move |(i, &b)| (slot, i, app, Some(b)))
-                })
-                .collect(),
-        };
-        let slot_of: Vec<usize> = legs.iter().map(|&(slot, ..)| slot).collect();
-        let batch = exec.pool().ordered_map_drain(legs, |_, (slot, i, app, b)| {
-            let canon = keys[slot].canonical();
-            match b {
-                Some(b) => {
-                    let label = format!("{canon}|point={i}");
-                    (slot, exec.guarded(&label, || self.leg(app, b)).map(|p| vec![p]))
-                }
-                None => {
-                    let label = format!("{canon}|curve");
-                    (slot, exec.guarded(&label, || self.curve_points_single_pass(app)))
-                }
-            }
-        });
-
-        // Commit every curve whose legs all finished — even when another
-        // leg timed out or the batch drained — so `--resume` replays the
-        // completed work instead of recomputing it.
-        let (results, drained) = match batch {
-            BatchResult::Complete(results) => {
-                (results.into_iter().map(Some).collect::<Vec<_>>(), false)
-            }
-            BatchResult::Drained { partial, .. } => (partial, true),
-        };
-        let mut fresh_points: Vec<Vec<CachePoint>> = vec![Vec::new(); apps.len()];
-        let mut whole: Vec<bool> = vec![true; apps.len()];
-        let mut failed: Option<CapError> = None;
-        for (idx, item) in results.into_iter().enumerate() {
-            match item {
-                Some((slot, Ok(points))) => fresh_points[slot].extend(points),
-                Some((slot, Err(e))) => {
-                    whole[slot] = false;
-                    failed.get_or_insert(e);
-                }
-                None => whole[slot_of[idx]] = false,
-            }
-        }
-        for (slot, points) in fresh_points.into_iter().enumerate() {
-            if curves[slot].is_none() && whole[slot] && points.len() == boundaries.len() {
-                let curve = Self::assemble_curve(apps[slot], points);
-                exec.journal_append(&keys[slot].canonical(), &curve);
-                exec.store_cache(&keys[slot], &curve);
-                curves[slot] = Some(curve);
-            }
-        }
-        if drained {
-            return Err(CapError::Interrupted);
-        }
-        if let Some(e) = failed {
-            return Err(e);
-        }
-        Ok(curves.into_iter().map(|c| c.expect("every slot filled")).collect())
+        let mut spec = ExperimentSpec::new("figure7");
+        let ids: Vec<LegId> = App::cache_suite().map(|app| spec.leg(self.curve_leg(app))).collect();
+        let run = Executor::run(&spec, exec)?;
+        ids.into_iter()
+            .map(|id| decode_leg(run.value(id), "cache curve replay", CacheCurve::from_json))
+            .collect()
     }
 
-    fn bar_chart(&self, exec: &ExecPolicy, metric: impl Fn(&CachePoint) -> f64) -> Result<BarChart, CapError> {
+    /// The Figure 8/9 bar chart derived purely from already-swept
+    /// curves (the reduce step shared by the figure wrappers and the
+    /// plan builders).
+    pub(crate) fn chart_from_curves(
+        curves: &[CacheCurve],
+        metric: impl Fn(&CachePoint) -> f64,
+    ) -> BarChart {
         let mut bars = Vec::new();
-        for curve in self.figure7_with(exec)? {
+        for curve in curves {
             let best = curve.best();
             let conv = curve.conventional();
             bars.push(BarPair {
@@ -882,7 +813,11 @@ impl CacheExperiment {
                 chosen: format!("L1={}KB/{}-way", best.l1_kb, best.l1_assoc),
             });
         }
-        Ok(BarChart { bars })
+        BarChart { bars }
+    }
+
+    fn bar_chart(&self, exec: &ExecPolicy, metric: impl Fn(&CachePoint) -> f64) -> Result<BarChart, CapError> {
+        Ok(Self::chart_from_curves(&self.figure7_with(exec)?, metric))
     }
 
     /// Figure 8: TPImiss, best conventional versus process-level adaptive.
@@ -933,23 +868,29 @@ impl CacheExperiment {
         self.headline_with(&ExecPolicy::serial())
     }
 
-    /// [`CacheExperiment::headline`] under an execution policy.
+    /// [`CacheExperiment::headline`] under an execution policy (one
+    /// curve sweep; both charts reduce from the same curves).
     ///
     /// # Errors
     ///
     /// Propagates timing-model errors.
     pub fn headline_with(&self, exec: &ExecPolicy) -> Result<CacheHeadline, CapError> {
-        let f8 = self.figure8_with(exec)?;
-        let f9 = self.figure9_with(exec)?;
+        Ok(Self::headline_from_curves(&self.figure7_with(exec)?))
+    }
+
+    /// The §5.2.3 headline numbers as a pure reduction over curves.
+    pub(crate) fn headline_from_curves(curves: &[CacheCurve]) -> CacheHeadline {
+        let f8 = Self::chart_from_curves(curves, |p| p.tpi_miss_ns);
+        let f9 = Self::chart_from_curves(curves, |p| p.tpi_ns);
         let get = |c: &BarChart, app: &str| c.bar(app).map(|b| b.reduction()).unwrap_or(0.0);
-        Ok(CacheHeadline {
+        CacheHeadline {
             tpimiss_reduction: f8.average_reduction(),
             tpi_reduction: f9.average_reduction(),
             stereo_tpi_reduction: get(&f9, "stereo"),
             stereo_tpimiss_reduction: get(&f8, "stereo"),
             appcg_tpi_reduction: get(&f9, "appcg"),
             compress_tpimiss_reduction: get(&f8, "compress"),
-        })
+        }
     }
 }
 
@@ -1109,6 +1050,33 @@ impl QueueExperiment {
         }
     }
 
+    /// One application's curve as a content-addressed plan leg (see
+    /// [`CacheExperiment::curve_leg`]).
+    pub(crate) fn curve_leg(&self, app: App) -> Leg {
+        let key = self.curve_key(app);
+        let canon = key.canonical();
+        let me = self.clone();
+        Leg::cached(
+            key,
+            move |exec| {
+                let points = match exec.sweep_engine() {
+                    SweepEngine::SinglePass => exec.guarded(&format!("{canon}|curve"), || {
+                        me.curve_points_single_pass(app)
+                    })?,
+                    SweepEngine::Legacy => exec
+                        .pool()
+                        .ordered_map(WindowSize::paper_sweep().collect(), |i, w| {
+                            exec.guarded(&format!("{canon}|point={i}"), || me.leg(app, w))
+                        })
+                        .into_iter()
+                        .collect::<Result<Vec<_>, _>>()?,
+                };
+                Ok(plan::to_value(&Self::assemble_curve(app, points)))
+            },
+            |v| QueueCurve::from_json(v).is_some(),
+        )
+    }
+
     /// Sweeps every window size for one application (one Figure 10
     /// curve).
     ///
@@ -1119,29 +1087,17 @@ impl QueueExperiment {
         self.sweep_with(app, &ExecPolicy::serial())
     }
 
-    /// [`QueueExperiment::sweep`] under an execution policy: window legs
-    /// fan out across the pool and merge in window order.
+    /// [`QueueExperiment::sweep`] under an execution policy: a one-leg
+    /// plan over the [`Executor`] kernel.
     ///
     /// # Errors
     ///
     /// Propagates timing-model errors.
     pub fn sweep_with(&self, app: App, exec: &ExecPolicy) -> Result<QueueCurve, CapError> {
-        let key = self.curve_key(app);
-        let canon = key.canonical();
-        exec.memo(&key, QueueCurve::from_json, || {
-            let points = match exec.sweep_engine() {
-                SweepEngine::SinglePass => exec
-                    .guarded(&format!("{canon}|curve"), || self.curve_points_single_pass(app))?,
-                SweepEngine::Legacy => exec
-                    .pool()
-                    .ordered_map(WindowSize::paper_sweep().collect(), |i, w| {
-                        exec.guarded(&format!("{canon}|point={i}"), || self.leg(app, w))
-                    })
-                    .into_iter()
-                    .collect::<Result<Vec<_>, _>>()?,
-            };
-            Ok(Self::assemble_curve(app, points))
-        })
+        let mut spec = ExperimentSpec::new("queue-sweep");
+        let id = spec.leg(self.curve_leg(app));
+        let run = Executor::run(&spec, exec)?;
+        decode_leg(run.value(id), "queue curve replay", QueueCurve::from_json)
     }
 
     /// All 22 Figure 10 curves.
@@ -1153,103 +1109,20 @@ impl QueueExperiment {
         self.figure10_with(&ExecPolicy::serial())
     }
 
-    /// [`QueueExperiment::figure10`] under an execution policy. All
-    /// (app × window) legs of cache-missing curves are submitted to the
-    /// pool as one batch — 176 independent legs at full fan-out — then
-    /// merged back into per-app curves in suite order.
+    /// [`QueueExperiment::figure10`] under an execution policy: one plan
+    /// leg per application, deduped and batched by the [`Executor`].
     ///
     /// # Errors
     ///
     /// Propagates timing-model errors.
     pub fn figure10_with(&self, exec: &ExecPolicy) -> Result<Vec<QueueCurve>, CapError> {
-        let apps: Vec<App> = App::queue_suite().collect();
-        let keys: Vec<CacheKey> = apps.iter().map(|&app| self.curve_key(app)).collect();
-        let mut curves: Vec<Option<QueueCurve>> = keys
-            .iter()
-            .map(|key| {
-                if let Some(hit) =
-                    exec.journal_lookup(&key.canonical()).as_ref().and_then(QueueCurve::from_json)
-                {
-                    return Some(hit);
-                }
-                let hit = exec.probe_cache(key).as_ref().and_then(QueueCurve::from_json)?;
-                exec.journal_append(&key.canonical(), &hit);
-                Some(hit)
-            })
-            .collect();
-
-        let windows: Vec<WindowSize> = WindowSize::paper_sweep().collect();
-        // Under the single-pass engine one leg computes a whole curve, so
-        // the pool spans applications; the legacy engine fans out every
-        // (app × window) pair.
-        let legs: Vec<(usize, usize, App, Option<WindowSize>)> = match exec.sweep_engine() {
-            SweepEngine::SinglePass => apps
-                .iter()
-                .enumerate()
-                .filter(|(slot, _)| curves[*slot].is_none())
-                .map(|(slot, &app)| (slot, 0, app, None))
-                .collect(),
-            SweepEngine::Legacy => apps
-                .iter()
-                .enumerate()
-                .filter(|(slot, _)| curves[*slot].is_none())
-                .flat_map(|(slot, &app)| {
-                    windows.iter().enumerate().map(move |(i, &w)| (slot, i, app, Some(w)))
-                })
-                .collect(),
-        };
-        let slot_of: Vec<usize> = legs.iter().map(|&(slot, ..)| slot).collect();
-        let batch = exec.pool().ordered_map_drain(legs, |_, (slot, i, app, w)| {
-            let canon = keys[slot].canonical();
-            match w {
-                Some(w) => {
-                    let label = format!("{canon}|point={i}");
-                    (slot, exec.guarded(&label, || self.leg(app, w)).map(|p| vec![p]))
-                }
-                None => {
-                    let label = format!("{canon}|curve");
-                    (slot, exec.guarded(&label, || self.curve_points_single_pass(app)))
-                }
-            }
-        });
-
-        // Commit every curve whose legs all finished — even when another
-        // leg timed out or the batch drained — so `--resume` replays the
-        // completed work instead of recomputing it.
-        let (results, drained) = match batch {
-            BatchResult::Complete(results) => {
-                (results.into_iter().map(Some).collect::<Vec<_>>(), false)
-            }
-            BatchResult::Drained { partial, .. } => (partial, true),
-        };
-        let mut fresh_points: Vec<Vec<QueuePoint>> = vec![Vec::new(); apps.len()];
-        let mut whole: Vec<bool> = vec![true; apps.len()];
-        let mut failed: Option<CapError> = None;
-        for (idx, item) in results.into_iter().enumerate() {
-            match item {
-                Some((slot, Ok(points))) => fresh_points[slot].extend(points),
-                Some((slot, Err(e))) => {
-                    whole[slot] = false;
-                    failed.get_or_insert(e);
-                }
-                None => whole[slot_of[idx]] = false,
-            }
-        }
-        for (slot, points) in fresh_points.into_iter().enumerate() {
-            if curves[slot].is_none() && whole[slot] && points.len() == windows.len() {
-                let curve = Self::assemble_curve(apps[slot], points);
-                exec.journal_append(&keys[slot].canonical(), &curve);
-                exec.store_cache(&keys[slot], &curve);
-                curves[slot] = Some(curve);
-            }
-        }
-        if drained {
-            return Err(CapError::Interrupted);
-        }
-        if let Some(e) = failed {
-            return Err(e);
-        }
-        Ok(curves.into_iter().map(|c| c.expect("every slot filled")).collect())
+        let mut spec = ExperimentSpec::new("figure10");
+        let ids: Vec<LegId> =
+            App::queue_suite().map(|app| spec.leg(self.curve_leg(app))).collect();
+        let run = Executor::run(&spec, exec)?;
+        ids.into_iter()
+            .map(|id| decode_leg(run.value(id), "queue curve replay", QueueCurve::from_json))
+            .collect()
     }
 
     /// Figure 11: TPI, best conventional (64-entry) versus process-level
@@ -1268,8 +1141,13 @@ impl QueueExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn figure11_with(&self, exec: &ExecPolicy) -> Result<BarChart, CapError> {
+        Ok(Self::chart_from_curves(&self.figure10_with(exec)?))
+    }
+
+    /// The Figure 11 bar chart as a pure reduction over Figure 10 curves.
+    pub(crate) fn chart_from_curves(curves: &[QueueCurve]) -> BarChart {
         let mut bars = Vec::new();
-        for curve in self.figure10_with(exec)? {
+        for curve in curves {
             let best = curve.best();
             let conv = curve.conventional();
             bars.push(BarPair {
@@ -1279,7 +1157,7 @@ impl QueueExperiment {
                 chosen: format!("{}-entry", best.entries),
             });
         }
-        Ok(BarChart { bars })
+        BarChart { bars }
     }
 
     /// The §5.3 headline numbers.
@@ -1297,15 +1175,20 @@ impl QueueExperiment {
     ///
     /// Propagates timing-model errors.
     pub fn headline_with(&self, exec: &ExecPolicy) -> Result<QueueHeadline, CapError> {
-        let f11 = self.figure11_with(exec)?;
+        Ok(Self::headline_from_curves(&self.figure10_with(exec)?))
+    }
+
+    /// The §5.3 headline as a pure reduction over Figure 10 curves.
+    pub(crate) fn headline_from_curves(curves: &[QueueCurve]) -> QueueHeadline {
+        let f11 = Self::chart_from_curves(curves);
         let get = |app: &str| f11.bar(app).map(|b| b.reduction()).unwrap_or(0.0);
-        Ok(QueueHeadline {
+        QueueHeadline {
             tpi_reduction: f11.average_reduction(),
             appcg_tpi_reduction: get("appcg"),
             fpppp_tpi_reduction: get("fpppp"),
             radar_tpi_reduction: get("radar"),
             compress_tpi_reduction: get("compress"),
-        })
+        }
     }
 }
 
@@ -1459,7 +1342,14 @@ impl IntervalExperiment {
         intervals: u64,
         exec: &ExecPolicy,
     ) -> Result<Vec<f64>, CapError> {
-        let key = CacheKey {
+        let mut spec = ExperimentSpec::new("interval-series");
+        let id = spec.leg(self.series_leg(app, window, intervals));
+        let run = Executor::run(&spec, exec)?;
+        decode_leg(run.value(id), "interval series replay", <Vec<f64>>::from_json)
+    }
+
+    fn series_key(&self, app: App, window: usize, intervals: u64) -> CacheKey {
+        CacheKey {
             kind: "interval-series".to_string(),
             app: app.name().to_string(),
             scale: format!("{intervals}x{PAPER_INTERVAL_INSTS}insts"),
@@ -1467,14 +1357,58 @@ impl IntervalExperiment {
             config_range: format!("W {window}"),
             version: SWEEP_RESULTS_VERSION,
             policy: None,
+        }
+    }
+
+    /// One fixed-window interval trace as a content-addressed plan leg.
+    /// A series is a single leg (a managed-clock trace cannot split), so
+    /// the plan contributes caching and dedup, not intra-leg fan-out.
+    pub(crate) fn series_leg(&self, app: App, window: usize, intervals: u64) -> Leg {
+        let me = self.clone();
+        Leg::cached(
+            self.series_key(app, window, intervals),
+            move |_exec| {
+                let cycle = me.timing.cycle_time(window)?;
+                let mut core = OooCore::try_new(CoreConfig::isca98(window)?)?;
+                let mut stream = app.ilp_profile().build(me.seed ^ app.seed_salt());
+                let samples =
+                    record_intervals(&mut core, &mut stream, intervals, PAPER_INTERVAL_INSTS)?;
+                Ok(plan::to_value(
+                    &samples.iter().map(|s| s.tpi(cycle).value()).collect::<Vec<f64>>(),
+                ))
+            },
+            |v| <Vec<f64>>::from_json(v).is_some(),
+        )
+    }
+
+    /// Slices two fixed-window series into a Figure 12/13-style pair of
+    /// snapshots (a pure reduction over the series legs).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble_figure(
+        app: App,
+        small: usize,
+        large: usize,
+        range_a: std::ops::Range<u64>,
+        range_b: std::ops::Range<u64>,
+        s: &[f64],
+        l: &[f64],
+    ) -> IntervalFigure {
+        let slice = |r: std::ops::Range<u64>| {
+            (r.start..r.end)
+                .map(|i| SnapshotPoint {
+                    interval: i,
+                    tpi_small: s[i as usize],
+                    tpi_large: l[i as usize],
+                })
+                .collect()
         };
-        exec.memo(&key, <Vec<f64>>::from_json, || {
-            let cycle = self.timing.cycle_time(window)?;
-            let mut core = OooCore::try_new(CoreConfig::isca98(window)?)?;
-            let mut stream = app.ilp_profile().build(self.seed ^ app.seed_salt());
-            let samples = record_intervals(&mut core, &mut stream, intervals, PAPER_INTERVAL_INSTS)?;
-            Ok(samples.iter().map(|s| s.tpi(cycle).value()).collect())
-        })
+        IntervalFigure {
+            app: app.name().to_string(),
+            small_label: format!("{small} entries"),
+            large_label: format!("{large} entries"),
+            snapshot_a: slice(range_a),
+            snapshot_b: slice(range_b),
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -1488,29 +1422,13 @@ impl IntervalExperiment {
         exec: &ExecPolicy,
     ) -> Result<IntervalFigure, CapError> {
         let total = range_a.end.max(range_b.end);
-        let mut series = exec
-            .pool()
-            .ordered_map(vec![small, large], |_, w| self.interval_series_with(app, w, total, exec))
-            .into_iter()
-            .collect::<Result<Vec<_>, _>>()?;
-        let l = series.pop().expect("two series submitted");
-        let s = series.pop().expect("two series submitted");
-        let slice = |r: std::ops::Range<u64>| {
-            (r.start..r.end)
-                .map(|i| SnapshotPoint {
-                    interval: i,
-                    tpi_small: s[i as usize],
-                    tpi_large: l[i as usize],
-                })
-                .collect()
-        };
-        Ok(IntervalFigure {
-            app: app.name().to_string(),
-            small_label: format!("{small} entries"),
-            large_label: format!("{large} entries"),
-            snapshot_a: slice(range_a),
-            snapshot_b: slice(range_b),
-        })
+        let mut spec = ExperimentSpec::new("interval-snapshot");
+        let s_id = spec.leg(self.series_leg(app, small, total));
+        let l_id = spec.leg(self.series_leg(app, large, total));
+        let run = Executor::run(&spec, exec)?;
+        let s = decode_leg(run.value(s_id), "interval series replay", <Vec<f64>>::from_json)?;
+        let l = decode_leg(run.value(l_id), "interval series replay", <Vec<f64>>::from_json)?;
+        Ok(Self::assemble_figure(app, small, large, range_a, range_b, &s, &l))
     }
 
     /// Intra-application ILP variation at a fixed 128-entry window:
@@ -1624,12 +1542,15 @@ impl IntervalExperiment {
     /// oracle envelope, both averaged over `intervals`.
     fn offline_optima(&self, app: App, intervals: u64, exec: &ExecPolicy) -> Result<(f64, f64), CapError> {
         // Fixed runs at every configuration (for process level + oracle).
-        let sizes: Vec<usize> = WindowSize::paper_sweep().map(|w| w.entries()).collect();
-        let series = exec
-            .pool()
-            .ordered_map(sizes, |_, w| self.interval_series_with(app, w, intervals, exec))
+        let mut spec = ExperimentSpec::new("offline-optima");
+        let ids: Vec<LegId> = WindowSize::paper_sweep()
+            .map(|w| spec.leg(self.series_leg(app, w.entries(), intervals)))
+            .collect();
+        let run = Executor::run(&spec, exec)?;
+        let series: Vec<Vec<f64>> = ids
             .into_iter()
-            .collect::<Result<Vec<_>, _>>()?;
+            .map(|id| decode_leg(run.value(id), "interval series replay", <Vec<f64>>::from_json))
+            .collect::<Result<_, _>>()?;
         let totals: Vec<f64> = series.iter().map(|s| s.iter().sum::<f64>()).collect();
         let process_level = totals.iter().cloned().fold(f64::INFINITY, f64::min) / intervals as f64;
         let oracle = (0..intervals as usize)
@@ -1705,10 +1626,38 @@ impl IntervalExperiment {
         self.compare_policies_with(app, intervals, &ExecPolicy::serial())
     }
 
+    /// One policy's managed run as a content-addressed plan leg —
+    /// inherently serial inside (clock and manager state are a chain)
+    /// but cacheable, keyed by the policy name on top of the usual leg
+    /// identity. Only default-knob runs are plan legs: custom
+    /// [`PolicyConfig`] knobs are not part of the cache key, so
+    /// [`IntervalExperiment::policy_comparison_with`] stays off-plan.
+    pub(crate) fn policy_leg(&self, app: App, intervals: u64, kind: PolicyKind) -> Leg {
+        let me = self.clone();
+        Leg::cached(
+            CacheKey {
+                kind: "managed-policy".to_string(),
+                app: app.name().to_string(),
+                scale: format!("{intervals}x{PAPER_INTERVAL_INSTS}insts"),
+                seed: self.seed,
+                config_range: "W isca98".to_string(),
+                version: SWEEP_RESULTS_VERSION,
+                policy: Some(kind.name().to_string()),
+            },
+            move |exec| {
+                let run = me.managed_run(app, intervals, &PolicyConfig::new(kind), exec)?;
+                Ok(plan::to_value(&PolicyRow {
+                    policy: kind.name().to_string(),
+                    tpi_ns: run.average_tpi().value(),
+                    switches: run.switches,
+                }))
+            },
+            |v| PolicyRow::from_json(v).is_some(),
+        )
+    }
+
     /// [`IntervalExperiment::compare_policies`] under an execution
-    /// policy. Each policy's managed run is one leg — inherently serial
-    /// (clock and manager state are a chain) but memoizable, keyed by
-    /// the policy name on top of the usual leg identity.
+    /// policy: one plan leg per policy in [`PolicyKind::ALL`].
     ///
     /// # Errors
     ///
@@ -1719,27 +1668,16 @@ impl IntervalExperiment {
         intervals: u64,
         exec: &ExecPolicy,
     ) -> Result<PolicyComparison, CapError> {
-        let mut rows = Vec::with_capacity(PolicyKind::ALL.len());
-        for kind in PolicyKind::ALL {
-            let key = CacheKey {
-                kind: "managed-policy".to_string(),
-                app: app.name().to_string(),
-                scale: format!("{intervals}x{PAPER_INTERVAL_INSTS}insts"),
-                seed: self.seed,
-                config_range: "W isca98".to_string(),
-                version: SWEEP_RESULTS_VERSION,
-                policy: Some(kind.name().to_string()),
-            };
-            let row = exec.memo(&key, PolicyRow::from_json, || {
-                let run = self.managed_run(app, intervals, &PolicyConfig::new(kind), exec)?;
-                Ok(PolicyRow {
-                    policy: kind.name().to_string(),
-                    tpi_ns: run.average_tpi().value(),
-                    switches: run.switches,
-                })
-            })?;
-            rows.push(row);
-        }
+        let mut spec = ExperimentSpec::new("compare-policies");
+        let ids: Vec<LegId> = PolicyKind::ALL
+            .iter()
+            .map(|&kind| spec.leg(self.policy_leg(app, intervals, kind)))
+            .collect();
+        let run = Executor::run(&spec, exec)?;
+        let rows: Vec<PolicyRow> = ids
+            .into_iter()
+            .map(|id| decode_leg(run.value(id), "policy row replay", PolicyRow::from_json))
+            .collect::<Result<_, _>>()?;
         Ok(PolicyComparison { app: app.name().to_string(), intervals, rows })
     }
 }

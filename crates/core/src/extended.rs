@@ -22,7 +22,12 @@
 //!   use a larger window than the standalone study would pick.
 
 use crate::error::CapError;
-use crate::experiments::{ExperimentScale, DEFAULT_SEED};
+use crate::experiments::{
+    decode_leg, ExecPolicy, ExperimentScale, DEFAULT_SEED, SWEEP_RESULTS_VERSION,
+};
+use crate::plan::{self, Executor, ExperimentSpec, Leg};
+use crate::replay::{field, FromJson};
+use cap_par::CacheKey;
 use cap_cache::config::Boundary;
 use cap_cache::perf::{PerfParams, BASE_IPC};
 use cap_cache::sim as cache_sim;
@@ -37,6 +42,7 @@ use cap_timing::units::Ns;
 use cap_timing::Technology;
 use cap_workloads::App;
 use serde::Serialize;
+use serde_json::Value;
 
 /// One row of the TLB study.
 #[derive(Debug, Clone, PartialEq, Serialize)]
@@ -613,6 +619,269 @@ pub fn run_managed_combined(
 /// The paper's base pipeline IPC, re-exported for the combined model's
 /// documentation (the queue-side IPC replaces it).
 pub const CACHE_STUDY_BASE_IPC: f64 = BASE_IPC;
+
+// ---------------------------------------------------------------------------
+// Plan integration: every §7 study as a one-leg content-addressed plan
+// ---------------------------------------------------------------------------
+//
+// Each study is a serial computation (interval managers and clocks carry
+// state), so the plan contributes content-addressed caching, journaling
+// and dedup rather than intra-study fan-out. The `*_with` variants below
+// are what the `extended` binary calls; the plain functions remain the
+// underlying computations (and the API for callers that want no policy).
+
+impl FromJson for TlbStudyRow {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(TlbStudyRow {
+            app: field(v, "app")?,
+            best_primary: field(v, "best_primary")?,
+            tpi_smallest: field(v, "tpi_smallest")?,
+            tpi_best: field(v, "tpi_best")?,
+            miss_ratio: field(v, "miss_ratio")?,
+        })
+    }
+}
+
+impl FromJson for BpredStudyRow {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(BpredStudyRow {
+            app: field(v, "app")?,
+            best_entries: field(v, "best_entries")?,
+            accuracy_smallest: field(v, "accuracy_smallest")?,
+            accuracy_best: field(v, "accuracy_best")?,
+            tpi_best: field(v, "tpi_best")?,
+        })
+    }
+}
+
+impl FromJson for CombinedPoint {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(CombinedPoint {
+            l1_kb: field(v, "l1_kb")?,
+            entries: field(v, "entries")?,
+            cycle_ns: field(v, "cycle_ns")?,
+            tpi_ns: field(v, "tpi_ns")?,
+        })
+    }
+}
+
+impl FromJson for CombinedStudy {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(CombinedStudy {
+            app: field(v, "app")?,
+            points: field(v, "points")?,
+            solo_cache_kb: field(v, "solo_cache_kb")?,
+            solo_window: field(v, "solo_window")?,
+        })
+    }
+}
+
+impl FromJson for AsyncStudyRow {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(AsyncStudyRow {
+            app: field(v, "app")?,
+            sync_access_ns: field(v, "sync_access_ns")?,
+            async_access_ns: field(v, "async_access_ns")?,
+            speedup: field(v, "speedup")?,
+        })
+    }
+}
+
+impl FromJson for TechStudyRow {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(TechStudyRow {
+            feature_um: field(v, "feature_um")?,
+            cache_cycle_spread: field(v, "cache_cycle_spread")?,
+            cache_tpi_reduction: field(v, "cache_tpi_reduction")?,
+        })
+    }
+}
+
+impl FromJson for FrequencyStudyRow {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(FrequencyStudyRow {
+            interval_len: field(v, "interval_len")?,
+            managed_tpi: field(v, "managed_tpi")?,
+            switches: field(v, "switches")?,
+        })
+    }
+}
+
+impl FromJson for ManagedCombined {
+    fn from_json(v: &Value) -> Option<Self> {
+        Some(ManagedCombined {
+            app: field(v, "app")?,
+            intervals: field(v, "intervals")?,
+            avg_tpi: field(v, "avg_tpi")?,
+            switches: field(v, "switches")?,
+            final_l1_kb: field(v, "final_l1_kb")?,
+            final_entries: field(v, "final_entries")?,
+        })
+    }
+}
+
+/// Content address for one extended study: the study's identity is its
+/// description string plus the app/scale/seed axes every key carries.
+fn study_key(what: &str, app: &str, scale_tag: String, seed: u64) -> CacheKey {
+    CacheKey {
+        kind: "extended-study".to_string(),
+        app: app.to_string(),
+        scale: scale_tag,
+        seed,
+        config_range: what.to_string(),
+        version: SWEEP_RESULTS_VERSION,
+        policy: None,
+    }
+}
+
+/// Wraps a serial study computation as one cached plan leg.
+fn study_leg<T>(key: CacheKey, compute: impl Fn() -> Result<T, CapError> + Send + Sync + 'static) -> Leg
+where
+    T: Serialize + FromJson,
+{
+    Leg::cached(key, move |_exec| Ok(plan::to_value(&compute()?)), |v| T::from_json(v).is_some())
+}
+
+/// Runs a one-leg study plan on the shared executor and decodes the
+/// result.
+fn run_study<T: FromJson>(name: &'static str, leg: Leg, exec: &ExecPolicy) -> Result<T, CapError> {
+    let mut spec = ExperimentSpec::new(name);
+    let id = spec.leg(leg);
+    let run = Executor::run(&spec, exec)?;
+    decode_leg(run.value(id), "extended study replay", T::from_json)
+}
+
+/// [`tlb_study`] under an execution policy: one content-addressed plan
+/// leg over the [`Executor`] kernel, so repeated studies replay from the
+/// result cache and journaled runs resume.
+///
+/// # Errors
+///
+/// Propagates timing-model errors.
+pub fn tlb_study_with(
+    scale: ExperimentScale,
+    seed: u64,
+    exec: &ExecPolicy,
+) -> Result<Vec<TlbStudyRow>, CapError> {
+    let key = study_key("tlb primary/backup split", "suite", scale.name().to_string(), seed);
+    run_study("tlb-study", study_leg(key, move || tlb_study(scale, seed)), exec)
+}
+
+/// [`bpred_study`] under an execution policy (one cached plan leg).
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn bpred_study_with(
+    scale: ExperimentScale,
+    seed: u64,
+    exec: &ExecPolicy,
+) -> Result<Vec<BpredStudyRow>, CapError> {
+    let key = study_key("bpred gshare pht", "suite", scale.name().to_string(), seed);
+    run_study("bpred-study", study_leg(key, move || bpred_study(scale, seed)), exec)
+}
+
+/// [`technology_study`] under an execution policy (one cached plan leg).
+///
+/// # Errors
+///
+/// Propagates timing-model errors.
+pub fn technology_study_with(
+    scale: ExperimentScale,
+    seed: u64,
+    exec: &ExecPolicy,
+) -> Result<Vec<TechStudyRow>, CapError> {
+    let key = study_key("technology 3 nodes", "suite", scale.name().to_string(), seed);
+    run_study("technology-study", study_leg(key, move || technology_study(scale, seed)), exec)
+}
+
+/// [`asynchronous_study`] under an execution policy (one cached plan
+/// leg).
+///
+/// # Errors
+///
+/// Propagates timing-model errors.
+pub fn asynchronous_study_with(
+    scale: ExperimentScale,
+    seed: u64,
+    exec: &ExecPolicy,
+) -> Result<Vec<AsyncStudyRow>, CapError> {
+    let key = study_key("async 64KB access", "suite", scale.name().to_string(), seed);
+    run_study("async-study", study_leg(key, move || asynchronous_study(scale, seed)), exec)
+}
+
+/// [`reconfiguration_frequency_study`] under an execution policy (one
+/// cached plan leg).
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn reconfiguration_frequency_study_with(
+    app: App,
+    insts_budget: u64,
+    interval_lens: &[u64],
+    seed: u64,
+    exec: &ExecPolicy,
+) -> Result<Vec<FrequencyStudyRow>, CapError> {
+    let lens = interval_lens.to_vec();
+    let tag = lens.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+    let key = study_key(
+        &format!("freq intervals {tag}"),
+        app.name(),
+        format!("{insts_budget}insts"),
+        seed,
+    );
+    run_study(
+        "frequency-study",
+        study_leg(key, move || reconfiguration_frequency_study(app, insts_budget, &lens, seed)),
+        exec,
+    )
+}
+
+/// [`run_managed_combined`] under an execution policy (one cached plan
+/// leg; the confidence parameters are part of the content address).
+///
+/// # Errors
+///
+/// Propagates configuration errors.
+pub fn run_managed_combined_with(
+    app: App,
+    intervals: u64,
+    seed: u64,
+    policy: crate::manager::ConfidencePolicy,
+    exec: &ExecPolicy,
+) -> Result<ManagedCombined, CapError> {
+    let key = study_key(
+        &format!("joint managed t{} h{}", policy.threshold, policy.hysteresis),
+        app.name(),
+        format!("{intervals}iv"),
+        seed,
+    );
+    run_study(
+        "joint-managed",
+        study_leg(key, move || run_managed_combined(app, intervals, seed, policy)),
+        exec,
+    )
+}
+
+impl CombinedExperiment {
+    /// [`CombinedExperiment::study`] under an execution policy (one
+    /// cached plan leg).
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-model errors.
+    pub fn study_with(&self, app: App, exec: &ExecPolicy) -> Result<CombinedStudy, CapError> {
+        let key = study_key(
+            "combined cache x queue",
+            app.name(),
+            self.scale.name().to_string(),
+            self.seed,
+        );
+        let me = self.clone();
+        run_study("combined-study", study_leg(key, move || me.study(app)), exec)
+    }
+}
 
 #[cfg(test)]
 mod tests {

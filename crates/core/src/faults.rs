@@ -538,10 +538,35 @@ impl FaultCampaign {
         )
     }
 
+    /// One campaign leg (queue or cache) as a journaled plan leg. Fault
+    /// legs are journal-only — their results are campaign-specific, so
+    /// they carry no result-cache key — and guarded, so they inherit the
+    /// policy's watchdog and chaos hooks.
+    pub(crate) fn plan_leg(&self, queue: bool) -> crate::plan::Leg {
+        let key = self.leg_key(if queue { "queue" } else { "cache" });
+        let me = self.clone();
+        crate::plan::Leg::journaled(
+            key.clone(),
+            "fault-campaign",
+            move |exec| {
+                let recorder = exec.recorder().clone();
+                let report = exec.guarded(&key, || {
+                    if queue {
+                        me.queue_leg(&recorder)
+                    } else {
+                        me.cache_leg(&recorder)
+                    }
+                })?;
+                Ok(crate::plan::to_value(&report))
+            },
+            |v| LegReport::from_json(v).is_some(),
+        )
+    }
+
     /// [`FaultCampaign::run`] under an execution policy: the queue and
     /// cache legs are independent (separate structures, managers and
-    /// streams; injector seeds derived per leg) and run as parallel
-    /// legs. Output is identical to the serial path — the report merges
+    /// streams; injector seeds derived per leg) and run as one two-leg
+    /// plan. Output is identical to the serial path — the report merges
     /// in leg order.
     ///
     /// When the policy carries a journal, completed legs are committed
@@ -554,39 +579,46 @@ impl FaultCampaign {
     /// for a leg abandoned by the watchdog and [`CapError::Interrupted`]
     /// for a drained campaign.
     pub fn run_with(&self, exec: &crate::experiments::ExecPolicy) -> Result<DegradationReport, CapError> {
-        let recorder = exec.recorder().clone();
-        let batch = exec.pool().ordered_map_drain(
-            vec![true, false],
-            |_, queue| -> Result<LegReport, CapError> {
-            let key = self.leg_key(if queue { "queue" } else { "cache" });
-            if let Some(hit) = exec.journal_lookup(&key).as_ref().and_then(LegReport::from_json) {
-                return Ok(hit);
-            }
-            let report: LegReport = exec.guarded(&key, || {
-                if queue {
-                    self.queue_leg(&recorder)
-                } else {
-                    self.cache_leg(&recorder)
-                }
-            })?;
-            exec.journal_append(&key, &report);
-            Ok(report)
-        },
-        );
-        let mut legs = match batch {
-            cap_par::BatchResult::Complete(legs) => legs.into_iter(),
-            cap_par::BatchResult::Drained { .. } => return Err(CapError::Interrupted),
+        let mut spec = crate::plan::ExperimentSpec::new("fault-campaign");
+        let queue_id = spec.leg(self.plan_leg(true));
+        let cache_id = spec.leg(self.plan_leg(false));
+        let run = crate::plan::Executor::run(&spec, exec)?;
+        self.assemble(run.value(queue_id), run.value(cache_id))
+    }
+
+    /// Assembles the campaign report from the two decoded leg values.
+    fn assemble(
+        &self,
+        queue: &serde_json::Value,
+        cache: &serde_json::Value,
+    ) -> Result<DegradationReport, CapError> {
+        let decode = |v: &serde_json::Value| -> Result<LegReport, CapError> {
+            LegReport::from_json(v).ok_or(CapError::InvalidParameter { what: "fault leg replay" })
         };
-        let queue = legs.next().expect("two legs submitted")?;
-        let cache = legs.next().expect("two legs submitted")?;
         Ok(DegradationReport {
             app: self.app.name().to_string(),
             seed: self.seed,
             policy: self.policy.name().to_string(),
             spec: self.spec,
-            queue,
-            cache,
+            queue: decode(queue)?,
+            cache: decode(cache)?,
         })
+    }
+
+    /// The campaign as a declarative plan with its report reduce: the
+    /// builder behind `capsim faults` and `capsim plan faults`. The
+    /// reduce renders the exact CLI bytes (degradation table + JSON
+    /// line).
+    pub fn plan(&self) -> crate::plan::ExperimentSpec {
+        let mut spec = crate::plan::ExperimentSpec::new("faults");
+        let queue_id = spec.leg(self.plan_leg(true));
+        let cache_id = spec.leg(self.plan_leg(false));
+        let me = self.clone();
+        spec.reduce("degradation-report", vec![queue_id, cache_id], move |deps| {
+            let report = me.assemble(deps[0], deps[1])?;
+            Ok(format!("{}{}\n", crate::report::degradation_table(&report), report.to_json()))
+        });
+        spec
     }
 }
 

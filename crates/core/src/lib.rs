@@ -31,6 +31,10 @@
 //!   reduction arithmetic of Figures 8, 9 and 11.
 //! * [`experiments`] — one driver per paper artifact: Figure 7–13 data
 //!   series and the headline numbers, all serde-serializable.
+//! * [`plan`] — the declarative plan/execute kernel: campaigns are DAGs
+//!   of content-addressed legs plus pure reduces, resolved and run by
+//!   one executor that inherits caching, journaling, fan-out, watchdog
+//!   and chaos from the [`experiments::ExecPolicy`] uniformly.
 //! * [`report`] — plain-text rendering used by the `figNN` binaries.
 //!
 //! # Example
@@ -59,6 +63,7 @@ pub mod faults;
 pub mod manager;
 pub mod metrics;
 pub mod pattern;
+pub mod plan;
 pub mod policy;
 pub mod power;
 pub(crate) mod replay;

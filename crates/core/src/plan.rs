@@ -1,0 +1,784 @@
+//! The declarative plan/execute kernel behind every campaign driver.
+//!
+//! An [`ExperimentSpec`] is a DAG of content-addressed [`Leg`]s (curve
+//! sweeps, interval series, managed runs, fault legs) plus pure
+//! [`Reduce`] nodes (figures, headlines, tables). ONE [`Executor`] runs
+//! any spec over an [`ExecPolicy`], inheriting `--jobs`, the result
+//! cache, journal/resume, the watchdog, chaos injection and `cap-obs`
+//! tracing uniformly — the per-driver leg loops that used to live in
+//! `experiments.rs`, `faults.rs` and the `capsim` subcommands are now
+//! thin plan builders over this module.
+//!
+//! **Content addressing and dedup.** A leg's identity is its canonical
+//! key string — the same string used as its journal identity and its
+//! guarded-leg label, and (for cacheable legs) derived from its
+//! [`CacheKey`]. [`ExperimentSpec::leg`] dedupes on that key, so a plan
+//! that mentions the same leg twice (figure 8 and figure 9 both reusing
+//! figure 7's curves; `compare-policies` sharing baseline legs) executes
+//! it once and fans the value out to every reduce that depends on it.
+//!
+//! **Execution protocol.** [`Executor::run`] resolves each leg in plan
+//! order: replay from the journal, else decode a result-cache hit (which
+//! is then committed to the journal, so warm and cold runs journal the
+//! same leg sequence), else schedule it for computation. Pending legs
+//! run as one pool batch; completed legs are committed (journal, then
+//! cache) in plan order even when another leg failed or the batch
+//! drained, so `--resume` replays finished work instead of recomputing
+//! it. Reduces are pure functions of leg values and never touch the
+//! journal or cache.
+//!
+//! **Inspection.** [`Executor::resolve`] classifies every leg as a
+//! journal hit, a result-cache hit or a miss *without* executing or
+//! journaling anything — the engine behind `capsim plan <cmd> --dry-run`.
+
+use crate::error::CapError;
+use crate::experiments::{
+    CacheCurve, CacheExperiment, CachePoint, ExecPolicy, ExperimentScale, IntervalExperiment,
+    PolicyRow, QueueCurve, QueueExperiment,
+};
+use crate::policy::PolicyKind;
+use crate::replay::FromJson;
+use crate::report;
+use cap_par::{BatchResult, CacheKey};
+use cap_workloads::App;
+use serde::Serialize;
+use serde_json::Value;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Converts any serializable result into the [`Value`] currency the
+/// executor journals, caches and hands to reduces. The vendored emitter
+/// and parser round-trip exactly (numbers keep raw text), so this is
+/// lossless.
+pub(crate) fn to_value<T: Serialize>(value: &T) -> Value {
+    let text = serde_json::to_string(value).expect("vendored serializer is infallible");
+    serde_json::from_str(&text).expect("emitted JSON parses back")
+}
+
+type Compute = Arc<dyn Fn(&ExecPolicy) -> Result<Value, CapError> + Send + Sync>;
+type Validate = Arc<dyn Fn(&Value) -> bool + Send + Sync>;
+type Render = Arc<dyn Fn(&[&Value]) -> Result<String, CapError> + Send + Sync>;
+
+/// One content-addressed unit of campaign work.
+///
+/// A leg owns its compute closure (including any [`ExecPolicy::guarded`]
+/// wrapping and sweep-engine dispatch — the executor imposes none, so
+/// drivers keep their historical guarding exactly) and a validator that
+/// decides whether a journaled or cached [`Value`] has the shape the
+/// plan expects; anything else is treated as a miss, never a panic.
+pub struct Leg {
+    key: String,
+    kind: String,
+    cache_key: Option<CacheKey>,
+    compute: Compute,
+    validate: Validate,
+}
+
+impl Leg {
+    /// A result-cacheable leg. Its plan identity, journal identity and
+    /// cache identity are all the key's canonical string.
+    pub(crate) fn cached(
+        cache_key: CacheKey,
+        compute: impl Fn(&ExecPolicy) -> Result<Value, CapError> + Send + Sync + 'static,
+        validate: impl Fn(&Value) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Leg {
+            key: cache_key.canonical(),
+            kind: cache_key.kind.clone(),
+            cache_key: Some(cache_key),
+            compute: Arc::new(compute),
+            validate: Arc::new(validate),
+        }
+    }
+
+    /// A journal-only leg (fault-campaign legs: resumable but not
+    /// persisted to the result cache).
+    pub(crate) fn journaled(
+        key: String,
+        kind: &str,
+        compute: impl Fn(&ExecPolicy) -> Result<Value, CapError> + Send + Sync + 'static,
+        validate: impl Fn(&Value) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Leg {
+            key,
+            kind: kind.to_string(),
+            cache_key: None,
+            compute: Arc::new(compute),
+            validate: Arc::new(validate),
+        }
+    }
+
+    /// The canonical content address (also the journal identity).
+    pub fn key(&self) -> &str {
+        &self.key
+    }
+
+    /// The leg's kind tag (`"cache-sweep"`, `"fault-campaign"`, ...).
+    pub fn kind(&self) -> &str {
+        &self.kind
+    }
+}
+
+impl std::fmt::Debug for Leg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Leg")
+            .field("key", &self.key)
+            .field("kind", &self.kind)
+            .field("cached", &self.cache_key.is_some())
+            .finish()
+    }
+}
+
+/// A handle to a leg within one [`ExperimentSpec`], returned by
+/// [`ExperimentSpec::leg`] and used to declare reduce dependencies and
+/// to read values out of a [`PlanRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LegId(usize);
+
+/// A pure reduction over leg values: a figure table, a headline block,
+/// a report section. Reduces render in declaration order and their
+/// outputs concatenate into [`PlanRun::rendered`].
+pub struct Reduce {
+    name: String,
+    deps: Vec<LegId>,
+    render: Render,
+}
+
+impl std::fmt::Debug for Reduce {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reduce").field("name", &self.name).field("deps", &self.deps).finish()
+    }
+}
+
+/// A declarative campaign: content-addressed legs plus pure reduces.
+#[derive(Debug, Default)]
+pub struct ExperimentSpec {
+    name: String,
+    legs: Vec<Leg>,
+    index: HashMap<String, usize>,
+    reduces: Vec<Reduce>,
+}
+
+impl ExperimentSpec {
+    /// An empty spec with a display name.
+    pub fn new(name: &str) -> Self {
+        ExperimentSpec { name: name.to_string(), ..Default::default() }
+    }
+
+    /// The spec's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a leg, deduplicating by content address: adding a leg whose
+    /// key is already in the plan returns the existing [`LegId`], so
+    /// shared work (curves reused across figures, baselines shared
+    /// across comparisons) executes exactly once.
+    pub fn leg(&mut self, leg: Leg) -> LegId {
+        if let Some(&i) = self.index.get(leg.key()) {
+            return LegId(i);
+        }
+        let i = self.legs.len();
+        self.index.insert(leg.key.clone(), i);
+        self.legs.push(leg);
+        LegId(i)
+    }
+
+    /// Adds a reduce node over previously added legs.
+    pub fn reduce(
+        &mut self,
+        name: &str,
+        deps: Vec<LegId>,
+        render: impl Fn(&[&Value]) -> Result<String, CapError> + Send + Sync + 'static,
+    ) {
+        self.reduces.push(Reduce { name: name.to_string(), deps, render: Arc::new(render) });
+    }
+
+    /// The plan's legs, in insertion (= execution commit) order.
+    pub fn legs(&self) -> &[Leg] {
+        &self.legs
+    }
+
+    /// The number of reduce nodes.
+    pub fn reduce_count(&self) -> usize {
+        self.reduces.len()
+    }
+}
+
+/// The outcome of [`Executor::run`]: every leg's value plus the
+/// concatenated reduce output.
+#[derive(Debug)]
+pub struct PlanRun {
+    values: Vec<Value>,
+    rendered: String,
+}
+
+impl PlanRun {
+    /// The resolved value of one leg.
+    pub fn value(&self, id: LegId) -> &Value {
+        &self.values[id.0]
+    }
+
+    /// The concatenated output of every reduce, in declaration order.
+    pub fn rendered(&self) -> &str {
+        &self.rendered
+    }
+}
+
+/// How [`Executor::resolve`] classified one leg.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegClass {
+    /// Already committed to the attached journal; `--resume` replays it.
+    JournalHit,
+    /// Present and valid in the result cache.
+    CacheHit,
+    /// Would be computed.
+    Miss,
+}
+
+impl LegClass {
+    /// Stable lowercase tag used in `--dry-run` output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            LegClass::JournalHit => "journal-hit",
+            LegClass::CacheHit => "cache-hit",
+            LegClass::Miss => "miss",
+        }
+    }
+}
+
+/// One row of a resolved (but unexecuted) plan.
+#[derive(Debug, Clone)]
+pub struct LegStatus {
+    /// The leg's canonical content address.
+    pub key: String,
+    /// The leg's kind tag.
+    pub kind: String,
+    /// Where the value would come from.
+    pub class: LegClass,
+}
+
+/// A resolved leg graph: the `capsim plan <cmd> --dry-run` payload.
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    /// The spec's display name.
+    pub name: String,
+    /// Per-leg classification, in plan order.
+    pub legs: Vec<LegStatus>,
+    /// Reduce node names, in declaration order.
+    pub reduces: Vec<String>,
+}
+
+impl Resolution {
+    /// Legs of one kind classified as `class`.
+    pub fn count(&self, kind: &str, class: LegClass) -> usize {
+        self.legs.iter().filter(|l| l.kind == kind && l.class == class).count()
+    }
+
+    /// Renders the graph as the stable plain-text block printed by
+    /// `capsim plan <cmd> --dry-run` (golden-locked in `results/`).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "plan: {} ({} leg(s), {} reduce(s))\n",
+            self.name,
+            self.legs.len(),
+            self.reduces.len()
+        ));
+        for leg in &self.legs {
+            out.push_str(&format!("  [{:<11}] {}\n", leg.class.tag(), leg.key));
+        }
+        for name in &self.reduces {
+            out.push_str(&format!("  reduce: {name}\n"));
+        }
+        out.push_str("summary:\n");
+        let mut kinds: Vec<&str> = Vec::new();
+        for leg in &self.legs {
+            if !kinds.contains(&leg.kind.as_str()) {
+                kinds.push(&leg.kind);
+            }
+        }
+        let tally = |pick: &dyn Fn(&LegStatus) -> bool| {
+            let rows: Vec<&LegStatus> = self.legs.iter().filter(|l| pick(l)).collect();
+            let class = |c: LegClass| rows.iter().filter(|l| l.class == c).count();
+            format!(
+                "{} leg(s), {} journal-hit, {} cache-hit, {} miss",
+                rows.len(),
+                class(LegClass::JournalHit),
+                class(LegClass::CacheHit),
+                class(LegClass::Miss)
+            )
+        };
+        for kind in kinds {
+            out.push_str(&format!("  {kind}: {}\n", tally(&|l: &LegStatus| l.kind == kind)));
+        }
+        out.push_str(&format!("  total: {}\n", tally(&|_| true)));
+        out
+    }
+}
+
+/// The one engine that executes any [`ExperimentSpec`].
+#[derive(Debug, Clone, Copy)]
+pub struct Executor;
+
+impl Executor {
+    /// Classifies every leg (journal hit / cache hit / miss) without
+    /// executing or journaling anything. Probing the result cache may
+    /// quarantine corrupt entries as a side effect — classification is
+    /// honest about what a real run would find.
+    pub fn resolve(spec: &ExperimentSpec, exec: &ExecPolicy) -> Resolution {
+        let legs = spec
+            .legs()
+            .iter()
+            .map(|leg| {
+                let class = if exec
+                    .journal_lookup(&leg.key)
+                    .as_ref()
+                    .is_some_and(|v| (leg.validate)(v))
+                {
+                    LegClass::JournalHit
+                } else if leg
+                    .cache_key
+                    .as_ref()
+                    .and_then(|key| exec.probe_cache(key))
+                    .as_ref()
+                    .is_some_and(|v| (leg.validate)(v))
+                {
+                    LegClass::CacheHit
+                } else {
+                    LegClass::Miss
+                };
+                LegStatus { key: leg.key.clone(), kind: leg.kind.clone(), class }
+            })
+            .collect();
+        Resolution {
+            name: spec.name.clone(),
+            legs,
+            reduces: spec.reduces.iter().map(|r| r.name.clone()).collect(),
+        }
+    }
+
+    /// Executes a spec: resolve each leg (journal → cache → compute),
+    /// run pending legs as one pool batch, commit completed legs in
+    /// plan order, then render the reduces.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first leg error in plan order;
+    /// [`CapError::Interrupted`] when the batch drained at a leg
+    /// boundary (completed legs are committed first, so `--resume`
+    /// replays them).
+    pub fn run(spec: &ExperimentSpec, exec: &ExecPolicy) -> Result<PlanRun, CapError> {
+        let legs = spec.legs();
+        let mut values: Vec<Option<Value>> = legs
+            .iter()
+            .map(|leg| {
+                if let Some(hit) =
+                    exec.journal_lookup(&leg.key).filter(|v| (leg.validate)(v))
+                {
+                    return Some(hit);
+                }
+                let hit = exec
+                    .probe_cache(leg.cache_key.as_ref()?)
+                    .filter(|v| (leg.validate)(v))?;
+                exec.journal_append(&leg.key, &hit);
+                Some(hit)
+            })
+            .collect();
+
+        let pending: Vec<usize> = (0..legs.len()).filter(|&i| values[i].is_none()).collect();
+        let batch = exec
+            .pool()
+            .ordered_map_drain(pending, |_, i| (i, (legs[i].compute)(exec)));
+        let (results, drained) = match batch {
+            BatchResult::Complete(results) => {
+                (results.into_iter().map(Some).collect::<Vec<_>>(), false)
+            }
+            BatchResult::Drained { partial, .. } => (partial, true),
+        };
+        // Commit every completed leg — even when another leg failed or
+        // the batch drained — so `--resume` replays finished work.
+        // `pending` ascends, so commits land in plan order.
+        let mut failed: Option<CapError> = None;
+        for item in results {
+            match item {
+                Some((i, Ok(value))) => {
+                    exec.journal_append(&legs[i].key, &value);
+                    if let Some(key) = &legs[i].cache_key {
+                        exec.store_cache(key, &value);
+                    }
+                    values[i] = Some(value);
+                }
+                Some((_, Err(e))) => {
+                    failed.get_or_insert(e);
+                }
+                None => {}
+            }
+        }
+        if drained {
+            return Err(CapError::Interrupted);
+        }
+        if let Some(e) = failed {
+            return Err(e);
+        }
+
+        let values: Vec<Value> = values
+            .into_iter()
+            .map(|v| v.expect("every leg resolved or the run errored"))
+            .collect();
+        let mut rendered = String::new();
+        for reduce in &spec.reduces {
+            let deps: Vec<&Value> = reduce.deps.iter().map(|id| &values[id.0]).collect();
+            rendered.push_str(&(reduce.render)(&deps)?);
+        }
+        Ok(PlanRun { values, rendered })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Campaign plans: the capsim subcommands as declarative specs
+// ---------------------------------------------------------------------------
+
+/// Decodes every reduce dependency with one shape decoder, surfacing a
+/// stable [`CapError::InvalidParameter`] on drift instead of panicking.
+fn decode_all<T>(
+    deps: &[&Value],
+    what: &'static str,
+    decode: impl Fn(&Value) -> Option<T>,
+) -> Result<Vec<T>, CapError> {
+    deps.iter().map(|v| decode(v).ok_or(CapError::InvalidParameter { what })).collect()
+}
+
+fn add_cache_sweep(
+    spec: &mut ExperimentSpec,
+    scale: ExperimentScale,
+    seed: u64,
+) -> Result<Vec<LegId>, CapError> {
+    let exp = CacheExperiment::new(scale)?.with_seed(seed);
+    let ids: Vec<LegId> = App::cache_suite().map(|app| spec.leg(exp.curve_leg(app))).collect();
+    spec.reduce("cache-sweep-report", ids.clone(), move |deps| {
+        let curves = decode_all(deps, "cache curve replay", CacheCurve::from_json)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "== cache sweep: TPI vs L1 boundary, seed {seed:#x}");
+        let (int, fp): (Vec<&CacheCurve>, Vec<&CacheCurve>) =
+            curves.iter().partition(|c| c.integer_panel);
+        let _ = writeln!(out, "{}", report::cache_curves_table("(a) integer benchmarks", &int));
+        let _ = writeln!(
+            out,
+            "{}",
+            report::cache_curves_table("(b) floating point / CMU / NAS benchmarks", &fp)
+        );
+        for c in &curves {
+            let b = c.best();
+            let _ = writeln!(
+                out,
+                "  {:>9}: best L1 {:>2} KB ({}-way), TPI {:.3} ns",
+                c.app, b.l1_kb, b.l1_assoc, b.tpi_ns
+            );
+        }
+        Ok(out)
+    });
+    Ok(ids)
+}
+
+fn add_queue_sweep(spec: &mut ExperimentSpec, scale: ExperimentScale, seed: u64) -> Vec<LegId> {
+    let exp = QueueExperiment::new(scale).with_seed(seed);
+    let ids: Vec<LegId> = App::queue_suite().map(|app| spec.leg(exp.curve_leg(app))).collect();
+    spec.reduce("queue-sweep-report", ids.clone(), move |deps| {
+        let curves = decode_all(deps, "queue curve replay", QueueCurve::from_json)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "== queue sweep: TPI vs window size, seed {seed:#x}");
+        let (int, fp): (Vec<&QueueCurve>, Vec<&QueueCurve>) =
+            curves.iter().partition(|c| c.integer_panel);
+        let _ = writeln!(out, "{}", report::queue_curves_table("(a) integer benchmarks", &int));
+        let _ = writeln!(
+            out,
+            "{}",
+            report::queue_curves_table("(b) floating point / CMU / NAS benchmarks", &fp)
+        );
+        for c in &curves {
+            let b = c.best();
+            let _ = writeln!(
+                out,
+                "  {:>9}: best window {:>3} entries, TPI {:.3} ns (IPC {:.2})",
+                c.app, b.entries, b.tpi_ns, b.ipc
+            );
+        }
+        Ok(out)
+    });
+    ids
+}
+
+/// The `capsim sweep <kind>` campaign as a plan: one curve leg per
+/// suite application plus one report reduce per swept structure,
+/// rendering the exact bytes the CLI prints.
+///
+/// # Errors
+///
+/// Propagates timing-model construction errors.
+pub fn sweep_plan(kind: &str, scale: ExperimentScale, seed: u64) -> Result<ExperimentSpec, CapError> {
+    let mut spec = ExperimentSpec::new(&format!("sweep-{kind}"));
+    if kind == "cache" || kind == "all" {
+        add_cache_sweep(&mut spec, scale, seed)?;
+    }
+    if kind == "queue" || kind == "all" {
+        add_queue_sweep(&mut spec, scale, seed);
+    }
+    Ok(spec)
+}
+
+/// Every figure's data as ONE plan: the 21 cache curves, 22 queue
+/// curves and 4 interval series, with figure reduces on top. Figures
+/// 8, 9 and the sweep reports reuse Figure 7's curve legs — the
+/// content-addressed dedup means each curve computes once.
+///
+/// # Errors
+///
+/// Propagates timing-model construction errors.
+pub fn figures_plan(scale: ExperimentScale, seed: u64) -> Result<ExperimentSpec, CapError> {
+    let mut spec = ExperimentSpec::new("figures");
+    add_cache_reduces(&mut spec, scale, seed)?;
+    add_queue_reduces(&mut spec, scale, seed);
+    let interval = IntervalExperiment::new().with_seed(seed);
+    for (name, app, small, large, range_a, range_b) in [
+        ("figure12", App::Turb3d, 64usize, 128usize, 60u64..260u64, 420u64..540u64),
+        ("figure13", App::Vortex, 16, 64, 0..90, 90..110),
+    ] {
+        let total = range_a.end.max(range_b.end);
+        let s_id = spec.leg(interval.series_leg(app, small, total));
+        let l_id = spec.leg(interval.series_leg(app, large, total));
+        let title = format!("{} ({}): TPI per interval", name, app.name());
+        spec.reduce(name, vec![s_id, l_id], move |deps| {
+            let series = decode_all(deps, "interval series replay", <Vec<f64>>::from_json)?;
+            let fig = IntervalExperiment::assemble_figure(
+                app,
+                small,
+                large,
+                range_a.clone(),
+                range_b.clone(),
+                &series[0],
+                &series[1],
+            );
+            Ok(report::interval_figure_table(&title, &fig))
+        });
+    }
+    Ok(spec)
+}
+
+fn cache_chart(
+    metric: fn(&CachePoint) -> f64,
+    title: &str,
+    deps: &[&Value],
+) -> Result<String, CapError> {
+    let curves = decode_all(deps, "cache curve replay", CacheCurve::from_json)?;
+    Ok(report::bar_chart_table(title, "ns", &CacheExperiment::chart_from_curves(&curves, metric)))
+}
+
+fn add_cache_reduces(
+    spec: &mut ExperimentSpec,
+    scale: ExperimentScale,
+    seed: u64,
+) -> Result<Vec<LegId>, CapError> {
+    let ids = add_cache_sweep(spec, scale, seed)?;
+    spec.reduce("figure8", ids.clone(), move |deps| {
+        cache_chart(|p| p.tpi_miss_ns, "figure8: TPImiss, conventional vs adaptive", deps)
+    });
+    spec.reduce("figure9", ids.clone(), move |deps| {
+        cache_chart(|p| p.tpi_ns, "figure9: TPI, conventional vs adaptive", deps)
+    });
+    Ok(ids)
+}
+
+fn add_queue_reduces(spec: &mut ExperimentSpec, scale: ExperimentScale, seed: u64) -> Vec<LegId> {
+    let ids = add_queue_sweep(spec, scale, seed);
+    spec.reduce("figure11", ids.clone(), move |deps| {
+        let curves = decode_all(deps, "queue curve replay", QueueCurve::from_json)?;
+        Ok(report::bar_chart_table(
+            "figure11: TPI, conventional vs adaptive",
+            "ns",
+            &QueueExperiment::chart_from_curves(&curves),
+        ))
+    });
+    ids
+}
+
+/// The `capsim headline` table as a plan over the same curve legs the
+/// sweeps and figures use — a warm cache satisfies it without any
+/// computation.
+///
+/// # Errors
+///
+/// Propagates timing-model construction errors.
+pub fn headline_plan(scale: ExperimentScale, seed: u64) -> Result<ExperimentSpec, CapError> {
+    let mut spec = ExperimentSpec::new("headline");
+    let cache_exp = CacheExperiment::new(scale)?.with_seed(seed);
+    let queue_exp = QueueExperiment::new(scale).with_seed(seed);
+    let cache_ids: Vec<LegId> =
+        App::cache_suite().map(|app| spec.leg(cache_exp.curve_leg(app))).collect();
+    let queue_ids: Vec<LegId> =
+        App::queue_suite().map(|app| spec.leg(queue_exp.curve_leg(app))).collect();
+    let split = cache_ids.len();
+    let mut deps = cache_ids;
+    deps.extend(queue_ids);
+    spec.reduce("headline-table", deps, move |deps| {
+        let cache_curves =
+            decode_all(&deps[..split], "cache curve replay", CacheCurve::from_json)?;
+        let queue_curves =
+            decode_all(&deps[split..], "queue curve replay", QueueCurve::from_json)?;
+        let cache = CacheExperiment::headline_from_curves(&cache_curves);
+        let queue = QueueExperiment::headline_from_curves(&queue_curves);
+        let rows = [
+            ("cache: mean TPImiss reduction", 0.26, cache.tpimiss_reduction),
+            ("cache: mean TPI reduction", 0.09, cache.tpi_reduction),
+            ("cache: stereo TPI reduction", 0.46, cache.stereo_tpi_reduction),
+            ("queue: mean TPI reduction", 0.07, queue.tpi_reduction),
+            ("queue: appcg TPI reduction", 0.28, queue.appcg_tpi_reduction),
+        ];
+        let mut out = String::new();
+        let _ = writeln!(out, "{:<34} {:>7} {:>9}", "metric", "paper", "measured");
+        for (m, p, v) in rows {
+            let _ = writeln!(out, "{m:<34} {:>6.0}% {:>8.1}%", p * 100.0, v * 100.0);
+        }
+        Ok(out)
+    });
+    Ok(spec)
+}
+
+/// The `capsim compare-policies` campaign as a plan: one managed-run
+/// leg per policy in the catalog plus the comparison-table reduce.
+pub fn compare_policies_plan(app: App, intervals: u64, seed: u64) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new("compare-policies");
+    let exp = IntervalExperiment::new().with_seed(seed);
+    let ids: Vec<LegId> =
+        PolicyKind::ALL.iter().map(|&kind| spec.leg(exp.policy_leg(app, intervals, kind))).collect();
+    spec.reduce("policy-table", ids, move |deps| {
+        let rows = decode_all(deps, "policy row replay", PolicyRow::from_json)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "== policy comparison: {} ({} intervals)", app.name(), intervals);
+        let _ = writeln!(out, "{:>16} {:>12} {:>10}", "policy", "TPI ns", "switches");
+        for row in &rows {
+            let _ = writeln!(out, "{:>16} {:>12.3} {:>10}", row.policy, row.tpi_ns, row.switches);
+        }
+        Ok(out)
+    });
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn leg_named(kind: &str, app: &str, runs: Arc<AtomicUsize>) -> Leg {
+        let key = CacheKey {
+            kind: kind.to_string(),
+            app: app.to_string(),
+            scale: "smoke".to_string(),
+            seed: 7,
+            config_range: "unit".to_string(),
+            version: 1,
+            policy: None,
+        };
+        let app = app.to_string();
+        Leg::cached(
+            key,
+            move |_| {
+                runs.fetch_add(1, Ordering::SeqCst);
+                Ok(to_value(&vec![app.clone()]))
+            },
+            |v| v.as_array().is_some(),
+        )
+    }
+
+    #[test]
+    fn shared_legs_dedupe_and_run_once() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let mut spec = ExperimentSpec::new("unit");
+        let a = spec.leg(leg_named("k", "alpha", runs.clone()));
+        let b = spec.leg(leg_named("k", "beta", runs.clone()));
+        let a_again = spec.leg(leg_named("k", "alpha", runs.clone()));
+        assert_eq!(a, a_again);
+        assert_eq!(spec.legs().len(), 2);
+        spec.reduce("concat", vec![a, b, a_again], |deps| {
+            Ok(deps
+                .iter()
+                .map(|v| v.as_array().unwrap()[0].as_str().unwrap().to_string())
+                .collect::<Vec<_>>()
+                .join("+"))
+        });
+        let run = Executor::run(&spec, &ExecPolicy::serial()).unwrap();
+        assert_eq!(runs.load(Ordering::SeqCst), 2, "deduped leg computes once");
+        assert_eq!(run.rendered(), "alpha+beta+alpha");
+        assert_eq!(run.value(a), run.value(a_again));
+    }
+
+    #[test]
+    fn resolution_classifies_and_renders_counts() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let dir = std::env::temp_dir().join(format!("cap-plan-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let exec = ExecPolicy::serial().cached(cap_par::ResultCache::at(&dir));
+
+        let mut spec = ExperimentSpec::new("unit");
+        spec.leg(leg_named("k", "alpha", runs.clone()));
+        spec.leg(leg_named("k", "beta", runs.clone()));
+        spec.reduce("noop", vec![], |_| Ok(String::new()));
+
+        let cold = Executor::resolve(&spec, &exec);
+        assert_eq!(cold.count("k", LegClass::Miss), 2);
+        assert!(cold.render().contains("k: 2 leg(s), 0 journal-hit, 0 cache-hit, 2 miss"));
+        assert_eq!(runs.load(Ordering::SeqCst), 0, "resolve never computes");
+
+        Executor::run(&spec, &exec).unwrap();
+        let warm = Executor::resolve(&spec, &exec);
+        assert_eq!(warm.count("k", LegClass::CacheHit), 2);
+        let text = warm.render();
+        assert!(text.contains("plan: unit (2 leg(s), 1 reduce(s))"), "{text}");
+        assert!(text.contains("[cache-hit  ]"), "{text}");
+        assert!(text.contains("reduce: noop"), "{text}");
+        assert!(text.contains("total: 2 leg(s), 0 journal-hit, 2 cache-hit, 0 miss"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_cached_shapes_resolve_to_miss() {
+        let runs = Arc::new(AtomicUsize::new(0));
+        let dir = std::env::temp_dir().join(format!("cap-plan-shape-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = cap_par::ResultCache::at(&dir);
+        let exec = ExecPolicy::serial().cached(cache.clone());
+
+        let mut spec = ExperimentSpec::new("unit");
+        let leg = leg_named("k", "alpha", runs.clone());
+        let key = leg.cache_key.clone().unwrap();
+        spec.leg(leg);
+        // Store a wrong-shape value under the right key: the validator
+        // rejects it, so the leg classifies as a miss and recomputes.
+        assert!(cache.store(&key, &42u64));
+        let res = Executor::resolve(&spec, &exec);
+        assert_eq!(res.legs[0].class, LegClass::Miss);
+        Executor::run(&spec, &exec).unwrap();
+        assert_eq!(runs.load(Ordering::SeqCst), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leg_errors_surface_in_plan_order() {
+        let mut spec = ExperimentSpec::new("unit");
+        spec.leg(Leg::journaled(
+            "boom|1".to_string(),
+            "boom",
+            |_| Err(CapError::InvalidParameter { what: "first" }),
+            |_| true,
+        ));
+        spec.leg(Leg::journaled(
+            "boom|2".to_string(),
+            "boom",
+            |_| Err(CapError::InvalidParameter { what: "second" }),
+            |_| true,
+        ));
+        let err = Executor::run(&spec, &ExecPolicy::serial()).unwrap_err();
+        assert_eq!(err, CapError::InvalidParameter { what: "first" });
+    }
+}

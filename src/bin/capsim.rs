@@ -14,6 +14,7 @@
 //! capsim headline                  paper-vs-measured headline numbers
 //! capsim faults <app> [--seed N] [--jobs N] [--trace FILE]
 //!                                  fault-injection degradation campaign
+//! capsim plan <cmd> [--dry-run]    resolve a campaign's leg graph
 //! capsim trace-summary <file>      reduce a JSONL trace to counters
 //! capsim doctor [dir]              scan/repair a result cache directory
 //! capsim chaos <cache|queue|all>   crash/corruption self-test
@@ -32,7 +33,8 @@
 //! these knobs change report bytes — only wall-clock (and the trace
 //! file).
 //!
-//! Campaign commands (`sweep`, `faults`) are crash-safe: every completed
+//! Campaign commands (`sweep`, `faults`, `compare-policies`) are
+//! crash-safe: every completed
 //! leg is committed to a write-ahead journal under `results/journal/`
 //! (`CAP_JOURNAL_DIR` overrides), SIGINT/SIGTERM drain at the next leg
 //! boundary with a salvage summary, and `--resume` replays the journal
@@ -48,9 +50,9 @@ use cap::core::experiments::{
 use cap::core::extended::run_managed_combined;
 use cap::core::faults::FaultCampaign;
 use cap::core::manager::ConfidencePolicy;
+use cap::core::plan;
 use cap::core::policy::{PolicyConfig, PolicyKind};
 use cap::core::power::{queue_frontier, PowerModel};
-use cap::core::report::{cache_curves_table, degradation_table, queue_curves_table};
 use cap::core::CapError;
 use cap::obs::{recorder_from_env, summary::TraceSummary, JsonlRecorder, Recorder};
 use cap::par::{
@@ -64,7 +66,7 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, PoisonError};
 use std::time::Duration;
 
-const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|compare-policies|joint|power|headline|faults|trace-summary|doctor|chaos|verify|bench> [app] [options]
+const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|compare-policies|joint|power|headline|faults|plan|trace-summary|doctor|chaos|verify|bench> [app] [options]
   list                 the 22 evaluation applications
   cache <app>          TPI vs L1/L2 boundary (Figure 7 row)
   queue <app>          TPI vs window size (Figure 10 row)
@@ -73,12 +75,17 @@ const USAGE: &str = "usage: capsim <list|cache|queue|sweep|managed|compare-polic
                         --resume: replay the leg journal, --leg-timeout SECS)
   managed <app>        Section 6 interval-adaptive run (--eager: no confidence,
                        --policy NAME: configuration manager, --pattern: §6 pattern detection)
-  compare-policies <app>  one managed run per policy, tabulated
+  compare-policies <app>  one managed run per policy, tabulated (--jobs N,
+                       --seed S, --resume, --leg-timeout SECS, --trace FILE)
   joint <app>          online joint cache+queue management
   power <app>          performance/power frontier
   headline             paper-vs-measured headline numbers
   faults <app>         clean-vs-faulty degradation campaign (--seed N, --jobs N,
                        --policy NAME, --resume, --leg-timeout SECS)
+  plan <cmd> [--dry-run]  resolve a campaign's leg graph before running it:
+                       sweep <kind> | figures | headline | compare-policies <app>
+                       | faults <app>; --dry-run prints journal-hit/cache-hit/miss
+                       classification per leg without executing anything
   trace-summary <file> reduce a JSONL decision trace to per-app counters
   doctor [dir]         scan a result cache, quarantine damage (default results/cache)
   chaos <cache|queue|all>  deterministic crash/corruption self-test over that sweep
@@ -242,6 +249,152 @@ fn campaign_err(e: CapError, exec: &ExecPolicy, resume_cmd: &str) -> String {
     }
 }
 
+/// One campaign resolved to a declarative spec plus its journaling
+/// identity — the ONE builder path shared by the direct commands
+/// (`sweep`, `faults`, `compare-policies`) and `capsim plan`, so every
+/// campaign accepts `--jobs`/`--seed`/`--trace`/`--resume`/
+/// `--leg-timeout` uniformly.
+struct Campaign {
+    spec: plan::ExperimentSpec,
+    /// Journal file name + header; `None` for the cache-only figure and
+    /// headline plans, which have nothing to resume.
+    journal: Option<(String, JournalHeader)>,
+    resume_cmd: String,
+    /// Notice lines printed before the rendered reduces.
+    prelude: String,
+}
+
+/// Builds the campaign named by `cmd` (the sub-command tokens without
+/// the leading `plan`, e.g. `["sweep", "all", "--jobs", "4"]`).
+fn build_campaign(cmd: &[&str], scale: ExperimentScale) -> Result<(Campaign, Flags), String> {
+    match cmd {
+        ["sweep", kind, rest @ ..] => {
+            if !matches!(*kind, "cache" | "queue" | "all") {
+                return Err(format!("unknown sweep kind `{kind}`\n{USAGE}"));
+            }
+            let flags = parse_flags(rest)?;
+            let seed = flags.seed.unwrap_or(DEFAULT_SEED);
+            let spec = plan::sweep_plan(kind, scale, seed).map_err(|e| e.to_string())?;
+            let header = JournalHeader {
+                experiment: format!("sweep-{kind}"),
+                seed,
+                scale: scale.name().to_string(),
+                policy: None,
+                results_version: SWEEP_RESULTS_VERSION,
+            };
+            let file = format!("sweep-{kind}-{}-{seed:016x}.jsonl", scale.name());
+            let mut prelude = String::new();
+            if let Some(policy) = flags.policy {
+                // Sweeps hold every configuration fixed; the flag is
+                // validated but cannot change the curves.
+                let _ = writeln!(prelude, "policy: {policy} (sweeps are policy-independent)");
+            }
+            let campaign = Campaign {
+                spec,
+                journal: Some((file, header)),
+                resume_cmd: format!("capsim sweep {kind} --seed {seed} --resume"),
+                prelude,
+            };
+            Ok((campaign, flags))
+        }
+        ["compare-policies", name, rest @ ..] => {
+            let app = find_app(name)?;
+            let flags = parse_flags(rest)?;
+            if flags.policy.is_some() {
+                return Err(format!("compare-policies runs every policy; drop --policy\n{USAGE}"));
+            }
+            let seed = flags.seed.unwrap_or(DEFAULT_SEED);
+            let header = JournalHeader {
+                experiment: format!("compare-policies-{}", app.name()),
+                seed,
+                scale: scale.name().to_string(),
+                policy: None,
+                results_version: SWEEP_RESULTS_VERSION,
+            };
+            let file =
+                format!("compare-policies-{}-{}-{seed:016x}.jsonl", app.name(), scale.name());
+            let campaign = Campaign {
+                spec: plan::compare_policies_plan(app, 400, seed),
+                journal: Some((file, header)),
+                resume_cmd: format!("capsim compare-policies {} --seed {seed} --resume", app.name()),
+                prelude: String::new(),
+            };
+            Ok((campaign, flags))
+        }
+        ["faults", name, rest @ ..] => {
+            let app = find_app(name)?;
+            let flags = parse_flags(rest)?;
+            let seed = flags.seed.unwrap_or(DEFAULT_SEED);
+            let policy = flags.policy.unwrap_or(PolicyKind::Confidence);
+            let header = JournalHeader {
+                experiment: format!("faults-{}", app.name()),
+                seed,
+                scale: scale.name().to_string(),
+                policy: Some(policy.name().to_string()),
+                results_version: SWEEP_RESULTS_VERSION,
+            };
+            let file = format!(
+                "faults-{}-{}-{seed:016x}-{}.jsonl",
+                app.name(),
+                scale.name(),
+                policy.name()
+            );
+            let campaign = Campaign {
+                spec: FaultCampaign::new(app, seed).with_policy(policy).plan(),
+                journal: Some((file, header)),
+                resume_cmd: format!(
+                    "capsim faults {} --seed {seed} --policy {} --resume",
+                    app.name(),
+                    policy.name()
+                ),
+                prelude: String::new(),
+            };
+            Ok((campaign, flags))
+        }
+        ["figures", rest @ ..] | ["headline", rest @ ..] => {
+            let figures = cmd[0] == "figures";
+            let flags = parse_flags(rest)?;
+            if flags.policy.is_some() {
+                return Err(format!("{} is policy-independent; drop --policy\n{USAGE}", cmd[0]));
+            }
+            if flags.resume {
+                return Err(format!(
+                    "{} plans have no journal to resume (they replay from the result cache)\n{USAGE}",
+                    cmd[0]
+                ));
+            }
+            let seed = flags.seed.unwrap_or(DEFAULT_SEED);
+            let spec = if figures {
+                plan::figures_plan(scale, seed).map_err(|e| e.to_string())?
+            } else {
+                plan::headline_plan(scale, seed).map_err(|e| e.to_string())?
+            };
+            let campaign = Campaign {
+                spec,
+                journal: None,
+                resume_cmd: String::new(),
+                prelude: String::new(),
+            };
+            Ok((campaign, flags))
+        }
+        _ => Err(format!(
+            "plan wants a campaign: sweep <kind> | figures | headline | compare-policies <app> | faults <app>\n{USAGE}"
+        )),
+    }
+}
+
+/// Executes a built campaign: attach the journal (when it has one),
+/// run the spec on the one executor, render the reduces.
+fn run_campaign(campaign: &Campaign, flags: &Flags) -> Result<String, String> {
+    let mut exec = exec_policy(flags)?;
+    if let Some((file, header)) = campaign.journal.clone() {
+        exec = exec.with_journal(open_journal(&file, header, flags.resume)?);
+    }
+    let run = plan::Executor::run(&campaign.spec, &exec)
+        .map_err(|e| campaign_err(e, &exec, &campaign.resume_cmd))?;
+    Ok(format!("{}{}", campaign.prelude, run.rendered()))
+}
+
 /// Parsed `capsim verify` options. The defaults give a quick but
 /// non-trivial local run; CI and the acceptance gate pass explicit
 /// `--cases`/`--seed`.
@@ -347,65 +500,9 @@ fn run(args: &[&str]) -> Result<String, String> {
             let b = curve.best();
             let _ = writeln!(out, "best: {} entries, TPI {:.3} ns (IPC {:.2})", b.entries, b.tpi_ns, b.ipc);
         }
-        ["sweep", kind, rest @ ..] => {
-            let flags = parse_flags(rest)?;
-            let (do_cache, do_queue) = match *kind {
-                "cache" => (true, false),
-                "queue" => (false, true),
-                "all" => (true, true),
-                other => return Err(format!("unknown sweep kind `{other}`\n{USAGE}")),
-            };
-            let seed = flags.seed.unwrap_or(DEFAULT_SEED);
-            let header = JournalHeader {
-                experiment: format!("sweep-{kind}"),
-                seed,
-                scale: scale.name().to_string(),
-                policy: None,
-                results_version: SWEEP_RESULTS_VERSION,
-            };
-            let file = format!("sweep-{kind}-{}-{seed:016x}.jsonl", scale.name());
-            let exec =
-                exec_policy(&flags)?.with_journal(open_journal(&file, header, flags.resume)?);
-            let resume_cmd = format!("capsim sweep {kind} --seed {seed} --resume");
-            if let Some(policy) = flags.policy {
-                // Sweeps hold every configuration fixed; the flag is
-                // validated but cannot change the curves.
-                let _ = writeln!(out, "policy: {policy} (sweeps are policy-independent)");
-            }
-            if do_cache {
-                let exp = CacheExperiment::new(scale).map_err(|e| e.to_string())?.with_seed(seed);
-                let curves =
-                    exp.figure7_with(&exec).map_err(|e| campaign_err(e, &exec, &resume_cmd))?;
-                let _ = writeln!(out, "== cache sweep: TPI vs L1 boundary, seed {seed:#x}");
-                let (int, fp): (Vec<_>, Vec<_>) = curves.iter().partition(|c| c.integer_panel);
-                let _ = writeln!(out, "{}", cache_curves_table("(a) integer benchmarks", &int));
-                let _ = writeln!(out, "{}", cache_curves_table("(b) floating point / CMU / NAS benchmarks", &fp));
-                for c in &curves {
-                    let b = c.best();
-                    let _ = writeln!(
-                        out,
-                        "  {:>9}: best L1 {:>2} KB ({}-way), TPI {:.3} ns",
-                        c.app, b.l1_kb, b.l1_assoc, b.tpi_ns
-                    );
-                }
-            }
-            if do_queue {
-                let exp = QueueExperiment::new(scale).with_seed(seed);
-                let curves =
-                    exp.figure10_with(&exec).map_err(|e| campaign_err(e, &exec, &resume_cmd))?;
-                let _ = writeln!(out, "== queue sweep: TPI vs window size, seed {seed:#x}");
-                let (int, fp): (Vec<_>, Vec<_>) = curves.iter().partition(|c| c.integer_panel);
-                let _ = writeln!(out, "{}", queue_curves_table("(a) integer benchmarks", &int));
-                let _ = writeln!(out, "{}", queue_curves_table("(b) floating point / CMU / NAS benchmarks", &fp));
-                for c in &curves {
-                    let b = c.best();
-                    let _ = writeln!(
-                        out,
-                        "  {:>9}: best window {:>3} entries, TPI {:.3} ns (IPC {:.2})",
-                        c.app, b.entries, b.tpi_ns, b.ipc
-                    );
-                }
-            }
+        ["sweep", _, ..] => {
+            let (campaign, flags) = build_campaign(args, scale)?;
+            let _ = write!(out, "{}", run_campaign(&campaign, &flags)?);
         }
         ["managed", name, rest @ ..] => {
             let app = find_app(name)?;
@@ -416,7 +513,7 @@ fn run(args: &[&str]) -> Result<String, String> {
             let flags = parse_flags(&rest)?;
             if flags.resume || flags.leg_timeout.is_some() {
                 return Err(format!(
-                    "--resume/--leg-timeout apply to the sweep and faults campaigns\n{USAGE}"
+                    "--resume/--leg-timeout apply to the campaign commands (sweep, faults, compare-policies)\n{USAGE}"
                 ));
             }
             if eager && (flags.policy.is_some() || pattern) {
@@ -454,28 +551,9 @@ fn run(args: &[&str]) -> Result<String, String> {
             let _ = writeln!(out, "managed:       {:.3} ns ({} switches)", cmp.managed_tpi, cmp.switches);
             let _ = writeln!(out, "oracle:        {:.3} ns", cmp.oracle_tpi);
         }
-        ["compare-policies", name, rest @ ..] => {
-            let app = find_app(name)?;
-            let flags = parse_flags(rest)?;
-            if flags.policy.is_some() {
-                return Err(format!("compare-policies runs every policy; drop --policy\n{USAGE}"));
-            }
-            if flags.resume || flags.leg_timeout.is_some() {
-                return Err(format!(
-                    "--resume/--leg-timeout apply to the sweep and faults campaigns\n{USAGE}"
-                ));
-            }
-            let exec = exec_policy(&flags)?;
-            let seed = flags.seed.unwrap_or(DEFAULT_SEED);
-            let cmp = IntervalExperiment::new()
-                .with_seed(seed)
-                .compare_policies_with(app, 400, &exec)
-                .map_err(|e| e.to_string())?;
-            let _ = writeln!(out, "== policy comparison: {} ({} intervals)", cmp.app, cmp.intervals);
-            let _ = writeln!(out, "{:>16} {:>12} {:>10}", "policy", "TPI ns", "switches");
-            for row in &cmp.rows {
-                let _ = writeln!(out, "{:>16} {:>12.3} {:>10}", row.policy, row.tpi_ns, row.switches);
-            }
+        ["compare-policies", _, ..] => {
+            let (campaign, flags) = build_campaign(args, scale)?;
+            let _ = write!(out, "{}", run_campaign(&campaign, &flags)?);
         }
         ["joint", name] => {
             let app = find_app(name)?;
@@ -499,35 +577,43 @@ fn run(args: &[&str]) -> Result<String, String> {
                 );
             }
         }
-        ["faults", name, rest @ ..] => {
-            let app = find_app(name)?;
-            let flags = parse_flags(rest)?;
-            let seed = flags.seed.unwrap_or(DEFAULT_SEED);
-            let policy = flags.policy.unwrap_or(PolicyKind::Confidence);
-            let campaign = FaultCampaign::new(app, seed).with_policy(policy);
-            let header = JournalHeader {
-                experiment: format!("faults-{}", app.name()),
-                seed,
-                scale: scale.name().to_string(),
-                policy: Some(policy.name().to_string()),
-                results_version: SWEEP_RESULTS_VERSION,
-            };
-            let file = format!(
-                "faults-{}-{}-{seed:016x}-{}.jsonl",
-                app.name(),
-                scale.name(),
-                policy.name()
-            );
-            let exec =
-                exec_policy(&flags)?.with_journal(open_journal(&file, header, flags.resume)?);
-            let resume_cmd = format!(
-                "capsim faults {} --seed {seed} --policy {} --resume",
-                app.name(),
-                policy.name()
-            );
-            let report = campaign.run_with(&exec).map_err(|e| campaign_err(e, &exec, &resume_cmd))?;
-            let _ = write!(out, "{}", degradation_table(&report));
-            let _ = writeln!(out, "{}", report.to_json());
+        ["faults", _, ..] => {
+            let (campaign, flags) = build_campaign(args, scale)?;
+            let _ = write!(out, "{}", run_campaign(&campaign, &flags)?);
+        }
+        ["plan", rest @ ..] => {
+            let dry_run = rest.contains(&"--dry-run");
+            let rest: Vec<&str> = rest.iter().copied().filter(|&a| a != "--dry-run").collect();
+            if rest.is_empty() {
+                return Err(format!(
+                    "plan wants a campaign: sweep <kind> | figures | headline | compare-policies <app> | faults <app>\n{USAGE}"
+                ));
+            }
+            let (campaign, flags) = build_campaign(&rest, scale)?;
+            if dry_run {
+                if flags.resume {
+                    return Err(format!(
+                        "--dry-run only resolves the leg graph; drop --resume\n{USAGE}"
+                    ));
+                }
+                // A dry run never opens the journal: it classifies legs
+                // against the result cache alone, without touching disk
+                // state the real run would want to create.
+                let exec = exec_policy(&flags)?;
+                let resolution = plan::Executor::resolve(&campaign.spec, &exec);
+                let _ = write!(out, "{}", resolution.render());
+            } else {
+                let mut exec = exec_policy(&flags)?;
+                if let Some((file, header)) = campaign.journal.clone() {
+                    exec = exec.with_journal(open_journal(&file, header, flags.resume)?);
+                }
+                // Show the resolved graph on stderr so stdout stays
+                // byte-identical to running the command directly.
+                eprint!("{}", plan::Executor::resolve(&campaign.spec, &exec).render());
+                let run = plan::Executor::run(&campaign.spec, &exec)
+                    .map_err(|e| campaign_err(e, &exec, &campaign.resume_cmd))?;
+                let _ = write!(out, "{}{}", campaign.prelude, run.rendered());
+            }
         }
         ["headline"] => {
             let cache = CacheExperiment::new(scale)
@@ -1213,10 +1299,27 @@ mod tests {
     fn campaign_only_flags_are_rejected_elsewhere() {
         assert!(run(&["managed", "gcc", "--resume"])
             .unwrap_err()
-            .contains("sweep and faults"));
-        assert!(run(&["compare-policies", "gcc", "--leg-timeout", "5"])
+            .contains("campaign commands"));
+        assert!(run(&["managed", "gcc", "--leg-timeout", "5"])
             .unwrap_err()
-            .contains("sweep and faults"));
+            .contains("campaign commands"));
+    }
+
+    #[test]
+    fn plan_dry_run_resolves_without_executing() {
+        std::env::set_var("CAP_SCALE", "smoke");
+        std::env::set_var("CAP_NO_CACHE", "1");
+        let out = run(&["plan", "sweep", "cache", "--dry-run"]).unwrap();
+        assert!(out.starts_with("plan: sweep-cache"), "{out}");
+        let legs = App::cache_suite().count();
+        assert!(out.contains(&format!("cache-sweep: {legs} leg(s)")), "{out}");
+        assert!(out.contains(&format!("total: {legs} leg(s), 0 journal-hit, 0 cache-hit, {legs} miss")), "{out}");
+        // The campaign is required, --resume is meaningless on a dry run.
+        assert!(run(&["plan", "--dry-run"]).unwrap_err().contains("plan wants a campaign"));
+        assert!(run(&["plan", "sweep", "cache", "--dry-run", "--resume"])
+            .unwrap_err()
+            .contains("drop --resume"));
+        assert!(run(&["plan", "frobnicate", "--dry-run"]).is_err());
     }
 
     #[test]

@@ -89,9 +89,50 @@ fn campaign_flags_are_rejected_on_non_campaign_commands() {
     let out = capsim(&["managed", "radar", "--resume"]);
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(stderr.contains("sweep and faults"), "{stderr}");
-    let out = capsim(&["compare-policies", "radar", "--leg-timeout", "2"]);
+    assert!(stderr.contains("campaign commands"), "{stderr}");
+    let out = capsim(&["managed", "radar", "--leg-timeout", "2"]);
     assert!(!out.status.success());
+}
+
+#[test]
+fn campaign_flags_are_accepted_uniformly_on_every_campaign_command() {
+    // Satellite of the plan/execute refactor: sweep, faults and
+    // compare-policies route through one plan-builder path, so the
+    // journal/watchdog flags parse (and work) on all three.
+    let dir = common::tmp_dir("cli-campaign-flags");
+    let journal = dir.join("journal");
+    for cmd in [
+        &["sweep", "cache", "--leg-timeout", "30"][..],
+        &["faults", "radar", "--leg-timeout", "30"][..],
+        &["compare-policies", "radar", "--leg-timeout", "30"][..],
+    ] {
+        let out = Capsim::new(cmd).journal(&journal).run();
+        assert!(out.status.success(), "{cmd:?}: {}", String::from_utf8_lossy(&out.stderr));
+        let mut resume: Vec<&str> = cmd.to_vec();
+        resume.push("--resume");
+        let again = Capsim::new(&resume).journal(&journal).run();
+        assert!(again.status.success(), "{resume:?}: {}", String::from_utf8_lossy(&again.stderr));
+        assert_eq!(out.stdout, again.stdout, "{cmd:?} --resume must replay byte-identically");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn plan_dry_run_prints_the_leg_graph_without_side_effects() {
+    let dir = common::tmp_dir("cli-plan-dry");
+    let journal = dir.join("journal");
+    let out = Capsim::new(&["plan", "faults", "radar", "--dry-run"]).journal(&journal).run();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("plan: faults"), "{text}");
+    assert!(text.contains("[miss       ]"), "{text}");
+    assert!(text.contains("reduce: degradation-report"), "{text}");
+    assert!(text.contains("total: 2 leg(s), 0 journal-hit, 0 cache-hit, 2 miss"), "{text}");
+    assert!(!journal.exists(), "a dry run must not create journal state");
+    assert_usage_failure(&["plan"]);
+    assert_usage_failure(&["plan", "frobnicate", "--dry-run"]);
+    assert_usage_failure(&["plan", "sweep", "cache", "--dry-run", "--resume"]);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

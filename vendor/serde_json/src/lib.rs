@@ -183,6 +183,41 @@ impl Value {
     }
 }
 
+impl Serialize for Value {
+    fn json_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            // Numbers keep their raw source text, so re-emission is
+            // byte-identical to the document they were parsed from.
+            Value::Number(raw) => out.push_str(raw),
+            Value::String(s) => serde::write_json_string(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.json_into(out);
+                }
+                out.push(']');
+            }
+            Value::Object(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    serde::write_json_string(out, key);
+                    out.push(':');
+                    value.json_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
 /// Parses a JSON document.
 ///
 /// # Errors
@@ -431,6 +466,30 @@ mod tests {
         let doc = to_string_pretty(&vec![1u64, 2, 3]).unwrap();
         let v = from_str(&doc).unwrap();
         assert_eq!(v.as_array().map(<[Value]>::len), Some(3));
+    }
+
+    #[test]
+    fn value_reemission_is_byte_identical() {
+        // A parsed document re-serializes to the exact bytes it came
+        // from: numbers keep raw text, strings re-escape identically.
+        let docs = [
+            r#"{"key":"a\nb\t\\\"","xs":[1,2.5,true,null],"o":{},"e":[]}"#,
+            r#"[0.1,0.3333333333333333,6.02214076e23,-0.4617281993183264,18446744073709551612]"#,
+            "null",
+        ]
+        .map(str::to_string);
+        for doc in docs {
+            let v = from_str(&doc).unwrap();
+            assert_eq!(to_string(&v).unwrap(), doc, "{doc}");
+        }
+    }
+
+    #[test]
+    fn typed_and_value_serialization_agree() {
+        let typed = to_string(&vec![0.1f64, 1.0 / 3.0, -2.25]).unwrap();
+        let v = from_str(&typed).unwrap();
+        assert_eq!(to_string(&v).unwrap(), typed);
+        assert_eq!(to_string_pretty(&v).unwrap(), to_string_pretty(&vec![0.1f64, 1.0 / 3.0, -2.25]).unwrap());
     }
 
     #[test]
