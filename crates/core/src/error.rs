@@ -56,6 +56,14 @@ pub enum CapError {
     /// (SIGINT/SIGTERM). Completed legs are committed to the journal;
     /// rerunning with `--resume` replays them and continues.
     Interrupted,
+    /// An internal invariant failed to hold. Campaign infrastructure
+    /// (the plan executor, the campaign service) reports broken
+    /// invariants as this structured error instead of panicking, so one
+    /// bad request can never take down a server handling others.
+    Internal {
+        /// Which invariant broke.
+        what: String,
+    },
 }
 
 impl fmt::Display for CapError {
@@ -79,6 +87,7 @@ impl fmt::Display for CapError {
             CapError::Interrupted => {
                 write!(f, "interrupted at a leg boundary (completed legs are journaled; rerun with --resume)")
             }
+            CapError::Internal { what } => write!(f, "internal error: {what}"),
         }
     }
 }
@@ -141,6 +150,10 @@ mod tests {
         assert!(to.to_string().contains("timed out after 3"));
         assert!(to.to_string().contains("queue-sweep|gcc|point=3"));
         assert!(CapError::Interrupted.to_string().contains("--resume"));
+        let internal = CapError::Internal { what: "leg `x` neither resolved nor errored".into() };
+        assert!(internal.to_string().contains("internal error"));
+        assert!(internal.to_string().contains("leg `x`"));
+        assert!(internal.source().is_none());
     }
 
     #[test]

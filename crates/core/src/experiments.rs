@@ -35,8 +35,10 @@ use cap_obs::{
     LegTimeoutEvent, Recorder,
 };
 use cap_par::{
-    CacheKey, ChaosInjector, GuardedOutcome, Journal, Pool, ResultCache, WatchdogPolicy,
+    CacheKey, ChaosInjector, Gate, GuardedOutcome, Journal, Pool, ResultCache, SingleFlight,
+    WatchdogPolicy,
 };
+use cap_par::pool::GatePermit;
 use cap_timing::cacti::CacheTimingModel;
 use cap_timing::queue::QueueTimingModel;
 use cap_timing::Technology;
@@ -199,7 +201,16 @@ pub struct ExecPolicy {
     watchdog: WatchdogPolicy,
     chaos: Option<ChaosInjector>,
     sweep_engine: SweepEngine,
+    flight: Option<Arc<LegFlight>>,
+    gate: Option<Arc<Gate>>,
 }
+
+/// The single-flight table the campaign service shares across
+/// concurrent executors. The published value is the computed leg value
+/// plus whether the leader found it already stored in the result cache
+/// (a *late* cache hit — another campaign finished it between this
+/// plan's resolve phase and the leg's dispatch).
+pub type LegFlight = SingleFlight<Result<(Value, bool), CapError>>;
 
 impl ExecPolicy {
     /// One leg at a time, no memoization — the reference path.
@@ -212,6 +223,8 @@ impl ExecPolicy {
             watchdog: WatchdogPolicy::none(),
             chaos: None,
             sweep_engine: SweepEngine::default(),
+            flight: None,
+            gate: None,
         }
     }
 
@@ -239,6 +252,34 @@ impl ExecPolicy {
     #[must_use]
     pub fn with_journal(mut self, journal: Journal) -> Self {
         self.journal = Some(Arc::new(Mutex::new(journal)));
+        self
+    }
+
+    /// Attaches an already-shared journal handle. The campaign service
+    /// uses this to let identical concurrent campaigns commit into one
+    /// journal (appends are serialized by the mutex and idempotent per
+    /// leg key); the single-ownership `with_journal` stays the CLI path.
+    #[must_use]
+    pub fn with_shared_journal(mut self, journal: Arc<Mutex<Journal>>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Attaches a shared single-flight table: concurrent executors
+    /// (campaign-service requests) holding the same table compute each
+    /// distinct leg exactly once and share the result.
+    #[must_use]
+    pub fn with_flight(mut self, flight: Arc<LegFlight>) -> Self {
+        self.flight = Some(flight);
+        self
+    }
+
+    /// Attaches a shared worker gate bounding concurrent leg computation
+    /// across every executor holding it (the campaign service's global
+    /// `--jobs` budget).
+    #[must_use]
+    pub fn with_gate(mut self, gate: Arc<Gate>) -> Self {
+        self.gate = Some(gate);
         self
     }
 
@@ -299,7 +340,17 @@ impl ExecPolicy {
             })?;
         }
         let sweep_engine = SweepEngine::from_env()?;
-        Ok(ExecPolicy { jobs, cache, recorder, journal: None, watchdog, chaos, sweep_engine })
+        Ok(ExecPolicy {
+            jobs,
+            cache,
+            recorder,
+            journal: None,
+            watchdog,
+            chaos,
+            sweep_engine,
+            flight: None,
+            gate: None,
+        })
     }
 
     /// The worker count.
@@ -334,6 +385,19 @@ impl ExecPolicy {
 
     pub(crate) fn pool(&self) -> Pool {
         Pool::new(self.jobs).with_recorder(self.recorder.clone())
+    }
+
+    /// The shared single-flight table, when executing under the
+    /// campaign service.
+    pub(crate) fn flight(&self) -> Option<&Arc<LegFlight>> {
+        self.flight.as_ref()
+    }
+
+    /// Claims a slot from the shared worker gate, when one is attached.
+    /// Callers hold the permit exactly for the duration of a leg's
+    /// compute — never while waiting on a single-flight slot.
+    pub(crate) fn acquire_worker(&self) -> Option<GatePermit<'_>> {
+        self.gate.as_deref().map(Gate::acquire)
     }
 
     /// Journal lookup with a `journal-leg` replay event. Returns the
@@ -1920,6 +1984,7 @@ mod tests {
         let journal = Journal::begin(&path, smoke_header("sweep-queue"), false).unwrap();
         let exec = ExecPolicy::with_jobs(2).with_journal(journal);
         assert_eq!(q.sweep_with(App::Radar, &exec).unwrap(), cold);
+        drop(exec); // release the journal writer lock before reopening
 
         // Reopen with resume: the committed leg replays from the journal
         // instead of recomputing — observable through the trace events.
@@ -1934,6 +1999,7 @@ mod tests {
             .filter(|e| matches!(e, Event::JournalLeg(j) if j.action == "replayed"))
             .count();
         assert_eq!(replays, 1, "the resumed run replayed the journaled leg");
+        drop(exec);
 
         // A journal bound to a different identity refuses to resume.
         let mut other = smoke_header("sweep-queue");
@@ -1961,6 +2027,7 @@ mod tests {
         let journal = Journal::begin(&path, smoke_header("sweep-queue"), false).unwrap();
         let exec = ExecPolicy::serial().cached(cache).with_journal(journal);
         assert_eq!(q.sweep_with(App::Gcc, &exec).unwrap(), cold);
+        drop(exec); // release the journal writer lock before reopening
         let journal = Journal::begin(&path, smoke_header("sweep-queue"), true).unwrap();
         assert_eq!(journal.len(), 1, "cache hit was journaled");
         let _ = std::fs::remove_dir_all(&dir);

@@ -37,8 +37,9 @@ pub mod summary;
 
 pub use event::{
     CacheProbeEvent, CacheQuarantineEvent, CacheSimEvent, CacheStoreEvent, ClockSwitchEvent,
-    DecisionEvent, Event, JournalLegEvent, LegTimeoutEvent, PatternEvent, PoolBatchEvent,
-    ProbationEvent, QuarantineEvent, SafeModeEvent, SampleEvent, SwitchResultEvent,
+    DecisionEvent, Event, JournalLegEvent, LegDedupEvent, LegTimeoutEvent, PatternEvent,
+    PoolBatchEvent, ProbationEvent, QuarantineEvent, SafeModeEvent, SampleEvent,
+    ServeRequestEvent, SwitchResultEvent,
 };
 pub use metrics::DecisionCounts;
 pub use sink::{recorder_from_env, JsonlRecorder, RingRecorder};

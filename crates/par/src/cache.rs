@@ -293,8 +293,13 @@ impl ResultCache {
     /// Persists a value. Best-effort: an unwritable cache must not fail
     /// the experiment, so errors are reported as `false` and otherwise
     /// swallowed. The write goes through a temp file + rename so
-    /// concurrent writers (CI matrix legs) never interleave bytes.
+    /// concurrent writers (CI matrix legs, or two campaign-service
+    /// requests racing the same leg) never interleave bytes. The temp
+    /// name carries the pid *and* a process-global counter: two threads
+    /// of one process storing the same key must not clobber each other's
+    /// half-written temp file before its rename lands.
     pub fn store<T: Serialize>(&self, key: &CacheKey, value: &T) -> bool {
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
         let path = self.path_for(key);
         let Some(dir) = path.parent() else { return false };
         if std::fs::create_dir_all(dir).is_err() {
@@ -303,7 +308,12 @@ impl ResultCache {
         let mut value_text = String::new();
         value.json_into(&mut value_text);
         let doc = envelope(&key.canonical(), &value_text);
-        let tmp = dir.join(format!(".tmp-{:016x}-{}", fnv64(&key.canonical()), std::process::id()));
+        let tmp = dir.join(format!(
+            ".tmp-{:016x}-{}-{}",
+            fnv64(&key.canonical()),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
         if std::fs::write(&tmp, &doc).is_err() {
             return false;
         }
@@ -468,6 +478,39 @@ mod tests {
         std::fs::write(&path, envelope("someone-else", "[1]")).unwrap();
         assert_eq!(cache.probe(&key()).1, CacheOutcome::Collision);
         assert!(path.exists());
+        let _ = std::fs::remove_dir_all(cache.root());
+    }
+
+    #[test]
+    fn concurrent_same_key_stores_leave_a_verified_entry_and_no_debris() {
+        let cache = ResultCache::at(tmp_root("concurrent-store"));
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let cache = cache.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        // Every writer races the same key; each store must
+                        // land atomically (its own temp file + rename).
+                        assert!(cache.store(&key(), &vec![t, i]));
+                    }
+                });
+            }
+        });
+        // Whichever rename won last, the surviving entry passes the full
+        // envelope + checksum probe — no interleaved bytes.
+        let (value, outcome) = cache.probe(&key());
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(value.expect("hit").as_array().map(<[Value]>::len), Some(2));
+        // And no orphaned temp files remain in the kind directory.
+        let kind_dir = cache.path_for(&key());
+        let kind_dir = kind_dir.parent().unwrap();
+        let leftovers: Vec<String> = std::fs::read_dir(kind_dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".tmp-"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
         let _ = std::fs::remove_dir_all(cache.root());
     }
 

@@ -22,6 +22,17 @@
 //! That same property is what `CAP_CHAOS_KILL_AFTER_LEG=n` exploits:
 //! the journal exits the process with [`CHAOS_KILL_EXIT`] right after
 //! the `n`-th append, simulating preemption exactly at a leg boundary.
+//!
+//! **Single writer, enforced.** The whole-file-rewrite scheme is only
+//! crash-safe with one writer: two processes appending to the same
+//! journal would take turns renaming over each other's view and
+//! silently lose legs. [`Journal::begin`] therefore claims an advisory
+//! `<journal>.lock` file containing the holder's PID, released when the
+//! journal is dropped. A second writer fails fast with an error naming
+//! the holder instead of corrupting anything. A lock naming a dead PID
+//! — the residue of a chaos kill or a crashed campaign — is stale and
+//! reclaimed automatically, so `--resume` after a crash needs no manual
+//! cleanup.
 
 use crate::cache::fnv64;
 use serde::Serialize;
@@ -122,6 +133,87 @@ fn parse_entry(line: &str) -> Option<(String, String)> {
     Some((leg, value_text.to_string()))
 }
 
+/// Whether a PID belongs to a live process, via procfs. On platforms
+/// without `/proc` this reports "dead", which makes every foreign lock
+/// reclaimable there — the lock is advisory, and such platforms had no
+/// writer protection at all before it existed.
+fn process_alive(pid: u32) -> bool {
+    let proc_root = Path::new("/proc");
+    if !proc_root.is_dir() {
+        return false;
+    }
+    proc_root.join(pid.to_string()).exists()
+}
+
+/// The advisory single-writer lock guarding one journal path; holds
+/// `<journal>.lock` containing our PID until dropped.
+#[derive(Debug)]
+struct JournalLock {
+    path: PathBuf,
+}
+
+impl JournalLock {
+    /// Claims `<journal>.lock` via `create_new` (atomic on every real
+    /// filesystem), writing our PID into it. An existing lock naming a
+    /// dead PID is stale and reclaimed; a live holder — or a lock whose
+    /// contents cannot be read as a PID — is a hard error naming it.
+    fn acquire(journal_path: &Path) -> Result<JournalLock, String> {
+        use std::io::Write as _;
+        let file_name =
+            journal_path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        let path = journal_path.with_file_name(format!("{file_name}.lock"));
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create journal directory {}: {e}", dir.display()))?;
+        }
+        // At most two attempts: the second runs only after a stale lock
+        // was cleared, so a genuinely contended path cannot spin.
+        for _ in 0..2 {
+            match std::fs::OpenOptions::new().write(true).create_new(true).open(&path) {
+                Ok(mut file) => {
+                    let _ = file.write_all(std::process::id().to_string().as_bytes());
+                    return Ok(JournalLock { path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    match holder {
+                        Some(pid) if pid != std::process::id() && !process_alive(pid) => {
+                            let _ = std::fs::remove_file(&path);
+                        }
+                        _ => {
+                            let who = holder.map_or_else(
+                                || String::from("an unidentified process"),
+                                |pid| format!("pid {pid}"),
+                            );
+                            return Err(format!(
+                                "{}: journal is locked by {who} — a second writer would corrupt it; wait for that run to finish, or delete {} if you are certain it is gone",
+                                journal_path.display(),
+                                path.display(),
+                            ));
+                        }
+                    }
+                }
+                Err(e) => {
+                    return Err(format!("cannot create journal lock {}: {e}", path.display()))
+                }
+            }
+        }
+        Err(format!(
+            "{}: journal lock {} is contended — another writer claimed it while a stale lock was being cleared",
+            journal_path.display(),
+            path.display(),
+        ))
+    }
+}
+
+impl Drop for JournalLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// A write-ahead journal of completed campaign legs.
 #[derive(Debug)]
 pub struct Journal {
@@ -135,6 +227,11 @@ pub struct Journal {
     appends: u64,
     kill_after: Option<u64>,
     dropped: usize,
+    /// Held for the journal's whole lifetime purely for its `Drop`
+    /// (which deletes the lock file). A chaos kill or crash leaves the
+    /// file behind, where the dead-PID check reclaims it on the next
+    /// `begin`.
+    _lock: JournalLock,
 }
 
 impl Journal {
@@ -149,9 +246,11 @@ impl Journal {
     ///
     /// # Errors
     /// Header/format mismatch, an invalid `CAP_CHAOS_KILL_AFTER_LEG`
-    /// value, or an unwritable journal path.
+    /// value, an unwritable journal path, or a journal already locked by
+    /// a live writer (see the module docs on single-writer enforcement).
     pub fn begin(path: impl Into<PathBuf>, header: JournalHeader, resume: bool) -> Result<Self, String> {
         let path = path.into();
+        let lock = JournalLock::acquire(&path)?;
         let kill_after = match std::env::var_os("CAP_CHAOS_KILL_AFTER_LEG") {
             None => None,
             Some(raw) => {
@@ -175,6 +274,7 @@ impl Journal {
             appends: 0,
             kill_after,
             dropped: 0,
+            _lock: lock,
         };
         if resume {
             journal.load_existing()?;
@@ -347,6 +447,7 @@ mod tests {
         j.append("leg-a", &vec![0.1f64, 1.0 / 3.0]).unwrap();
         j.append("leg-b", &vec![2.5f64]).unwrap();
         assert_eq!(j.len(), 2);
+        drop(j);
 
         let j2 = Journal::begin(&path, header(), true).unwrap();
         assert_eq!(j2.len(), 2);
@@ -364,6 +465,7 @@ mod tests {
         let path = tmp_path("fresh");
         let mut j = Journal::begin(&path, header(), false).unwrap();
         j.append("leg-a", &1u64).unwrap();
+        drop(j);
         let j2 = Journal::begin(&path, header(), false).unwrap();
         assert!(j2.is_empty());
         assert!(j2.lookup("leg-a").is_none());
@@ -375,6 +477,7 @@ mod tests {
         let path = tmp_path("foreign");
         let mut j = Journal::begin(&path, header(), false).unwrap();
         j.append("leg-a", &1u64).unwrap();
+        drop(j);
         for other in [
             JournalHeader { seed: 7, ..header() },
             JournalHeader { experiment: "sweep-cache".into(), ..header() },
@@ -386,6 +489,8 @@ mod tests {
             assert!(err.contains("different run"), "{err}");
             assert!(err.contains("--resume"), "{err}");
         }
+        // A refused begin must not leave its writer lock behind.
+        assert!(!path.with_file_name("run.jsonl.lock").exists());
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 
@@ -404,6 +509,7 @@ mod tests {
         let mut j = Journal::begin(&path, header(), false).unwrap();
         j.append("leg-a", &vec![1u64]).unwrap();
         j.append("leg-b", &vec![2u64]).unwrap();
+        drop(j);
         // Flip a byte inside leg-b's value, then append a torn final line.
         let text = std::fs::read_to_string(&path).unwrap().replace("\"value\":[2]", "\"value\":[3]");
         std::fs::write(&path, text + "{\"leg\":\"leg-c\",\"sum\":\"00").unwrap();
@@ -414,6 +520,7 @@ mod tests {
         assert!(j2.lookup("leg-a").is_some());
         assert!(j2.lookup("leg-b").is_none(), "checksum mismatch is never trusted");
         assert!(j2.lookup("leg-c").is_none());
+        drop(j2);
         // And the compacted rewrite is loadable again, cleanly.
         let j3 = Journal::begin(&path, header(), true).unwrap();
         assert_eq!((j3.len(), j3.dropped()), (1, 0));
@@ -529,6 +636,53 @@ mod tests {
         j.append("leg-a", &3u64).unwrap();
         assert_eq!(j.len(), 2);
         assert_eq!(j.lookup("leg-a").unwrap().as_u64(), Some(3));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn a_second_live_writer_fails_fast_naming_the_holder() {
+        let path = tmp_path("locked");
+        let j = Journal::begin(&path, header(), false).unwrap();
+        let err = Journal::begin(&path, header(), true).expect_err("second writer");
+        assert!(err.contains("locked"), "{err}");
+        assert!(err.contains(&std::process::id().to_string()), "holder pid named: {err}");
+        assert!(err.contains("run.jsonl"), "journal named: {err}");
+        // Releasing the first writer frees the path.
+        drop(j);
+        let j2 = Journal::begin(&path, header(), true).unwrap();
+        assert!(j2.is_empty());
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn a_stale_lock_from_a_dead_process_is_reclaimed() {
+        let path = tmp_path("stale");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let lock = path.with_file_name("run.jsonl.lock");
+        // Beyond Linux's default pid_max, so no live process can own it —
+        // exactly what a chaos kill (`std::process::exit`) leaves behind.
+        std::fs::write(&lock, "4194304999").unwrap();
+        let j = Journal::begin(&path, header(), false).expect("stale lock is reclaimed");
+        assert_eq!(
+            std::fs::read_to_string(&lock).unwrap().trim(),
+            std::process::id().to_string(),
+            "the reclaimed lock names the new holder"
+        );
+        drop(j);
+        assert!(!lock.exists(), "dropping the journal releases the lock");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn an_unreadable_lock_is_held_not_stolen() {
+        let path = tmp_path("unreadable-lock");
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let lock = path.with_file_name("run.jsonl.lock");
+        std::fs::write(&lock, "not-a-pid").unwrap();
+        let err = Journal::begin(&path, header(), false).expect_err("cannot prove staleness");
+        assert!(err.contains("unidentified"), "{err}");
+        assert!(err.contains(&lock.display().to_string()), "tells the user what to delete: {err}");
+        assert!(lock.exists(), "an unprovable lock is never deleted");
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 

@@ -1,0 +1,232 @@
+//! Single-flight deduplication of in-flight work, keyed by string.
+//!
+//! The campaign service (`capsim serve`) runs many campaigns
+//! concurrently over one result cache. Two clients submitting
+//! overlapping leg graphs (two `sweep all`s, or `figures` + `headline`)
+//! must not compute the same leg twice: [`SingleFlight`] keys in-flight
+//! work by the leg's canonical cache key. The first caller for a key
+//! becomes the *leader* and runs the computation; every concurrent
+//! caller for the same key becomes a *follower* that blocks until the
+//! leader publishes, then shares a clone of the result. A slot exists
+//! only while its work is in flight — once the leader finishes it is
+//! retired, so later callers fall through to the result cache (which
+//! the leader populated before retiring).
+//!
+//! A leader that panics mid-compute must not strand its followers: a
+//! drop guard marks the slot *abandoned* and wakes everyone; each
+//! follower retries, and exactly one becomes the new leader. Every lock
+//! is taken poison-recovering (the data under it is valid at every
+//! instruction boundary), matching the [`crate::pool`] convention.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// One in-flight computation's publication slot.
+struct Slot<T> {
+    state: Mutex<SlotState<T>>,
+    published: Condvar,
+}
+
+enum SlotState<T> {
+    /// The leader is still computing.
+    Pending,
+    /// The leader published; followers clone this.
+    Done(T),
+    /// The leader panicked before publishing; followers must retry.
+    Abandoned,
+}
+
+fn lock<'a, T>(mutex: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Marks the slot abandoned (and retires it) if the leader unwinds
+/// before publishing, so followers wake up and elect a new leader
+/// instead of blocking forever.
+struct AbandonGuard<'a, T> {
+    flight: &'a SingleFlight<T>,
+    key: &'a str,
+    slot: &'a Arc<Slot<T>>,
+    armed: bool,
+}
+
+impl<T> Drop for AbandonGuard<'_, T> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        *lock(&self.slot.state) = SlotState::Abandoned;
+        self.slot.published.notify_all();
+        self.flight.retire(self.key, self.slot);
+    }
+}
+
+/// Keyed single-flight execution: concurrent calls for the same key
+/// compute once and share the result. See the module docs for the
+/// leader/follower protocol.
+pub struct SingleFlight<T> {
+    inflight: Mutex<HashMap<String, Arc<Slot<T>>>>,
+}
+
+impl<T> std::fmt::Debug for SingleFlight<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SingleFlight").field("in_flight", &self.in_flight()).finish()
+    }
+}
+
+impl<T> Default for SingleFlight<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SingleFlight<T> {
+    /// An empty flight table.
+    #[must_use]
+    pub fn new() -> Self {
+        SingleFlight { inflight: Mutex::new(HashMap::new()) }
+    }
+
+    /// How many keys are currently in flight (leaders still computing).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        lock(&self.inflight).len()
+    }
+
+    /// Removes `key`'s table entry if it still points at `slot` (a
+    /// retry may have installed a fresh slot under the same key).
+    fn retire(&self, key: &str, slot: &Arc<Slot<T>>) {
+        let mut map = lock(&self.inflight);
+        if map.get(key).is_some_and(|current| Arc::ptr_eq(current, slot)) {
+            map.remove(key);
+        }
+    }
+}
+
+impl<T: Clone> SingleFlight<T> {
+    /// Runs `compute` under single-flight semantics for `key`.
+    ///
+    /// Returns `(value, deduped)`: `deduped` is `false` for the leader
+    /// that actually ran `compute`, `true` for followers that shared
+    /// the leader's published value. The computation runs outside the
+    /// table lock, so distinct keys never serialize on each other.
+    pub fn work(&self, key: &str, compute: impl FnOnce() -> T) -> (T, bool) {
+        let mut compute = Some(compute);
+        loop {
+            let (slot, is_leader) = {
+                let mut map = lock(&self.inflight);
+                match map.get(key) {
+                    Some(slot) => (slot.clone(), false),
+                    None => {
+                        let slot = Arc::new(Slot {
+                            state: Mutex::new(SlotState::Pending),
+                            published: Condvar::new(),
+                        });
+                        map.insert(key.to_string(), slot.clone());
+                        (slot, true)
+                    }
+                }
+            };
+            if is_leader {
+                let mut guard = AbandonGuard { flight: self, key, slot: &slot, armed: true };
+                let compute = compute.take().expect("a leader is elected at most once");
+                let value = compute();
+                *lock(&slot.state) = SlotState::Done(value.clone());
+                slot.published.notify_all();
+                guard.armed = false;
+                self.retire(key, &slot);
+                return (value, false);
+            }
+            let mut state = lock(&slot.state);
+            loop {
+                match &*state {
+                    SlotState::Pending => {
+                        state = slot
+                            .published
+                            .wait(state)
+                            .unwrap_or_else(PoisonError::into_inner);
+                    }
+                    SlotState::Done(value) => return (value.clone(), true),
+                    // The leader unwound before publishing: drop the
+                    // guard and re-enter; one retrier becomes leader.
+                    SlotState::Abandoned => break,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn concurrent_same_key_computes_once_and_shares() {
+        let flight = SingleFlight::new();
+        let runs = AtomicUsize::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        let results: Vec<(u64, bool)> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        barrier.wait();
+                        flight.work("leg", || {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            // Hold the slot open long enough for the
+                            // other threads to become followers.
+                            std::thread::sleep(std::time::Duration::from_millis(50));
+                            42u64
+                        })
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(results.iter().all(|(v, _)| *v == 42));
+        let leaders = results.iter().filter(|(_, deduped)| !deduped).count();
+        // Every run came from a leader; followers of the same slot dedup.
+        assert_eq!(runs.load(Ordering::SeqCst), leaders);
+        assert!(leaders >= 1);
+        assert_eq!(flight.in_flight(), 0, "slots retire after completion");
+    }
+
+    #[test]
+    fn distinct_keys_do_not_serialize() {
+        let flight = SingleFlight::new();
+        let (a, deduped_a) = flight.work("a", || 1);
+        let (b, deduped_b) = flight.work("b", || 2);
+        assert_eq!((a, b), (1, 2));
+        assert!(!deduped_a && !deduped_b);
+    }
+
+    #[test]
+    fn a_panicking_leader_does_not_strand_followers() {
+        let flight = Arc::new(SingleFlight::new());
+        let entered = Arc::new(std::sync::Barrier::new(2));
+        let leader = {
+            let flight = flight.clone();
+            let entered = entered.clone();
+            std::thread::spawn(move || {
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    flight.work("leg", || {
+                        entered.wait();
+                        // Give the follower time to block on the slot.
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        panic!("leader died");
+                        #[allow(unreachable_code)]
+                        0u64
+                    })
+                }));
+                assert!(result.is_err());
+            })
+        };
+        entered.wait();
+        // The follower arrives while the leader is mid-compute; after
+        // the abandon it must elect itself and produce the value.
+        let (value, _) = flight.work("leg", || 7u64);
+        assert_eq!(value, 7);
+        leader.join().unwrap();
+        assert_eq!(flight.in_flight(), 0);
+    }
+}

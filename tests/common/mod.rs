@@ -9,7 +9,8 @@
 #![allow(dead_code)]
 
 use std::path::{Path, PathBuf};
-use std::process::{Command, Output};
+use std::process::{Child, Command, Output, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Mirror of `cap::par::CHAOS_KILL_EXIT`, asserted here so a drifting
 /// constant fails loudly instead of masking a real crash.
@@ -38,6 +39,11 @@ pub fn tmp_dir(tag: &str) -> PathBuf {
     std::fs::create_dir_all(&dir).unwrap();
     dir
 }
+
+/// Counter making each spawn's default journal directory unique: the
+/// journal writer lock means two concurrent spawns sharing a journal
+/// directory would contend, so tests that don't pin one get their own.
+static NEXT_JOURNAL: AtomicU64 = AtomicU64::new(0);
 
 /// Builder for one `capsim` subprocess run in a scrubbed environment.
 pub struct Capsim {
@@ -83,16 +89,19 @@ impl Capsim {
         self
     }
 
-    /// Spawns the binary and waits for it.
-    pub fn run(&self) -> Output {
+    /// The configured `Command`, scrubbed environment applied.
+    fn command(&self) -> Command {
         let mut cmd = Command::new(env!("CARGO_BIN_EXE_capsim"));
         cmd.args(&self.args);
         for var in SCRUBBED {
             cmd.env_remove(var);
         }
         cmd.env("CAP_SCALE", "smoke");
-        let default_journal = std::env::temp_dir()
-            .join(format!("capsim-test-journal-{}", std::process::id()));
+        let default_journal = std::env::temp_dir().join(format!(
+            "capsim-test-journal-{}-{}",
+            std::process::id(),
+            NEXT_JOURNAL.fetch_add(1, Ordering::Relaxed)
+        ));
         cmd.env("CAP_JOURNAL_DIR", self.journal.as_deref().unwrap_or(&default_journal));
         match &self.cache {
             Some(dir) => {
@@ -105,7 +114,23 @@ impl Capsim {
         for (key, value) in &self.envs {
             cmd.env(key, value);
         }
-        cmd.output().expect("capsim spawns")
+        cmd
+    }
+
+    /// Spawns the binary and waits for it.
+    pub fn run(&self) -> Output {
+        self.command().output().expect("capsim spawns")
+    }
+
+    /// Spawns the binary without waiting (stdout/stderr piped) — for
+    /// long-lived processes like `capsim serve` that the test signals
+    /// or joins later.
+    pub fn spawn(&self) -> Child {
+        self.command()
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("capsim spawns")
     }
 }
 
